@@ -1,0 +1,1 @@
+bin/bugstudy.ml: Arg Cmd Cmdliner Format List Printf Rae_bugstudy Term

@@ -1,0 +1,1 @@
+bin/debugfs_rfs.ml: Arg Cmd Cmdliner Format List Printf Rae_block Rae_format Rae_journal Rae_shadowfs Rae_vfs Term

@@ -1,0 +1,1 @@
+bin/debugfs_rfs.mli:

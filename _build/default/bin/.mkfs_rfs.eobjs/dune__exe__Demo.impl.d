@@ -1,0 +1,1 @@
+bin/demo.ml: Arg Cmd Cmdliner Format List Op Printf Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_util Rae_vfs Rae_workload Result String Term

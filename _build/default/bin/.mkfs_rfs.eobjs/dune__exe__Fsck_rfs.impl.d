@@ -1,0 +1,1 @@
+bin/fsck_rfs.ml: Arg Cmd Cmdliner Format List Printf Rae_block Rae_fsck Term

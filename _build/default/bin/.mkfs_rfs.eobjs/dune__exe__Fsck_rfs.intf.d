@@ -1,0 +1,1 @@
+bin/fsck_rfs.mli:

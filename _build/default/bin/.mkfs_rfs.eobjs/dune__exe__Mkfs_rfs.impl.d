@@ -1,0 +1,1 @@
+bin/mkfs_rfs.ml: Arg Cmd Cmdliner Printf Rae_basefs Rae_block Rae_format Sys Term

@@ -1,0 +1,1 @@
+bin/mkfs_rfs.mli:

@@ -1,0 +1,1 @@
+bin/trace_rfs.ml: Arg Cmd Cmdliner Format List Printf Rae_basefs Rae_block Rae_core Rae_util Rae_workload String Term

@@ -1,0 +1,63 @@
+(* Regenerate the paper's Table 1 and Figure 1 from the bug corpus, with
+   optional CSV output and per-record listing. *)
+
+open Cmdliner
+module T = Rae_bugstudy.Taxonomy
+module Study = Rae_bugstudy.Study
+
+let csv_table table =
+  let row name (c : Study.cell_counts) =
+    Printf.printf "%s,%d,%d,%d,%d,%d\n" name c.Study.no_crash c.Study.crash c.Study.warn
+      c.Study.unknown (Study.cell_total c)
+  in
+  Printf.printf "determinism,no_crash,crash,warn,unknown,total\n";
+  row "deterministic" table.Study.deterministic;
+  row "non_deterministic" table.Study.non_deterministic;
+  row "unknown" table.Study.unknown_det
+
+let csv_fig series =
+  Printf.printf "year,crash,warn,no_crash,unknown,total\n";
+  List.iter
+    (fun (year, (c : Study.cell_counts)) ->
+      Printf.printf "%d,%d,%d,%d,%d,%d\n" year c.Study.crash c.Study.warn c.Study.no_crash
+        c.Study.unknown (Study.cell_total c))
+    series
+
+let run csv list_records =
+  let corpus = Rae_bugstudy.Corpus.records () in
+  let table = Study.table1 corpus in
+  let series = Study.fig1 corpus in
+  if csv then begin
+    csv_table table;
+    print_newline ();
+    csv_fig series
+  end
+  else begin
+    Printf.printf "Table 1: study of filesystem bugs (Linux ext4; %d bugs since %d)\n\n"
+      (List.length corpus) Rae_bugstudy.Corpus.first_year;
+    Format.printf "%a@.@." Study.pp_table1 table;
+    Format.printf "%a@." Study.pp_fig1 series;
+    Printf.printf "\nDetectable deterministic bugs (Crash + WARN): %d/%d\n"
+      (Study.detectable_deterministic table)
+      (Study.cell_total table.Study.deterministic)
+  end;
+  if list_records then begin
+    Printf.printf "\n%-4s %-5s %-18s %-10s %s\n" "id" "year" "determinism" "conseq" "title";
+    List.iter
+      (fun r ->
+        Printf.printf "%-4d %-5d %-18s %-10s %s\n" r.T.id r.T.fix_year
+          (T.determinism_to_string (T.classify_determinism r))
+          (T.consequence_to_string (T.classify_consequence r))
+          r.T.title)
+      corpus
+  end
+
+let csv = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of tables.")
+let list_records = Arg.(value & flag & info [ "l"; "list" ] ~doc:"List every corpus record.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rae_bugstudy" ~doc:"Regenerate the paper's bug study (Table 1 / Figure 1)")
+    Term.(const run $ csv $ list_records)
+
+let () = exit (Cmd.eval cmd)

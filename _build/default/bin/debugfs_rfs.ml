@@ -1,0 +1,107 @@
+(* debugfs.rfs: read-only inspection of an rfs image.
+
+   Subcommands:
+     sb IMAGE            print the superblock
+     ls IMAGE PATH       list a directory
+     stat IMAGE PATH     print file attributes
+     cat IMAGE PATH      print file contents
+     journal IMAGE       print journal statistics (tail position)
+
+   All access goes through the shadow filesystem with full runtime checks:
+   debugfs doubles as a structure validator. *)
+
+open Cmdliner
+module Shadow = Rae_shadowfs.Shadow
+module Types = Rae_vfs.Types
+
+let with_image image f =
+  match Rae_block.Disk.load image with
+  | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" image msg;
+      exit 2
+  | Ok disk -> f disk (Rae_block.Device.of_disk disk)
+
+let with_shadow image f =
+  with_image image (fun _disk dev ->
+      match Shadow.attach dev with
+      | Error msg ->
+          Printf.eprintf "not a valid rfs image: %s\n" msg;
+          exit 1
+      | Ok sh -> (
+          try f sh
+          with Shadow.Violation msg ->
+            Printf.eprintf "structure violation: %s\n" msg;
+            exit 1))
+
+let parse_path s =
+  match Rae_vfs.Path.parse s with
+  | Ok p -> p
+  | Error e ->
+      Printf.eprintf "bad path %s: %s\n" s (Format.asprintf "%a" Rae_vfs.Path.pp_error e);
+      exit 1
+
+let or_errno = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s\n" (Rae_vfs.Errno.to_string e);
+      exit 1
+
+let cmd_sb image =
+  with_image image (fun _disk dev ->
+      match Rae_format.Superblock.decode (Rae_block.Device.read dev 0) with
+      | Ok sb -> Format.printf "%a@." Rae_format.Superblock.pp sb
+      | Error e ->
+          Printf.eprintf "superblock: %s\n" (Rae_format.Superblock.error_to_string e);
+          exit 1)
+
+let cmd_ls image path =
+  with_shadow image (fun sh ->
+      let dir = parse_path path in
+      let names = or_errno (Shadow.readdir sh dir) in
+      List.iter
+        (fun name ->
+          let st = or_errno (Shadow.stat sh (Rae_vfs.Path.append dir name)) in
+          Printf.printf "%-9s %03o nlink=%d size=%-8d ino=%-4d %s\n"
+            (Types.kind_to_string st.Types.st_kind)
+            st.Types.st_mode st.Types.st_nlink st.Types.st_size st.Types.st_ino name)
+        names)
+
+let cmd_stat image path =
+  with_shadow image (fun sh ->
+      let st = or_errno (Shadow.stat sh (parse_path path)) in
+      Format.printf "%a@." Types.pp_stat st)
+
+let cmd_cat image path =
+  with_shadow image (fun sh ->
+      let p = parse_path path in
+      let st = or_errno (Shadow.stat sh p) in
+      let fd = or_errno (Shadow.openf sh p Types.flags_ro) in
+      print_string (or_errno (Shadow.pread sh fd ~off:0 ~len:st.Types.st_size)))
+
+let cmd_journal image =
+  with_image image (fun _disk dev ->
+      match Rae_format.Superblock.decode (Rae_block.Device.read dev 0) with
+      | Error e ->
+          Printf.eprintf "superblock: %s\n" (Rae_format.Superblock.error_to_string e);
+          exit 1
+      | Ok sb -> (
+          let geo = sb.Rae_format.Superblock.geometry in
+          match Rae_journal.Journal.replay dev geo with
+          | Ok 0 -> Printf.printf "journal clean (nothing to replay)\n"
+          | Ok n -> Printf.printf "journal had %d unreplayed transaction(s) (image NOT modified)\n" n
+          | Error msg -> Printf.printf "journal unreadable: %s\n" msg))
+
+let image_arg idx = Arg.(required & pos idx (some file) None & info [] ~docv:"IMAGE")
+let path_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"PATH")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "sb" ~doc:"Print the superblock") Term.(const cmd_sb $ image_arg 0);
+    Cmd.v (Cmd.info "ls" ~doc:"List a directory") Term.(const cmd_ls $ image_arg 0 $ path_arg 1);
+    Cmd.v (Cmd.info "stat" ~doc:"Print file attributes") Term.(const cmd_stat $ image_arg 0 $ path_arg 1);
+    Cmd.v (Cmd.info "cat" ~doc:"Print file contents") Term.(const cmd_cat $ image_arg 0 $ path_arg 1);
+    Cmd.v (Cmd.info "journal" ~doc:"Inspect journal state") Term.(const cmd_journal $ image_arg 0);
+  ]
+
+let () =
+  exit (Cmd.eval (Cmd.group (Cmd.info "rae_debugfs" ~doc:"Inspect rfs images (read-only)") cmds))

@@ -1,0 +1,45 @@
+(* mkfs.rfs: create a fresh rfs image file (format + journal). *)
+
+open Cmdliner
+
+let run image nblocks ninodes journal_len force =
+  if Sys.file_exists image && not force then begin
+    Printf.eprintf "%s exists; use --force to overwrite\n" image;
+    exit 1
+  end;
+  let disk =
+    Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
+      ~block_size:Rae_format.Layout.block_size ~nblocks ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  let ninodes =
+    match ninodes with Some n -> n | None -> Rae_format.Mkfs.default_ninodes ~nblocks
+  in
+  match Rae_basefs.Base.mkfs dev ~ninodes ?journal_len () with
+  | Error msg ->
+      Printf.eprintf "mkfs failed: %s\n" msg;
+      exit 1
+  | Ok () -> (
+      match Rae_block.Disk.save disk image with
+      | Error msg ->
+          Printf.eprintf "cannot write %s: %s\n" image msg;
+          exit 1
+      | Ok () ->
+          Printf.printf "created %s: %d blocks (%d KiB), %d inodes, journal %d blocks\n" image
+            nblocks
+            (nblocks * Rae_format.Layout.block_size / 1024)
+            ninodes
+            (match journal_len with Some j -> j | None -> Rae_format.Layout.default_journal_blocks))
+
+let image = Arg.(required & pos 0 (some string) None & info [] ~docv:"IMAGE" ~doc:"Image file to create.")
+let nblocks = Arg.(value & opt int 2048 & info [ "b"; "blocks" ] ~docv:"N" ~doc:"Total blocks (4 KiB each).")
+let ninodes = Arg.(value & opt (some int) None & info [ "i"; "inodes" ] ~docv:"N" ~doc:"Inode count (default: blocks/4).")
+let journal = Arg.(value & opt (some int) None & info [ "j"; "journal" ] ~docv:"N" ~doc:"Journal blocks (default 64).")
+let force = Arg.(value & flag & info [ "f"; "force" ] ~doc:"Overwrite an existing file.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rae_mkfs" ~doc:"Create an rfs filesystem image")
+    Term.(const run $ image $ nblocks $ ninodes $ journal $ force)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,112 @@
+(* trace_rfs: generate, validate and replay textual operation traces
+   against rfs images — the paper's §4.3 record/replay workflow as a
+   command-line tool.
+
+     trace_rfs gen --profile varmail -n 500 --seed 7 -o run.trace
+     trace_rfs check run.trace
+     trace_rfs replay run.trace image.rfs [--rae] [--bugs id,id]
+*)
+
+open Cmdliner
+module Trace = Rae_workload.Trace
+module W = Rae_workload.Workload
+module Base = Rae_basefs.Base
+module Controller = Rae_core.Controller
+module Bug_registry = Rae_basefs.Bug_registry
+
+let cmd_gen profile_name count seed output =
+  match W.profile_of_name profile_name with
+  | None ->
+      Printf.eprintf "unknown profile %s (known: %s)\n" profile_name
+        (String.concat ", " (List.map W.profile_name W.all_profiles));
+      exit 1
+  | Some profile -> (
+      let ops = W.ops profile (Rae_util.Rng.create seed) ~count in
+      match Trace.save output ops with
+      | Ok () -> Printf.printf "wrote %d ops to %s\n" (List.length ops) output
+      | Error msg ->
+          Printf.eprintf "cannot write %s: %s\n" output msg;
+          exit 1)
+
+let cmd_check trace_file =
+  match Trace.load trace_file with
+  | Ok ops -> Format.printf "%s: valid, %a@." trace_file W.pp_summary ops
+  | Error msg ->
+      Printf.eprintf "%s: %s\n" trace_file msg;
+      exit 1
+
+let cmd_replay trace_file image use_rae bug_ids save =
+  let ops =
+    match Trace.load trace_file with
+    | Ok ops -> ops
+    | Error msg ->
+        Printf.eprintf "%s: %s\n" trace_file msg;
+        exit 1
+  in
+  match Rae_block.Disk.load image with
+  | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" image msg;
+      exit 2
+  | Ok disk -> (
+      let dev = Rae_block.Device.of_disk disk in
+      let bugs =
+        Bug_registry.arm ~rng:(Rae_util.Rng.create 1L)
+          (List.filter_map Bug_registry.find bug_ids)
+      in
+      match Base.mount ~bugs dev with
+      | Error msg ->
+          Printf.eprintf "mount: %s\n" msg;
+          exit 1
+      | Ok base ->
+          let okc = ref 0 and errc = ref 0 in
+          let bump = function Ok _ -> incr okc | Error _ -> incr errc in
+          (if use_rae then begin
+             let ctl = Controller.make ~device:dev base in
+             List.iter (fun op -> bump (Controller.exec ctl op)) ops;
+             ignore (Controller.sync ctl);
+             let s = Controller.stats ctl in
+             Printf.printf "replayed %d ops under RAE: %d ok, %d error, %d recoveries\n"
+               (List.length ops) !okc !errc s.Controller.recoveries;
+             List.iter
+               (fun r -> Format.printf "%a@." Rae_core.Report.pp_recovery r)
+               (Controller.recoveries ctl)
+           end
+           else begin
+             (try List.iter (fun op -> bump (Base.exec base op)) ops
+              with
+             | Rae_basefs.Detector.Base_bug { bug; msg } ->
+                 Printf.printf "base CRASHED: [%s] %s\n" bug msg
+             | Rae_basefs.Detector.Hang { bug; msg } ->
+                 Printf.printf "base HUNG: [%s] %s\n" bug msg
+             | Rae_basefs.Detector.Validation_failed { context; msg } ->
+                 Printf.printf "base VALIDATION FAILED: [%s] %s\n" context msg);
+             (try ignore (Base.unmount base) with _ -> ());
+             Printf.printf "replayed on raw base: %d ok, %d error\n" !okc !errc
+           end);
+          if save then (
+            match Rae_block.Disk.save disk image with
+            | Ok () -> Printf.printf "image updated: %s\n" image
+            | Error msg ->
+                Printf.eprintf "cannot save %s: %s\n" image msg;
+                exit 1))
+
+let profile = Arg.(value & opt string "varmail" & info [ "profile" ] ~docv:"NAME")
+let count = Arg.(value & opt int 500 & info [ "n" ] ~docv:"N")
+let seed = Arg.(value & opt int64 1L & info [ "seed" ] ~docv:"SEED")
+let output = Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE")
+let trace_pos = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE")
+let image_pos = Arg.(required & pos 1 (some file) None & info [] ~docv:"IMAGE")
+let use_rae = Arg.(value & flag & info [ "rae" ] ~doc:"Replay through the RAE controller.")
+let bugs_opt = Arg.(value & opt (list string) [] & info [ "bugs" ] ~docv:"IDS")
+let save = Arg.(value & flag & info [ "save" ] ~doc:"Write the mutated image back.")
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "gen" ~doc:"Generate a workload trace")
+      Term.(const cmd_gen $ profile $ count $ seed $ output);
+    Cmd.v (Cmd.info "check" ~doc:"Validate a trace file") Term.(const cmd_check $ trace_pos);
+    Cmd.v (Cmd.info "replay" ~doc:"Replay a trace against an image")
+      Term.(const cmd_replay $ trace_pos $ image_pos $ use_rae $ bugs_opt $ save);
+  ]
+
+let () = exit (Cmd.eval (Cmd.group (Cmd.info "trace_rfs" ~doc:"Operation-trace tooling") cmds))

@@ -1,0 +1,1 @@
+examples/crafted_image.ml: Errno Format Op Path Printf Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_shadowfs Rae_vfs Result

@@ -1,0 +1,1 @@
+examples/crafted_image.mli:

@@ -1,0 +1,1 @@
+examples/post_error_testing.ml: Errno Format List Path Printf Rae_basefs Rae_block Rae_core Rae_format Rae_vfs Result Types

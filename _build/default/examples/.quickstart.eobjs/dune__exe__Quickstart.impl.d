@@ -1,0 +1,1 @@
+examples/quickstart.ml: Errno Format Option Path Printf Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_vfs Result String Types

@@ -1,0 +1,1 @@
+examples/varmail_recovery.ml: Format List Op Printf Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_specfs Rae_util Rae_vfs Rae_workload Result String

@@ -1,0 +1,1 @@
+examples/varmail_recovery.mli:

@@ -1,0 +1,65 @@
+(* The shadow as a post-error testing tool (paper §4.3): "running the
+   shadow is an effective way to stress the bug in the base, as the
+   sequence and outputs are recorded...  Disagreements between the base
+   and shadow indicate bugs in the base or missing conditions in the
+   shadow.  Either way, reporting the discrepancies is necessary."
+
+   Here the base carries a wrong-result bug: the 20th stat returns a size
+   off by one.  Nothing detects it in-line — no panic, no warning, no
+   failed validation.  When an unrelated recovery later replays the
+   recorded window through the shadow, the constrained-mode cross-check
+   exposes the lie, with the exact operation and both answers.
+
+   Run with:  dune exec examples/post_error_testing.exe *)
+
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Report = Rae_core.Report
+
+let p = Path.parse_exn
+let ok = Result.get_ok
+
+let () =
+  let disk =
+    Rae_block.Disk.create ~block_size:Rae_format.Layout.block_size ~nblocks:4096 ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  ok (Base.mkfs dev ~ninodes:512 ());
+  let bugs =
+    Bug_registry.arm
+      (List.filter_map Bug_registry.find [ "stat-size-skew"; "crafted-name-panic" ])
+  in
+  let base = ok (Base.mount ~bugs dev) in
+  let fs = Controller.make ~device:dev base in
+
+  let fd = ok (Controller.openf fs (p "/report.txt") Types.flags_create) in
+  ignore (ok (Controller.pwrite fs fd ~off:0 "12345"));
+  ignore (ok (Controller.close fs fd));
+
+  Printf.printf "stat sizes observed by the application:\n  ";
+  for i = 1 to 20 do
+    match Controller.stat fs (p "/report.txt") with
+    | Ok st -> Printf.printf "%d%s" st.Types.st_size (if i = 20 then "\n" else " ")
+    | Error e -> Printf.printf "(%s) " (Errno.to_string e)
+  done;
+  Printf.printf "  (the 20th answer is wrong — and nothing noticed)\n\n";
+  Printf.printf "recoveries so far: %d, discrepancies so far: %d\n"
+    (Controller.stats fs).Controller.recoveries
+    (Controller.stats fs).Controller.discrepancies;
+
+  Printf.printf "\nNow an unrelated operation panics the base and forces a recovery...\n";
+  ignore (Controller.create fs (p "/pwn") ~mode:0o644);
+
+  Printf.printf "\ndiscrepancy reports from the constrained-mode cross-check:\n";
+  List.iter
+    (fun d -> Format.printf "  %a@." Report.pp_discrepancy d)
+    (Controller.discrepancies fs);
+  match Controller.discrepancies fs with
+  | [] -> Printf.printf "(none — unexpected)\n"
+  | _ :: _ ->
+      Printf.printf
+        "\n=> The recorded outputs doubled as a regression test against the verified\n\
+         shadow: a silent wrong-result bug in the base became a concrete, replayable\n\
+         bug report.\n"

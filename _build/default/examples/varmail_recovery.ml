@@ -1,0 +1,76 @@
+(* A mail-server day in the life: a varmail workload (create / append /
+   fsync / read / delete) runs over a base filesystem with several real
+   ext4 bug classes armed.  The application-visible story: every operation
+   keeps returning POSIX-correct results while RAE masks panics, hangs and
+   silent corruption under the hood.
+
+   Run with:  dune exec examples/varmail_recovery.exe *)
+
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Report = Rae_core.Report
+module Spec = Rae_specfs.Spec
+module W = Rae_workload.Workload
+
+let ok = Result.get_ok
+
+let () =
+  let disk =
+    Rae_block.Disk.create ~block_size:Rae_format.Layout.block_size ~nblocks:8192 ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  ok (Base.mkfs dev ~ninodes:1024 ());
+  let bug_ids = [ "orphan-close-uaf"; "fsync-deadlock"; "mballoc-freecount" ] in
+  let bugs =
+    Bug_registry.arm ~rng:(Rae_util.Rng.create 1L) (List.filter_map Bug_registry.find bug_ids)
+  in
+  let base =
+    ok (Base.mount ~config:{ Base.default_config with Base.commit_interval = 16 } ~bugs dev)
+  in
+  let fs = Controller.make ~device:dev base in
+  Printf.printf "armed bugs: %s\n\n" (String.concat ", " bug_ids);
+
+  (* The oracle runs beside the real system: every outcome is compared. *)
+  let oracle = Spec.make () in
+  let ops = W.ops W.Varmail (Rae_util.Rng.create 2024L) ~count:3000 in
+  let mismatches = ref 0 in
+  let recoveries_seen = ref 0 in
+  List.iteri
+    (fun i op ->
+      let expected = Spec.exec oracle op in
+      let got = Controller.exec fs op in
+      if not (Op.outcome_equal expected got) then begin
+        incr mismatches;
+        Format.printf "MISMATCH at op %d %a: expected %a, got %a@." i Op.pp op Op.pp_outcome
+          expected Op.pp_outcome got
+      end;
+      let s = Controller.stats fs in
+      if s.Controller.recoveries > !recoveries_seen then begin
+        recoveries_seen := s.Controller.recoveries;
+        match Controller.last_recovery fs with
+        | Some r ->
+            Printf.printf "op %5d: recovery #%d triggered by %s — window %d, %.2f ms\n" i
+              s.Controller.recoveries
+              (Report.trigger_to_string r.Report.r_trigger)
+              r.Report.r_window
+              (r.Report.r_wall_seconds *. 1000.)
+        | None -> ()
+      end)
+    ops;
+
+  let s = Controller.stats fs in
+  Printf.printf "\n%d operations, %d recoveries, %d spec mismatches\n" s.Controller.ops
+    s.Controller.recoveries !mismatches;
+  Printf.printf "oplog: %d recorded over the run, high-water window %d\n"
+    s.Controller.total_recorded s.Controller.max_window;
+  ignore (Controller.sync fs);
+  Printf.printf "final fsck: %s\n"
+    (if Rae_fsck.Fsck.clean (Rae_fsck.Fsck.check_device dev) then "clean" else "ERRORS");
+  if !mismatches = 0 && s.Controller.recoveries > 0 then
+    Printf.printf
+      "\n=> The mail server observed fully POSIX-correct behaviour while the base\n\
+       filesystem panicked/hung/corrupted itself %d time(s).  That is the paper's\n\
+       availability claim, end to end.\n"
+      s.Controller.recoveries

@@ -1,0 +1,1 @@
+lib/basefs/base.mli: Bug_registry Detector Rae_block Rae_cache Rae_journal Rae_vfs

@@ -1,0 +1,1 @@
+lib/basefs/bug_registry.ml: List Op Rae_util Rae_vfs String

@@ -1,0 +1,1 @@
+lib/basefs/bug_registry.mli: Rae_util Rae_vfs

@@ -1,0 +1,1 @@
+lib/basefs/detector.mli: Format

@@ -1,0 +1,155 @@
+open Rae_vfs
+
+type consequence =
+  | Panic
+  | Warn
+  | Corrupt_freecount
+  | Corrupt_dirent
+  | Corrupt_inode_size
+  | Wrong_result
+  | Hang
+
+type trigger =
+  | Nth_op_of_kind of Op.op_kind * int
+  | Path_component of string
+  | With_probability of Op.op_kind * float
+
+type determinism = Deterministic | Non_deterministic
+
+type spec = {
+  id : string;
+  determinism : determinism;
+  trigger : trigger;
+  consequence : consequence;
+  modeled_after : string;
+}
+
+let catalog =
+  [
+    {
+      id = "dx-hash-panic";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_lookup, 40);
+      consequence = Panic;
+      modeled_after = "ext4 htree dx_probe NULL dereference on deep lookup paths";
+    };
+    {
+      id = "extent-status-warn";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_truncate, 5);
+      consequence = Warn;
+      modeled_after = "ext4_es_cache_extent WARN_ON during truncate";
+    };
+    {
+      id = "mballoc-freecount";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_create, 30);
+      consequence = Corrupt_freecount;
+      modeled_after = "ext4 mballoc group free-count drift (silent corruption)";
+    };
+    {
+      id = "dirent-reclen-zero";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_mkdir, 8);
+      consequence = Corrupt_dirent;
+      modeled_after = "ext4_rename corrupting rec_len in the dir block cache";
+    };
+    {
+      id = "isize-extension";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_pwrite, 50);
+      consequence = Corrupt_inode_size;
+      modeled_after = "ext4_handle_inode_extension i_size < i_disksize (bugzilla 217159)";
+    };
+    {
+      id = "orphan-close-uaf";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_close, 25);
+      consequence = Panic;
+      modeled_after = "use-after-free in ext4_put_super / orphan list handling (bugzilla 200931)";
+    };
+    {
+      id = "crafted-name-panic";
+      determinism = Deterministic;
+      trigger = Path_component "pwn";
+      consequence = Panic;
+      modeled_after = "crafted-image NULL dereference reached through a specific name";
+    };
+    {
+      id = "rename-race-panic";
+      determinism = Non_deterministic;
+      trigger = With_probability (Op.K_rename, 0.08);
+      consequence = Panic;
+      modeled_after = "ext4 rename vs. writeback race (timing-dependent oops)";
+    };
+    {
+      id = "stat-size-skew";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_stat, 20);
+      consequence = Wrong_result;
+      modeled_after = "stale i_size read after racy extension (visible only to applications)";
+    };
+    {
+      id = "fsync-deadlock";
+      determinism = Deterministic;
+      trigger = Nth_op_of_kind (Op.K_fsync, 15);
+      consequence = Hang;
+      modeled_after = "jbd2 journal_commit vs. fsync ABBA deadlock";
+    };
+  ]
+
+let find id = List.find_opt (fun s -> s.id = id) catalog
+
+type armed = { spec : spec; mutable kind_count : int; mutable fired : int }
+
+type t = { bugs : armed list; rng : Rae_util.Rng.t option; mutable total_fired : int }
+
+let arm ?rng specs =
+  let needs_rng =
+    List.exists (fun s -> match s.trigger with With_probability _ -> true | _ -> false) specs
+  in
+  if needs_rng && rng = None then
+    invalid_arg "Bug_registry.arm: probabilistic triggers require an rng";
+  { bugs = List.map (fun spec -> { spec; kind_count = 0; fired = 0 }) specs; rng; total_fired = 0 }
+
+let none = { bugs = []; rng = None; total_fired = 0 }
+
+let op_paths op =
+  match op with
+  | Op.Create (p, _) | Op.Mkdir (p, _) | Op.Unlink p | Op.Rmdir p | Op.Open (p, _)
+  | Op.Lookup p | Op.Stat p | Op.Readdir p | Op.Truncate (p, _) | Op.Readlink p
+  | Op.Chmod (p, _) | Op.Symlink (_, p) ->
+      [ p ]
+  | Op.Rename (a, b) | Op.Link (a, b) -> [ a; b ]
+  | Op.Close _ | Op.Pread _ | Op.Pwrite _ | Op.Fstat _ | Op.Fsync _ | Op.Sync -> []
+
+let trigger_fires t armed op =
+  let kind = Op.kind op in
+  match armed.spec.trigger with
+  | Nth_op_of_kind (k, n) ->
+      if kind = k then begin
+        armed.kind_count <- armed.kind_count + 1;
+        armed.kind_count = n
+      end
+      else false
+  | Path_component name ->
+      List.exists (fun p -> List.exists (String.equal name) p) (op_paths op)
+  | With_probability (k, p) -> (
+      kind = k
+      && match t.rng with Some rng -> Rae_util.Rng.chance rng p | None -> false)
+
+let fire t op =
+  let rec go = function
+    | [] -> None
+    | armed :: rest ->
+        if trigger_fires t armed op then begin
+          armed.fired <- armed.fired + 1;
+          t.total_fired <- t.total_fired + 1;
+          Some (armed.spec, armed.spec.consequence)
+        end
+        else go rest
+  in
+  go t.bugs
+
+let fired_count t = t.total_fired
+let armed_ids t = List.map (fun a -> a.spec.id) t.bugs

@@ -1,0 +1,70 @@
+(** Injectable bugs for the base filesystem.
+
+    The paper's Table 1 taxonomises 256 real ext4 bugs by determinism and
+    consequence; this registry reproduces that taxonomy as *armable*
+    faults so the availability experiment (E8) can trigger each class
+    under a live workload and measure whether RAE masks it.
+
+    Consequences map to Table 1's columns:
+    - [Panic]                  → "Crash"
+    - [Warn]                   → "WARN"
+    - [Corrupt_*]              → "No Crash" (silent corruption, caught by
+                                  the base's commit-time validation)
+    - [Wrong_result]           → "No Crash" (visible only to cross-checks)
+    - [Hang]                   → "No Crash" (freeze/deadlock; the watchdog
+                                  converts it to a detected error)
+
+    Triggers model how the real bugs fire: a latent bug hit on the Nth
+    operation of a kind, an input-dependent bug hit whenever a path
+    component appears (the crafted-input class), and a racy bug firing
+    probabilistically (the non-deterministic class). *)
+
+type consequence =
+  | Panic
+  | Warn
+  | Corrupt_freecount  (** skews the superblock free-block count in memory *)
+  | Corrupt_dirent  (** zeroes a rec_len in a cached directory block *)
+  | Corrupt_inode_size  (** sets a cached inode's size beyond the maximum *)
+  | Wrong_result  (** stat returns a size off by one — app-visible only *)
+  | Hang
+
+type trigger =
+  | Nth_op_of_kind of Rae_vfs.Op.op_kind * int
+      (** fires exactly on the Nth executed op of this kind *)
+  | Path_component of string
+      (** fires on every operation whose path mentions this name *)
+  | With_probability of Rae_vfs.Op.op_kind * float
+      (** non-deterministic: fires with probability p on each op of kind *)
+
+type determinism = Deterministic | Non_deterministic
+
+type spec = {
+  id : string;
+  determinism : determinism;
+  trigger : trigger;
+  consequence : consequence;
+  modeled_after : string;  (** the real ext4 bug class this emulates *)
+}
+
+val catalog : spec list
+(** A built-in catalog covering every consequence and trigger shape, with
+    ids usable from tests and the demo binary. *)
+
+val find : string -> spec option
+
+type t
+(** Armed registry state (trigger counters). *)
+
+val arm : ?rng:Rae_util.Rng.t -> spec list -> t
+(** [arm specs] prepares the bugs.  [rng] is required when any spec uses
+    [With_probability].  @raise Invalid_argument otherwise. *)
+
+val none : t
+(** No bugs armed (a healthy base). *)
+
+val fire : t -> Rae_vfs.Op.t -> (spec * consequence) option
+(** Called by the base before executing each operation; advances trigger
+    counters and reports the first bug that fires, if any. *)
+
+val fired_count : t -> int
+val armed_ids : t -> string list

@@ -1,0 +1,22 @@
+exception Base_bug of { bug : string; msg : string }
+exception Hang of { bug : string; msg : string }
+exception Validation_failed of { context : string; msg : string }
+
+type warning = { w_bug : string; w_msg : string }
+
+type t = { mutable pending : warning list; mutable total : int }
+
+let create () = { pending = []; total = 0 }
+
+let warn t ~bug msg =
+  t.pending <- { w_bug = bug; w_msg = msg } :: t.pending;
+  t.total <- t.total + 1
+
+let warnings t = List.rev t.pending
+let warn_count t = t.total
+let clear t = t.pending <- []
+
+let bug_fail ~bug fmt = Format.kasprintf (fun msg -> raise (Base_bug { bug; msg })) fmt
+
+let validation_fail ~context fmt =
+  Format.kasprintf (fun msg -> raise (Validation_failed { context; msg })) fmt

@@ -1,0 +1,38 @@
+(** Runtime error detection for the base filesystem.
+
+    This is the paper's error-detection channel (§2.1, Table 1): the events
+    that RAE reacts to.  Three severities mirror the bug study's
+    consequence taxonomy:
+
+    - {!Base_bug} — a BUG()/oops: the base cannot continue the operation
+      (null dereference, use-after-free, assertion failure).  In a kernel
+      this would crash the machine; here it unwinds to the RAE controller.
+    - {!Hang} — a detected deadlock/livelock (the watchdog fired).
+    - warnings — WARN_ON() hits: recorded, optionally treated as a
+      recovery trigger by the controller.
+    - {!Validation_failed} — the "validate upon sync" check (§3.1, citing
+      Recon/WAFL): dirty metadata failed validation at a commit barrier,
+      before reaching disk. *)
+
+exception Base_bug of { bug : string; msg : string }
+exception Hang of { bug : string; msg : string }
+exception Validation_failed of { context : string; msg : string }
+
+type warning = { w_bug : string; w_msg : string }
+
+type t
+
+val create : unit -> t
+val warn : t -> bug:string -> string -> unit
+val warnings : t -> warning list
+(** Warnings since the last {!clear}, oldest first. *)
+
+val warn_count : t -> int
+(** Total warnings ever recorded (not reset by {!clear}). *)
+
+val clear : t -> unit
+
+val bug_fail : bug:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Raise {!Base_bug} with a formatted message. *)
+
+val validation_fail : context:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a

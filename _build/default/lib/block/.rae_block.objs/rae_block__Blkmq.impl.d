@@ -1,0 +1,1 @@
+lib/block/blkmq.ml: Array Bytes Device Queue

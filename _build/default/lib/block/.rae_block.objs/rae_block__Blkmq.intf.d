@@ -1,0 +1,1 @@
+lib/block/blkmq.mli: Device

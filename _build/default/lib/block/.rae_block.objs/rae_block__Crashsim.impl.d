@@ -1,0 +1,1 @@
+lib/block/crashsim.ml: Array Bytes Device List Rae_util

@@ -1,0 +1,1 @@
+lib/block/crashsim.mli: Device Rae_util

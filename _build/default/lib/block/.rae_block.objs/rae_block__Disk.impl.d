@@ -1,0 +1,1 @@
+lib/block/disk.ml: Array Bytes Printf Rae_util

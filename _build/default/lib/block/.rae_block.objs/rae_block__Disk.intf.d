@@ -1,0 +1,1 @@
+lib/block/disk.mli: Rae_util

@@ -1,0 +1,1 @@
+lib/block/fault.ml: Bytes Char Device Hashtbl List Printf Rae_util

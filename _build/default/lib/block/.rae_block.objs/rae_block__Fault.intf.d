@@ -1,0 +1,1 @@
+lib/block/fault.mli: Device Rae_util

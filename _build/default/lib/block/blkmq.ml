@@ -1,0 +1,146 @@
+type rkind = Read | Write of bytes
+
+type req = {
+  id : int;
+  block : int;
+  mutable kind : rkind;
+  mutable state : [ `Queued | `Done of bytes option | `Failed of string | `Merged ];
+}
+
+type stats = {
+  submitted : int;
+  completed : int;
+  merged : int;
+  kicks : int;
+  max_queue_depth : int;
+}
+
+type t = {
+  dev : Device.t;
+  queues : req Queue.t array;
+  batch : int;
+  mutable next_id : int;
+  mutable next_queue : int;
+  mutable s_submitted : int;
+  mutable s_completed : int;
+  mutable s_merged : int;
+  mutable s_kicks : int;
+  mutable s_maxdepth : int;
+}
+
+let create ?(nr_queues = 4) ?(batch = 32) dev =
+  if nr_queues <= 0 || batch <= 0 then invalid_arg "Blkmq.create";
+  {
+    dev;
+    queues = Array.init nr_queues (fun _ -> Queue.create ());
+    batch;
+    next_id = 0;
+    next_queue = 0;
+    s_submitted = 0;
+    s_completed = 0;
+    s_merged = 0;
+    s_kicks = 0;
+    s_maxdepth = 0;
+  }
+
+let depth t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
+
+let enqueue t req =
+  let q = t.queues.(t.next_queue) in
+  t.next_queue <- (t.next_queue + 1) mod Array.length t.queues;
+  (* Write merging: a queued write to the same block is superseded by the
+     new one, like request merging in the software queues of blk-mq. *)
+  (match req.kind with
+  | Write _ ->
+      Queue.iter
+        (fun r ->
+          match (r.state, r.kind) with
+          | `Queued, Write _ when r.block = req.block ->
+              r.state <- `Merged;
+              t.s_merged <- t.s_merged + 1
+          | _ -> ())
+        q
+  | Read -> ());
+  Queue.add req q;
+  t.s_submitted <- t.s_submitted + 1;
+  t.s_maxdepth <- max t.s_maxdepth (depth t)
+
+let submit_read t block =
+  let req = { id = t.next_id; block; kind = Read; state = `Queued } in
+  t.next_id <- t.next_id + 1;
+  enqueue t req;
+  req
+
+let submit_write t block data =
+  let req = { id = t.next_id; block; kind = Write (Bytes.copy data); state = `Queued } in
+  t.next_id <- t.next_id + 1;
+  enqueue t req;
+  req
+
+let dispatch_one t req =
+  match req.state with
+  | `Done _ | `Failed _ | `Merged -> ()
+  | `Queued -> (
+      match req.kind with
+      | Read -> (
+          match t.dev.Device.dev_read req.block with
+          | data ->
+              req.state <- `Done (Some data);
+              t.s_completed <- t.s_completed + 1
+          | exception Device.Io_error msg ->
+              req.state <- `Failed msg;
+              t.s_completed <- t.s_completed + 1)
+      | Write data -> (
+          match t.dev.Device.dev_write req.block data with
+          | () ->
+              req.state <- `Done None;
+              t.s_completed <- t.s_completed + 1
+          | exception Device.Io_error msg ->
+              req.state <- `Failed msg;
+              t.s_completed <- t.s_completed + 1))
+
+let kick t =
+  t.s_kicks <- t.s_kicks + 1;
+  Array.iter
+    (fun q ->
+      let n = min t.batch (Queue.length q) in
+      for _ = 1 to n do
+        let req = Queue.pop q in
+        dispatch_one t req
+      done)
+    t.queues
+
+let rec wait t req =
+  match req.state with
+  | `Done data -> data
+  | `Failed msg -> raise (Device.Io_error msg)
+  | `Merged -> None  (* superseded write: the merging write carries the data *)
+  | `Queued ->
+      kick t;
+      wait t req
+
+let failed req = match req.state with `Failed _ -> true | `Queued | `Done _ | `Merged -> false
+
+let drain t =
+  while depth t > 0 do
+    kick t
+  done;
+  Device.flush t.dev
+
+let in_flight t = depth t
+
+let stats t =
+  {
+    submitted = t.s_submitted;
+    completed = t.s_completed;
+    merged = t.s_merged;
+    kicks = t.s_kicks;
+    max_queue_depth = t.s_maxdepth;
+  }
+
+let reset_stats t =
+  t.s_submitted <- 0;
+  t.s_completed <- 0;
+  t.s_merged <- 0;
+  t.s_kicks <- 0;
+  t.s_maxdepth <- 0

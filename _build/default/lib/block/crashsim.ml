@@ -1,0 +1,42 @@
+type t = {
+  dev : Device.t;
+  mutable buffer : (int * bytes) list;  (* newest first *)
+  rng : Rae_util.Rng.t;
+  mutable flushes : int;
+}
+
+let create ?rng dev =
+  let rng = match rng with Some r -> r | None -> Rae_util.Rng.create 0x5EEDL in
+  let t = { dev; buffer = []; rng; flushes = 0 } in
+  let read blk =
+    (* Reads must observe buffered writes (the device's volatile cache). *)
+    match List.find_opt (fun (b, _) -> b = blk) t.buffer with
+    | Some (_, data) -> Bytes.copy data
+    | None -> t.dev.Device.dev_read blk
+  in
+  let write blk data = t.buffer <- (blk, Bytes.copy data) :: t.buffer in
+  let flush () =
+    t.flushes <- t.flushes + 1;
+    List.iter (fun (blk, data) -> t.dev.Device.dev_write blk data) (List.rev t.buffer);
+    t.buffer <- [];
+    t.dev.Device.dev_flush ()
+  in
+  (t, { t.dev with Device.dev_read = read; dev_write = write; dev_flush = flush })
+
+let pending t = List.length t.buffer
+
+let crash t = t.buffer <- []
+
+let crash_partial t =
+  (* Destage a random subset in a random order; later writes to the same
+     block may thereby be lost while earlier ones survive — the torn,
+     reordered outcome a journal must tolerate. *)
+  let writes = Array.of_list t.buffer in
+  Rae_util.Rng.shuffle t.rng writes;
+  Array.iter
+    (fun (blk, data) ->
+      if Rae_util.Rng.bool t.rng then t.dev.Device.dev_write blk data)
+    writes;
+  t.buffer <- []
+
+let flushes t = t.flushes

@@ -1,0 +1,28 @@
+(** Crash simulation: a write-buffering device with explicit flush barriers.
+
+    Writes issued through this wrapper sit in a volatile buffer until
+    {!Device.flush}; a simulated power failure ({!crash}) discards — or,
+    with [~partial], applies an arbitrary subset of — the unflushed writes.
+    The journal's crash-consistency tests drive all their IO through this
+    wrapper and call {!crash} at adversarial points. *)
+
+type t
+
+val create : ?rng:Rae_util.Rng.t -> Device.t -> t * Device.t
+(** [create dev] returns the simulator handle and the wrapped device to
+    hand to the filesystem under test.  [rng] drives partial-crash write
+    selection (default: a fixed seed). *)
+
+val pending : t -> int
+(** Unflushed writes currently buffered. *)
+
+val crash : t -> unit
+(** Power failure: every buffered write is lost. *)
+
+val crash_partial : t -> unit
+(** Power failure where the device had started destaging: a random subset
+    (possibly reordered) of buffered writes reaches the medium, the rest are
+    lost.  This is the adversarial model journaling must survive. *)
+
+val flushes : t -> int
+(** Number of flush barriers observed. *)

@@ -1,0 +1,49 @@
+exception Io_error of string
+exception Read_only_device
+
+type t = {
+  dev_read : int -> bytes;
+  dev_write : int -> bytes -> unit;
+  dev_flush : unit -> unit;
+  dev_block_size : int;
+  dev_nblocks : int;
+}
+
+let of_disk disk =
+  {
+    dev_read = Disk.read disk;
+    dev_write = Disk.write disk;
+    dev_flush = (fun () -> ());
+    dev_block_size = Disk.block_size disk;
+    dev_nblocks = Disk.nblocks disk;
+  }
+
+let read t blk = t.dev_read blk
+let write t blk data = t.dev_write blk data
+let flush t = t.dev_flush ()
+let block_size t = t.dev_block_size
+let nblocks t = t.dev_nblocks
+
+let read_only t =
+  {
+    t with
+    dev_write = (fun _ _ -> raise Read_only_device);
+    dev_flush = (fun () -> raise Read_only_device);
+  }
+
+let counting t =
+  let reads = ref 0 and writes = ref 0 in
+  let wrapped =
+    {
+      t with
+      dev_read =
+        (fun blk ->
+          incr reads;
+          t.dev_read blk);
+      dev_write =
+        (fun blk data ->
+          incr writes;
+          t.dev_write blk data);
+    }
+  in
+  (wrapped, fun () -> (!reads, !writes))

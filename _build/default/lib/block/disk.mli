@@ -1,0 +1,61 @@
+(** In-memory simulated disk.
+
+    The paper's experiments run against real block devices; we substitute a
+    RAM-backed block store with a configurable latency model charged to a
+    virtual clock (see DESIGN.md §2).  The disk supports whole-image
+    snapshot/restore, which the crash-consistency tests use to simulate
+    power failure at arbitrary points. *)
+
+type latency = { read_ns : int64; write_ns : int64 }
+
+val default_latency : latency
+(** 10us reads / 20us writes — NVMe-flash-like ratios. *)
+
+val zero_latency : latency
+
+type t
+
+val create : ?latency:latency -> ?clock:Rae_util.Vclock.t -> block_size:int -> nblocks:int -> unit -> t
+(** [create ~block_size ~nblocks ()] makes a zero-filled disk.
+    @raise Invalid_argument if sizes are non-positive. *)
+
+val block_size : t -> int
+val nblocks : t -> int
+val clock : t -> Rae_util.Vclock.t
+
+val read : t -> int -> bytes
+(** [read t blk] returns a fresh copy of block [blk] and charges read
+    latency.  @raise Invalid_argument if [blk] is out of range. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t blk data] stores a copy of [data] (must be exactly one block)
+    and charges write latency. *)
+
+val read_into : t -> int -> bytes -> unit
+(** Zero-allocation variant used by the block cache. *)
+
+val reads : t -> int
+(** Number of block reads served since creation (or the last counter
+    reset). *)
+
+val writes : t -> int
+val reset_counters : t -> unit
+
+val snapshot : t -> bytes array
+(** Deep copy of the current image. *)
+
+val restore : t -> bytes array -> unit
+(** Overwrite the image from a snapshot taken on a same-shaped disk.
+    @raise Invalid_argument on shape mismatch. *)
+
+val corrupt_byte : t -> block:int -> offset:int -> (char -> char) -> unit
+(** Directly mutate one byte on the medium, bypassing the device interface —
+    the "transient hardware fault / crafted image" injection primitive used
+    by the fsck and shadow invariant-check tests. *)
+
+val save : t -> string -> (unit, string) result
+(** Write the raw image to a file (the CLI tools' persistence format). *)
+
+val load : ?latency:latency -> string -> (t, string) result
+(** Read a raw image file created by {!save}; the file size must be a
+    multiple of 4096 (the image's block size). *)

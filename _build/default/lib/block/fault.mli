@@ -1,0 +1,34 @@
+(** Fault injection at the device boundary.
+
+    Models the *transient hardware faults* of the paper's fault model
+    (§3.1): media read errors, silent bit corruption on the read path (the
+    "cores that don't count" class), and torn writes.  Faults are specified
+    as a deterministic plan so every test is reproducible; a probabilistic
+    mode driven by a seeded {!Rae_util.Rng} is available for soak tests. *)
+
+type spec =
+  | Read_error of { block : int; from_nth : int; count : int }
+      (** The [from_nth]-th and following reads of [block] raise
+          {!Device.Io_error}, [count] times in total. *)
+  | Flip_on_read of { block : int; byte : int; bit : int; from_nth : int; count : int }
+      (** Returned data has one bit flipped — the medium is intact, the read
+          path corrupts silently.  Checksums in the format catch this. *)
+  | Stuck_write of { block : int }
+      (** Writes to [block] are acknowledged but never reach the medium
+          (lost write). *)
+  | Torn_write of { block : int; keep_bytes : int }
+      (** Only the first [keep_bytes] of each write to [block] reach the
+          medium. *)
+
+type t
+
+val create : ?rng:Rae_util.Rng.t -> ?read_error_rate:float -> ?flip_rate:float -> spec list -> t
+(** [create plan] builds injection state.  [read_error_rate]/[flip_rate]
+    add i.i.d. probabilistic faults on top of the deterministic plan
+    (default 0.0; requires [rng] if positive). *)
+
+val wrap : t -> Device.t -> Device.t
+(** Interpose the fault plan on a device. *)
+
+val injected : t -> int
+(** Number of faults injected so far. *)

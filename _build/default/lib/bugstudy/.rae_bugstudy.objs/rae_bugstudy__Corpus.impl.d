@@ -1,0 +1,1 @@
+lib/bugstudy/corpus.ml: List Printf Rae_util Scanf Taxonomy

@@ -1,0 +1,1 @@
+lib/bugstudy/study.ml: Format Hashtbl List String Taxonomy

@@ -1,0 +1,156 @@
+open Taxonomy
+
+let first_year = 2013
+let last_year = 2023
+let size = 256
+
+(* Per-year deterministic-bug matrix reconstructed from Figure 1's shape
+   under Table 1's row constraints: columns are
+   (crash, no_crash, warn, unknown) and the totals are 78/68/11/8. *)
+let det_matrix =
+  [
+    (2013, (4, 3, 0, 1));
+    (2014, (5, 4, 0, 0));
+    (2015, (5, 4, 1, 0));
+    (2016, (5, 5, 0, 1));
+    (2017, (6, 5, 1, 0));
+    (2018, (6, 6, 0, 1));
+    (2019, (8, 6, 1, 1));
+    (2020, (8, 8, 1, 1));
+    (2021, (10, 8, 2, 1));
+    (2022, (12, 10, 3, 1));
+    (2023, (9, 9, 2, 1));
+  ]
+
+(* Non-deterministic bugs per year (Figure 1 plots only deterministic
+   bugs, so only the Table 1 column totals 31/26/19/7 constrain these). *)
+let nondet_years = [ 5; 5; 6; 6; 7; 7; 8; 9; 10; 11; 9 ]
+let nondet_consequences = (26, 31, 19, 7) (* crash, no_crash, warn, unknown *)
+
+(* Unknown-determinism bugs: 5 no-crash, 2 crash, 1 warn, 0 unknown. *)
+let unknown_det = [ (2016, `No_crash); (2017, `No_crash); (2018, `Crash); (2019, `No_crash);
+                    (2020, `Warn); (2021, `No_crash); (2022, `Crash); (2023, `No_crash) ]
+
+let subsystems =
+  [|
+    "extents"; "jbd2"; "dir index"; "mballoc"; "inline data"; "resize"; "xattr"; "fast commit";
+    "ioctl"; "dax"; "encryption"; "orphan list"; "bitmap"; "punch hole";
+  |]
+
+let crash_titles =
+  [|
+    "NULL pointer dereference in %s path";
+    "use-after-free in %s handling";
+    "BUG_ON hit during %s operation";
+    "out-of-bounds access parsing %s structures";
+    "kernel oops when %s metadata is crafted";
+  |]
+
+let warn_titles = [| "WARN_ON triggered in %s code"; "WARN_ONCE reached during %s update" |]
+
+let nocrash_titles =
+  [|
+    "data corruption via stale %s state";
+    "performance regression in %s path";
+    "wrong permissions exposed through %s";
+    "freeze waiting on %s lock";
+    "deadlock between %s and writeback";
+  |]
+
+let unknown_titles = [| "fix bogus %s accounting"; "harden %s against invalid input" |]
+
+let symptom_of = function
+  | `Crash -> Some Oops_or_bug
+  | `Warn -> Some Warn_hit
+  | `No_crash_data -> Some Data_corruption
+  | `No_crash_perf -> Some Performance_issue
+  | `No_crash_perm -> Some Permission_issue
+  | `No_crash_freeze -> Some Freeze_or_deadlock
+  | `Unknown -> None
+
+let title_for rng kind subsystem =
+  let pool =
+    match kind with
+    | `Crash -> crash_titles
+    | `Warn -> warn_titles
+    | `No_crash_data | `No_crash_perf | `No_crash_perm | `No_crash_freeze -> nocrash_titles
+    | `Unknown -> unknown_titles
+  in
+  Printf.sprintf (Scanf.format_from_string (Rae_util.Rng.pick rng pool) "%s") subsystem
+
+(* Rotate the No Crash sub-symptoms so the corpus covers them all. *)
+let nocrash_variant i =
+  match i mod 4 with
+  | 0 -> `No_crash_data
+  | 1 -> `No_crash_perf
+  | 2 -> `No_crash_perm
+  | _ -> `No_crash_freeze
+
+let records () =
+  let rng = Rae_util.Rng.create 0xB065L in
+  let next_id = ref 0 in
+  let acc = ref [] in
+  let emit ~year ~kind ~det =
+    let id = !next_id in
+    incr next_id;
+    let subsystem = Rae_util.Rng.pick rng subsystems in
+    (* Attributes chosen so the classifiers reproduce (det, kind). *)
+    let analyzable = det <> `Unknown_det in
+    let has_reproducer, involves_threading, involves_inflight_io =
+      match det with
+      | `Det -> (true, false, false)
+      | `Unknown_det ->
+          (* Unanalyzable commits: attribute values are irrelevant to the
+             classifier; keep them plausible. *)
+          (false, false, false)
+      | `Nondet -> (
+          (* The paper's three non-determinism reasons, all represented. *)
+          match Rae_util.Rng.int rng 3 with
+          | 0 -> (false, false, false) (* no reproducer *)
+          | 1 -> (true, true, false) (* threading *)
+          | _ -> (true, false, true) (* multiple inflight requests *))
+    in
+    let record =
+      {
+        id;
+        title = title_for rng kind subsystem;
+        fix_year = year;
+        subsystem;
+        source = (if Rae_util.Rng.bool rng then Bugzilla else Reported_by_tag);
+        has_reproducer;
+        involves_threading;
+        involves_inflight_io;
+        symptom_in_commit = symptom_of kind;
+        analyzable;
+      }
+    in
+    acc := record :: !acc
+  in
+  (* Deterministic bugs, year by year, per the Figure 1 matrix. *)
+  List.iter
+    (fun (year, (crash, no_crash, warn, unknown)) ->
+      for _ = 1 to crash do emit ~year ~kind:`Crash ~det:`Det done;
+      for i = 1 to no_crash do emit ~year ~kind:(nocrash_variant i) ~det:`Det done;
+      for _ = 1 to warn do emit ~year ~kind:`Warn ~det:`Det done;
+      for _ = 1 to unknown do emit ~year ~kind:`Unknown ~det:`Det done)
+    det_matrix;
+  (* Non-deterministic bugs: consequences first, years round-robin. *)
+  let ncrash, nnocrash, nwarn, nunknown = nondet_consequences in
+  let nondet_kinds =
+    List.init ncrash (fun _ -> `Crash)
+    @ List.init nnocrash nocrash_variant
+    @ List.init nwarn (fun _ -> `Warn)
+    @ List.init nunknown (fun _ -> `Unknown)
+  in
+  let years_cycle =
+    List.concat (List.mapi (fun i n -> List.init n (fun _ -> first_year + i)) nondet_years)
+  in
+  List.iter2 (fun kind year -> emit ~year ~kind ~det:`Nondet) nondet_kinds years_cycle;
+  (* Unknown-determinism bugs. *)
+  List.iter
+    (fun (year, kind) ->
+      emit ~year
+        ~kind:(match kind with `Crash -> `Crash | `Warn -> `Warn | `No_crash -> nocrash_variant year)
+        ~det:`Unknown_det)
+    unknown_det;
+  List.rev !acc

@@ -1,0 +1,85 @@
+open Taxonomy
+
+type cell_counts = { no_crash : int; crash : int; warn : int; unknown : int }
+
+let zero = { no_crash = 0; crash = 0; warn = 0; unknown = 0 }
+
+let add_consequence c = function
+  | No_crash -> { c with no_crash = c.no_crash + 1 }
+  | Crash -> { c with crash = c.crash + 1 }
+  | Warn -> { c with warn = c.warn + 1 }
+  | Unknown_consequence -> { c with unknown = c.unknown + 1 }
+
+let cell_total c = c.no_crash + c.crash + c.warn + c.unknown
+
+type table1 = {
+  deterministic : cell_counts;
+  non_deterministic : cell_counts;
+  unknown_det : cell_counts;
+}
+
+let table1 records =
+  List.fold_left
+    (fun acc r ->
+      let consequence = classify_consequence r in
+      match classify_determinism r with
+      | Deterministic -> { acc with deterministic = add_consequence acc.deterministic consequence }
+      | Non_deterministic ->
+          { acc with non_deterministic = add_consequence acc.non_deterministic consequence }
+      | Unknown_determinism -> { acc with unknown_det = add_consequence acc.unknown_det consequence })
+    { deterministic = zero; non_deterministic = zero; unknown_det = zero }
+    records
+
+let grand_total t =
+  cell_total t.deterministic + cell_total t.non_deterministic + cell_total t.unknown_det
+
+let detectable_deterministic t = t.deterministic.crash + t.deterministic.warn
+
+let fig1 records =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      if classify_determinism r = Deterministic then
+        let cur = try Hashtbl.find tbl r.fix_year with Not_found -> zero in
+        Hashtbl.replace tbl r.fix_year (add_consequence cur (classify_consequence r)))
+    records;
+  Hashtbl.fold (fun year counts acc -> (year, counts) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pp_table1 ppf t =
+  let row name c =
+    Format.fprintf ppf "%-18s %9d %7d %6d %9d %7d@," name c.no_crash c.crash c.warn c.unknown
+      (cell_total c)
+  in
+  Format.fprintf ppf "@[<v>%-18s %9s %7s %6s %9s %7s@," "Determinism" "No Crash" "Crash" "WARN"
+    "Unknown" "Total";
+  Format.fprintf ppf "%s@," (String.make 62 '-');
+  row "Deterministic" t.deterministic;
+  row "Non-Deterministic" t.non_deterministic;
+  row "Unknown" t.unknown_det;
+  Format.fprintf ppf "%s@," (String.make 62 '-');
+  let total =
+    List.fold_left
+      (fun acc c ->
+        {
+          no_crash = acc.no_crash + c.no_crash;
+          crash = acc.crash + c.crash;
+          warn = acc.warn + c.warn;
+          unknown = acc.unknown + c.unknown;
+        })
+      zero
+      [ t.deterministic; t.non_deterministic; t.unknown_det ]
+  in
+  row "Total" total;
+  Format.fprintf ppf "@]"
+
+let pp_fig1 ppf series =
+  Format.fprintf ppf "@[<v>Deterministic ext4 bugs by year of fix (Crash/WARN/NoCrash/Unknown):@,";
+  List.iter
+    (fun (year, c) ->
+      let bar n ch = String.make n ch in
+      Format.fprintf ppf "%d |%s%s%s%s| %2d  (C=%d W=%d N=%d U=%d)@," year
+        (bar c.crash '#') (bar c.warn 'w') (bar c.no_crash '.') (bar c.unknown '?')
+        (cell_total c) c.crash c.warn c.no_crash c.unknown)
+    series;
+  Format.fprintf ppf "legend: # Crash, w WARN, . No Crash, ? Unknown@]"

@@ -1,0 +1,37 @@
+(** Aggregation: regenerating Table 1 and Figure 1 from the corpus.
+
+    [table1] runs the classifiers over a record list and counts each
+    (determinism × consequence) cell; [fig1] does the per-year series of
+    deterministic bugs.  Applied to {!Corpus.records} they reproduce the
+    paper's published numbers; applied to any other record list they run
+    the same study on it. *)
+
+type cell_counts = { no_crash : int; crash : int; warn : int; unknown : int }
+
+val cell_total : cell_counts -> int
+
+type table1 = {
+  deterministic : cell_counts;
+  non_deterministic : cell_counts;
+  unknown_det : cell_counts;
+}
+
+val table1 : Taxonomy.record list -> table1
+val grand_total : table1 -> int
+
+val detectable_deterministic : table1 -> int
+(** Crash + WARN among deterministic bugs — the paper's "a significant
+    portion cause crashes or warnings that are detected as runtime errors
+    (89/165)". *)
+
+val fig1 : Taxonomy.record list -> (int * cell_counts) list
+(** Year -> consequence breakdown of *deterministic* bugs, ascending
+    years. *)
+
+val pp_table1 : Format.formatter -> table1 -> unit
+(** Render in the paper's layout (rows: determinism; columns: No Crash,
+    Crash, WARN, Unknown, Total). *)
+
+val pp_fig1 : Format.formatter -> (int * cell_counts) list -> unit
+(** Render the stacked per-year counts as an ASCII chart plus the series
+    values. *)

@@ -1,0 +1,56 @@
+type symptom =
+  | Oops_or_bug
+  | Warn_hit
+  | Data_corruption
+  | Performance_issue
+  | Permission_issue
+  | Freeze_or_deadlock
+
+type source = Bugzilla | Reported_by_tag
+
+type record = {
+  id : int;
+  title : string;
+  fix_year : int;
+  subsystem : string;
+  source : source;
+  has_reproducer : bool;
+  involves_threading : bool;
+  involves_inflight_io : bool;
+  symptom_in_commit : symptom option;
+  analyzable : bool;
+}
+
+type determinism = Deterministic | Non_deterministic | Unknown_determinism
+type consequence = No_crash | Crash | Warn | Unknown_consequence
+
+let classify_determinism r =
+  if not r.analyzable then Unknown_determinism
+  else if r.involves_threading || r.involves_inflight_io || not r.has_reproducer then
+    Non_deterministic
+  else Deterministic
+
+let classify_consequence r =
+  match r.symptom_in_commit with
+  | None -> Unknown_consequence
+  | Some Oops_or_bug -> Crash
+  | Some Warn_hit -> Warn
+  | Some (Data_corruption | Performance_issue | Permission_issue | Freeze_or_deadlock) -> No_crash
+
+let determinism_to_string = function
+  | Deterministic -> "Deterministic"
+  | Non_deterministic -> "Non-Deterministic"
+  | Unknown_determinism -> "Unknown"
+
+let consequence_to_string = function
+  | No_crash -> "No Crash"
+  | Crash -> "Crash"
+  | Warn -> "WARN"
+  | Unknown_consequence -> "Unknown"
+
+let all_determinism = [ Deterministic; Non_deterministic; Unknown_determinism ]
+let all_consequence = [ No_crash; Crash; Warn; Unknown_consequence ]
+
+let is_detected_at_runtime = function
+  | Crash | Warn -> true
+  | No_crash | Unknown_consequence -> false

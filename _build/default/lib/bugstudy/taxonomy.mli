@@ -1,0 +1,55 @@
+(** The bug-study taxonomy (paper §2.1, Table 1).
+
+    A bug record carries the *raw attributes* one can extract from a fix
+    commit and its bugzilla/report thread; the classifiers below implement
+    the paper's stated methodology:
+
+    - determinism: "bugs that do not have reproducers, or are related to
+      the interaction with IO (e.g., multiple inflight requests), or are
+      related to threading, are classified as non-deterministic";
+      commits without enough analyzable information are Unknown;
+    - consequence: "bugs are classified as Unknown in their consequence
+      when the commit message does not contain clear clues of external
+      symptoms"; WARN means the bug hits a WARN_() path; Crash means an
+      oops/BUG; everything else observable (data corruption, performance,
+      permission leaks, freezes, deadlocks) is No Crash. *)
+
+type symptom =
+  | Oops_or_bug  (** NULL deref, use-after-free, BUG_ON — a kernel crash *)
+  | Warn_hit  (** reaches a WARN_ON/WARN_ONCE path *)
+  | Data_corruption
+  | Performance_issue
+  | Permission_issue
+  | Freeze_or_deadlock
+
+type source = Bugzilla | Reported_by_tag
+
+type record = {
+  id : int;
+  title : string;
+  fix_year : int;
+  subsystem : string;  (** e.g. "extents", "jbd2", "dir index" *)
+  source : source;
+  has_reproducer : bool;
+  involves_threading : bool;
+  involves_inflight_io : bool;
+  symptom_in_commit : symptom option;  (** None: no clear external symptom stated *)
+  analyzable : bool;  (** false: not even determinism can be judged *)
+}
+
+type determinism = Deterministic | Non_deterministic | Unknown_determinism
+type consequence = No_crash | Crash | Warn | Unknown_consequence
+
+val classify_determinism : record -> determinism
+val classify_consequence : record -> consequence
+
+val determinism_to_string : determinism -> string
+val consequence_to_string : consequence -> string
+
+val all_determinism : determinism list
+val all_consequence : consequence list
+(** In Table 1's column order: No Crash, Crash, WARN, Unknown. *)
+
+val is_detected_at_runtime : consequence -> bool
+(** Crash and WARN are the consequences a runtime detector sees — the
+    paper's "89/165 detectable" denominator logic. *)

@@ -1,0 +1,1 @@
+lib/cache/dentry.ml: Hashtbl List Lru Rae_vfs String

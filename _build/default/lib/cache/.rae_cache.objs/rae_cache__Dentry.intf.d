@@ -1,0 +1,1 @@
+lib/cache/dentry.mli: Lru Rae_vfs

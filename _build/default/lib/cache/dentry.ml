@@ -1,0 +1,26 @@
+type result = Present of { ino : Rae_vfs.Types.ino; kind : Rae_vfs.Types.kind } | Absent
+
+module Key = struct
+  type t = int * string
+
+  let equal (d1, n1) (d2, n2) = d1 = d2 && String.equal n1 n2
+  let hash = Hashtbl.hash
+end
+
+module L = Lru.Make (Key)
+
+type t = result L.t
+
+let create ~capacity = L.create ~capacity ()
+let find t ~dir ~name = L.find t (dir, name)
+let add t ~dir ~name result = L.put t (dir, name) result
+let invalidate t ~dir ~name = L.remove t (dir, name)
+
+let invalidate_dir t ~dir =
+  let victims = L.fold t ~init:[] ~f:(fun acc (d, n) _ -> if d = dir then (d, n) :: acc else acc) in
+  List.iter (L.remove t) victims
+
+let clear = L.clear
+let length = L.length
+let stats = L.stats
+let reset_stats = L.reset_stats

@@ -1,0 +1,186 @@
+module Make (K : Lru.KEY) = struct
+  module H = Hashtbl.Make (K)
+
+  type 'v entry = { mutable value : 'v; mutable pinned : bool; mutable where : [ `A1in | `Am ] }
+
+  type 'v t = {
+    table : 'v entry H.t;
+    a1in : K.t Queue.t;  (* FIFO of probation keys *)
+    mutable am : K.t list;  (* MRU-first LRU list of hot keys; small-n list ops *)
+    ghosts : unit H.t;  (* A1out key set *)
+    ghost_fifo : K.t Queue.t;
+    capacity : int;
+    kin : int;
+    kout : int;
+    on_evict : (K.t -> 'v -> unit) option;
+    mutable hits : int;
+    mutable misses : int;
+    mutable evictions : int;
+    mutable inserts : int;
+  }
+
+  let create ?on_evict ?(kin_ratio = 0.25) ?(kout_ratio = 0.5) ~capacity () =
+    if capacity <= 0 then invalid_arg "Two_q.create: capacity must be positive";
+    {
+      table = H.create (2 * capacity);
+      a1in = Queue.create ();
+      am = [];
+      ghosts = H.create capacity;
+      ghost_fifo = Queue.create ();
+      capacity;
+      kin = max 1 (int_of_float (float_of_int capacity *. kin_ratio));
+      kout = max 1 (int_of_float (float_of_int capacity *. kout_ratio));
+      on_evict;
+      hits = 0;
+      misses = 0;
+      evictions = 0;
+      inserts = 0;
+    }
+
+  let length t = H.length t.table
+  let ghost_length t = H.length t.ghosts
+
+  let am_touch t key = t.am <- key :: List.filter (fun k -> not (K.equal k key)) t.am
+  let am_remove t key = t.am <- List.filter (fun k -> not (K.equal k key)) t.am
+
+  let ghost_add t key =
+    if not (H.mem t.ghosts key) then begin
+      H.replace t.ghosts key ();
+      Queue.add key t.ghost_fifo;
+      while H.length t.ghosts > t.kout do
+        let victim = Queue.pop t.ghost_fifo in
+        H.remove t.ghosts victim
+      done
+    end
+
+  let evict_entry t key entry =
+    H.remove t.table key;
+    t.evictions <- t.evictions + 1;
+    match t.on_evict with Some f -> f key entry.value | None -> ()
+
+  (* Pop the first unpinned key of the A1in FIFO; requeue pinned ones. *)
+  let pop_a1in_victim t =
+    let n = Queue.length t.a1in in
+    let rec go tried =
+      if tried >= n then None
+      else
+        let key = Queue.pop t.a1in in
+        match H.find_opt t.table key with
+        | Some e when e.where = `A1in && not e.pinned -> Some (key, e)
+        | Some e when e.where = `A1in ->
+            Queue.add key t.a1in;
+            go (tried + 1)
+        | Some _ | None -> go tried (* stale queue residue: key moved or gone *)
+    in
+    go 0
+
+  let pop_am_victim t =
+    let rec go rev_keep = function
+      | [] -> None
+      | key :: rest -> (
+          match H.find_opt t.table key with
+          | Some e when not e.pinned ->
+              t.am <- List.rev_append rev_keep rest;
+              Some (key, e)
+          | Some _ -> go (key :: rev_keep) rest
+          | None -> go rev_keep rest)
+    in
+    (* LRU victim is at the tail: walk the reversed list. *)
+    match go [] (List.rev t.am) with
+    | None -> None
+    | Some (key, e) ->
+        t.am <- List.rev t.am;
+        (* go already produced keep-list in tail order; restore MRU-first *)
+        Some (key, e)
+
+  let reclaim t =
+    if H.length t.table >= t.capacity then begin
+      (* 2Q reclaim: prefer evicting from A1in once it exceeds Kin; ghost
+         the victim.  Otherwise evict the LRU of Am (no ghost). *)
+      let a1in_size =
+        Queue.fold (fun acc k -> match H.find_opt t.table k with Some e when e.where = `A1in -> acc + 1 | _ -> acc) 0 t.a1in
+      in
+      if a1in_size > t.kin then begin
+        match pop_a1in_victim t with
+        | Some (key, e) ->
+            evict_entry t key e;
+            ghost_add t key
+        | None -> (
+            match pop_am_victim t with
+            | Some (key, e) -> evict_entry t key e
+            | None -> ())
+      end
+      else
+        match pop_am_victim t with
+        | Some (key, e) -> evict_entry t key e
+        | None -> (
+            match pop_a1in_victim t with
+            | Some (key, e) ->
+                evict_entry t key e;
+                ghost_add t key
+            | None -> ())
+    end
+
+  let find t key =
+    match H.find_opt t.table key with
+    | Some e ->
+        t.hits <- t.hits + 1;
+        (* A hit in Am refreshes recency; a hit in A1in does NOT promote
+           (classic 2Q: promotion happens only via the ghost queue). *)
+        if e.where = `Am then am_touch t key;
+        Some e.value
+    | None ->
+        t.misses <- t.misses + 1;
+        None
+
+  let peek t key = Option.map (fun e -> e.value) (H.find_opt t.table key)
+  let mem t key = H.mem t.table key
+
+  let put t key value =
+    match H.find_opt t.table key with
+    | Some e ->
+        e.value <- value;
+        if e.where = `Am then am_touch t key
+    | None ->
+        t.inserts <- t.inserts + 1;
+        reclaim t;
+        if H.mem t.ghosts key then begin
+          (* Re-reference of a ghosted page: admit straight into Am. *)
+          H.remove t.ghosts key;
+          H.replace t.table key { value; pinned = false; where = `Am };
+          am_touch t key
+        end
+        else begin
+          H.replace t.table key { value; pinned = false; where = `A1in };
+          Queue.add key t.a1in
+        end
+
+  let remove t key =
+    match H.find_opt t.table key with
+    | None -> ()
+    | Some e ->
+        H.remove t.table key;
+        if e.where = `Am then am_remove t key
+
+  let pin t key = match H.find_opt t.table key with Some e -> e.pinned <- true | None -> ()
+  let unpin t key = match H.find_opt t.table key with Some e -> e.pinned <- false | None -> ()
+
+  let clear t =
+    H.reset t.table;
+    Queue.clear t.a1in;
+    t.am <- [];
+    H.reset t.ghosts;
+    Queue.clear t.ghost_fifo
+
+  let iter t f = H.iter (fun k e -> f k e.value) t.table
+  let fold t ~init ~f = H.fold (fun k e acc -> f acc k e.value) t.table init
+
+  let stats t =
+    { Lru.hits = t.hits; misses = t.misses; evictions = t.evictions; inserts = t.inserts }
+
+  let reset_stats t =
+    t.hits <- 0;
+    t.misses <- 0;
+    t.evictions <- 0;
+    t.inserts <- 0
+end

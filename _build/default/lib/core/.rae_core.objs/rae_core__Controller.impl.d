@@ -1,0 +1,1 @@
+lib/core/controller.ml: Errno Format List Op Oplog Rae_basefs Rae_block Rae_shadowfs Rae_vfs Report Sys

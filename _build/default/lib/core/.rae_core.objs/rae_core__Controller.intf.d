@@ -1,0 +1,1 @@
+lib/core/controller.mli: Rae_basefs Rae_block Rae_vfs Report

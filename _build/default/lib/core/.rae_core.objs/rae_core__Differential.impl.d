@@ -1,0 +1,1 @@
+lib/core/differential.ml: Errno Format List Op Path Printf Rae_basefs Rae_block Rae_format Rae_shadowfs Rae_util Rae_vfs Rae_workload Types

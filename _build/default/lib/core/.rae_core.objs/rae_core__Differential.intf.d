@@ -1,0 +1,1 @@
+lib/core/differential.mli: Format Rae_basefs Rae_vfs Rae_workload

@@ -1,0 +1,1 @@
+lib/core/oplog.ml: List Op Rae_vfs Types

@@ -1,0 +1,1 @@
+lib/core/restart_only.ml: Errno Op Rae_basefs Rae_vfs

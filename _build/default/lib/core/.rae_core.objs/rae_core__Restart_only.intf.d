@@ -1,0 +1,1 @@
+lib/core/restart_only.mli: Rae_basefs Rae_vfs

@@ -1,0 +1,288 @@
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Detector = Rae_basefs.Detector
+module Shadow = Rae_shadowfs.Shadow
+
+type policy = {
+  treat_warnings_as_errors : bool;
+  fsck_before_recovery : bool;
+  cross_check : bool;
+  abort_on_discrepancy : bool;
+  max_recovery_attempts : int;
+  shadow_checks : bool;
+}
+
+let default_policy =
+  {
+    treat_warnings_as_errors = true;
+    fsck_before_recovery = true;
+    cross_check = true;
+    abort_on_discrepancy = false;
+    max_recovery_attempts = 3;
+    shadow_checks = true;
+  }
+
+type stats = {
+  ops : int;
+  recoveries : int;
+  recoveries_failed : int;
+  discrepancies : int;
+  window : int;
+  max_window : int;
+  total_recorded : int;
+  total_discarded : int;
+}
+
+type t = {
+  base : Base.t;
+  device : Rae_block.Device.t;
+  policy : policy;
+  oplog : Oplog.t;
+  mutable committed_during_op : bool;
+  mutable degraded : string option;
+  mutable recovery_log : Report.recovery list;  (* newest first *)
+  mutable s_ops : int;
+  mutable s_recoveries : int;
+  mutable s_failed : int;
+}
+
+let make ?(policy = default_policy) ~device base =
+  let t =
+    {
+      base;
+      device;
+      policy;
+      oplog = Oplog.create ();
+      committed_during_op = false;
+      degraded = None;
+      recovery_log = [];
+      s_ops = 0;
+      s_recoveries = 0;
+      s_failed = 0;
+    }
+  in
+  Base.on_commit base (fun () -> t.committed_during_op <- true);
+  t
+
+let base t = t.base
+let degraded t = t.degraded
+
+(* ---- recovery ---- *)
+
+exception Recovery_error of string
+
+let run_constrained t shadow entries =
+  let replayed = ref 0 and skipped = ref 0 and discrepancies = ref [] in
+  List.iter
+    (fun ({ Op.op; outcome; seq } as recorded) ->
+      match Shadow.exec_constrained shadow recorded with
+      | Shadow.Skipped_error | Shadow.Skipped_sync -> incr skipped
+      | Shadow.Matches -> incr replayed
+      | Shadow.Divergence shadow_outcome ->
+          incr replayed;
+          if t.policy.cross_check then begin
+            let d =
+              { Report.d_seq = seq; d_op = op; d_base = outcome; d_shadow = shadow_outcome }
+            in
+            discrepancies := d :: !discrepancies;
+            if t.policy.abort_on_discrepancy then
+              raise
+                (Recovery_error
+                   (Format.asprintf "cross-check mismatch: %a" Report.pp_discrepancy d))
+          end)
+    entries;
+  (!replayed, !skipped, List.rev !discrepancies)
+
+(* The full §3.2 protocol.  Returns the in-flight operation's outcome. *)
+let recover t ~trigger ~inflight ~attempt =
+  let started = Sys.time () in
+  t.s_recoveries <- t.s_recoveries + 1;
+  let entries = Oplog.entries t.oplog in
+  let window = List.length entries in
+  let fail_report msg ~replayed ~skipped ~discrepancies ~handoff ~delegated =
+    {
+      Report.r_trigger = trigger;
+      r_window = window;
+      r_replayed = replayed;
+      r_skipped = skipped;
+      r_discrepancies = discrepancies;
+      r_handoff_blocks = handoff;
+      r_delegated_sync = delegated;
+      r_wall_seconds = Sys.time () -. started;
+      r_outcome = (match msg with None -> Report.Recovered | Some m -> Report.Recovery_failed m);
+    }
+  in
+  try
+    (* 1. Contained reboot: discard the base's untrusted memory, recover
+       the trusted on-disk state S0 via journal replay. *)
+    (match Base.contained_reboot t.base with
+    | Ok () -> ()
+    | Error msg -> raise (Recovery_error ("contained reboot: " ^ msg)));
+    (* 2. Launch the shadow on S0 (read-only, full checks, optional fsck —
+       the liveness precondition). *)
+    let config =
+      {
+        Shadow.checks = t.policy.shadow_checks;
+        fsck_on_attach = t.policy.fsck_before_recovery;
+        max_fds = 1024;
+      }
+    in
+    let shadow =
+      match Shadow.attach ~config t.device with
+      | Ok s -> s
+      | Error msg -> raise (Recovery_error ("shadow attach: " ^ msg))
+    in
+    (* 3. Reinstate the descriptors that were open at S0. *)
+    List.iter
+      (fun (fd, ino, flags) ->
+        match Shadow.install_fd shadow ~fd ~ino flags with
+        | Ok () -> ()
+        | Error msg -> raise (Recovery_error ("fd reinstatement: " ^ msg)))
+      (Oplog.fd_snapshot t.oplog);
+    (* 4. Constrained mode: replay the recorded window, cross-checking. *)
+    let replayed, skipped, discrepancies =
+      try run_constrained t shadow entries
+      with Shadow.Violation msg -> raise (Recovery_error ("shadow violation in replay: " ^ msg))
+    in
+    (* 5. Autonomous mode: the in-flight operation, whose result the
+       application has not seen.  Sync operations are not handled by the
+       shadow — they are delegated to the rebooted base after hand-off. *)
+    let delegated = Op.is_sync inflight in
+    let inflight_outcome =
+      if delegated then Ok Op.Unit
+      else
+        try Shadow.exec shadow inflight
+        with Shadow.Violation msg ->
+          raise (Recovery_error ("shadow violation on in-flight op: " ^ msg))
+    in
+    (* 6. Hand-off: the base absorbs the shadow's overlay and descriptor
+       table through its own well-tested interfaces, then commits. *)
+    let dirty = Shadow.dirty_blocks shadow in
+    (match
+       Base.download_metadata t.base ~blocks:dirty ~fd_table:(Shadow.fd_table shadow)
+         ~time:(Shadow.time shadow)
+     with
+    | Ok () -> ()
+    | Error msg -> raise (Recovery_error ("metadata download: " ^ msg)));
+    (* 7. Resume: prune the log to the recovered state. *)
+    Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+    t.committed_during_op <- false;
+    let report =
+      fail_report None ~replayed ~skipped ~discrepancies ~handoff:(List.length dirty) ~delegated
+    in
+    t.recovery_log <- report :: t.recovery_log;
+    (* 8. Delegated sync: re-issue on the recovered base. *)
+    if delegated then begin
+      ignore attempt;
+      let outcome = try Base.exec t.base inflight with _ -> Error Errno.EIO in
+      outcome
+    end
+    else inflight_outcome
+  with Recovery_error msg ->
+    t.s_failed <- t.s_failed + 1;
+    t.degraded <- Some msg;
+    let report =
+      fail_report (Some msg) ~replayed:0 ~skipped:0 ~discrepancies:[] ~handoff:0 ~delegated:false
+    in
+    t.recovery_log <- report :: t.recovery_log;
+    Error Errno.EIO
+
+(* ---- the execution wrapper ---- *)
+
+let rec exec_attempt t op ~attempt =
+  if attempt > t.policy.max_recovery_attempts then Error Errno.EIO
+  else
+    match Base.exec t.base op with
+    | outcome -> (
+        (* If a group commit ran inside this op, the whole window —
+           including this op — is durable: prune the log first, whatever
+           else happened. *)
+        let committed = t.committed_during_op in
+        t.committed_during_op <- false;
+        if committed then Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+        let warned = Detector.warnings (Base.detector t.base) in
+        Detector.clear (Base.detector t.base);
+        match warned with
+        | { Detector.w_bug; w_msg } :: _ when t.policy.treat_warnings_as_errors && not committed ->
+            (* WARN before durability: distrust the base's answer, let the
+               shadow re-execute the op in autonomous mode. *)
+            let trigger = Report.Warning_storm { bug = w_bug; msg = w_msg } in
+            recover t ~trigger ~inflight:op ~attempt
+        | _ :: _ when t.policy.treat_warnings_as_errors ->
+            (* WARN on an op whose effects already committed (and passed
+               the commit-barrier validation): the durable state is
+               verified, so re-execution could only diverge — log and
+               continue.  The warning stays counted in the detector. *)
+            outcome
+        | _ ->
+            if not committed then Oplog.record t.oplog op outcome;
+            outcome)
+    | exception Detector.Base_bug { bug; msg } ->
+        recover_and_maybe_retry t op ~attempt (Report.Panic { bug; msg })
+    | exception Detector.Hang { bug; msg } ->
+        recover_and_maybe_retry t op ~attempt (Report.Hang_detected { bug; msg })
+    | exception Detector.Validation_failed { context; msg } ->
+        recover_and_maybe_retry t op ~attempt (Report.Validation { context; msg })
+
+and recover_and_maybe_retry t op ~attempt trigger =
+  t.committed_during_op <- false;
+  recover t ~trigger ~inflight:op ~attempt:(attempt + 1)
+
+let exec t op =
+  t.s_ops <- t.s_ops + 1;
+  match t.degraded with
+  | Some _ -> Error Errno.EIO
+  | None -> exec_attempt t op ~attempt:0
+
+(* ---- the named API, routed through exec ---- *)
+
+let ino_of = function Ok (Op.Ino i) -> Ok i | Ok _ -> Error Errno.EIO | Error e -> Error e
+let unit_of = function Ok Op.Unit -> Ok () | Ok _ -> Error Errno.EIO | Error e -> Error e
+let fd_of = function Ok (Op.Fd f) -> Ok f | Ok _ -> Error Errno.EIO | Error e -> Error e
+let data_of = function Ok (Op.Data d) -> Ok d | Ok _ -> Error Errno.EIO | Error e -> Error e
+let len_of = function Ok (Op.Len n) -> Ok n | Ok _ -> Error Errno.EIO | Error e -> Error e
+let st_of = function Ok (Op.St s) -> Ok s | Ok _ -> Error Errno.EIO | Error e -> Error e
+let names_of = function Ok (Op.Names n) -> Ok n | Ok _ -> Error Errno.EIO | Error e -> Error e
+
+let create t path ~mode = ino_of (exec t (Op.Create (path, mode)))
+let mkdir t path ~mode = ino_of (exec t (Op.Mkdir (path, mode)))
+let unlink t path = unit_of (exec t (Op.Unlink path))
+let rmdir t path = unit_of (exec t (Op.Rmdir path))
+let openf t path flags = fd_of (exec t (Op.Open (path, flags)))
+let close t fd = unit_of (exec t (Op.Close fd))
+let pread t fd ~off ~len = data_of (exec t (Op.Pread (fd, off, len)))
+let pwrite t fd ~off data = len_of (exec t (Op.Pwrite (fd, off, data)))
+let lookup t path = ino_of (exec t (Op.Lookup path))
+let stat t path = st_of (exec t (Op.Stat path))
+let fstat t fd = st_of (exec t (Op.Fstat fd))
+let readdir t path = names_of (exec t (Op.Readdir path))
+let rename t src dst = unit_of (exec t (Op.Rename (src, dst)))
+let truncate t path ~size = unit_of (exec t (Op.Truncate (path, size)))
+let link t src dst = unit_of (exec t (Op.Link (src, dst)))
+let symlink t ~target path = ino_of (exec t (Op.Symlink (target, path)))
+let readlink t path = data_of (exec t (Op.Readlink path))
+let chmod t path ~mode = unit_of (exec t (Op.Chmod (path, mode)))
+let fsync t fd = unit_of (exec t (Op.Fsync fd))
+let sync t = unit_of (exec t Op.Sync)
+
+(* ---- introspection ---- *)
+
+let stats t =
+  {
+    ops = t.s_ops;
+    recoveries = t.s_recoveries;
+    recoveries_failed = t.s_failed;
+    discrepancies =
+      List.fold_left (fun acc r -> acc + List.length r.Report.r_discrepancies) 0 t.recovery_log;
+    window = Oplog.length t.oplog;
+    max_window = Oplog.max_window t.oplog;
+    total_recorded = Oplog.total_recorded t.oplog;
+    total_discarded = Oplog.total_discarded t.oplog;
+  }
+
+let recoveries t = List.rev t.recovery_log
+
+let discrepancies t =
+  List.concat_map (fun r -> r.Report.r_discrepancies) (List.rev t.recovery_log)
+
+let last_recovery t = match t.recovery_log with [] -> None | r :: _ -> Some r

@@ -1,0 +1,88 @@
+(** The RAE controller: Robust Alternative Execution.
+
+    This module is the paper's contribution.  It wraps a mounted base
+    filesystem and exposes the same API; in the common case every call
+    goes straight to the base at full speed, with RAE recording the
+    operation and its outcome.  When the base hits a runtime error —
+    a BUG/panic, a detected hang, a WARN (configurable), or a failed
+    commit-barrier validation — the controller runs the recovery protocol
+    of paper §3.2:
+
+    + {b contained reboot} — the base's volatile state is discarded and
+      rebuilt from the trusted on-disk state S0 (journal replay included);
+      applications and their descriptors are preserved by RAE, not by the
+      base;
+    + {b state reconstruction} — a fresh shadow filesystem is attached to
+      the device (read-only; optionally behind a full fsck of S0).  The
+      descriptor table recorded at the last commit is reinstated, then the
+      recorded window replays in {e constrained mode}: operations that
+      failed in the base are omitted, successful ones are re-executed and
+      their outcomes cross-checked against the record (discrepancies are
+      reported; policy decides whether to abort).  The in-flight operation
+      — whose result the application has not yet seen — runs in
+      {e autonomous mode}: the shadow makes its own policy decisions and
+      its outcome is what the application receives;
+    + {b error avoidance} — the base never re-executes the triggering
+      sequence.  It absorbs the shadow's overlay via
+      {!Rae_basefs.Base.download_metadata} (metadata installed dirty
+      through the base's own logic, then committed) and resumes.  An
+      in-flight [fsync]/[sync] is delegated back to the rebooted base
+      after hand-off, since the shadow never persists anything.
+
+    If recovery itself fails (the image is corrupt beyond the journal, or
+    the shadow's invariant checks reject the replay), the controller
+    degrades to fail-stop: the triggering operation and all subsequent
+    ones return [EIO], but the process survives — availability degrades
+    gracefully instead of crashing the machine. *)
+
+type policy = {
+  treat_warnings_as_errors : bool;  (** WARN triggers recovery (default true) *)
+  fsck_before_recovery : bool;
+      (** run the full image check before trusting S0 (paper §4.3's
+          verified-fsck liveness requirement; default true) *)
+  cross_check : bool;  (** compare shadow outcomes against the record (default true) *)
+  abort_on_discrepancy : bool;
+      (** treat a cross-check mismatch as a failed recovery instead of
+          preferring the shadow's answer (default false) *)
+  max_recovery_attempts : int;  (** per-operation bound on recursive recoveries (default 3) *)
+  shadow_checks : bool;  (** the shadow's runtime invariant checking (default true) *)
+}
+
+val default_policy : policy
+
+type stats = {
+  ops : int;  (** operations executed through the controller *)
+  recoveries : int;
+  recoveries_failed : int;
+  discrepancies : int;
+  window : int;  (** currently recorded (volatile) operations *)
+  max_window : int;
+  total_recorded : int;
+  total_discarded : int;
+}
+
+type t
+
+val make : ?policy:policy -> device:Rae_block.Device.t -> Rae_basefs.Base.t -> t
+(** Wrap a mounted base.  The controller registers itself on the base's
+    commit hook to prune the oplog. *)
+
+val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
+(** Execute one operation with transparent recovery.  Never raises the
+    base's runtime-error exceptions. *)
+
+include Rae_vfs.Fs_intf.S with type t := t
+(** The full filesystem API, routed through {!exec}. *)
+
+val base : t -> Rae_basefs.Base.t
+val degraded : t -> string option
+(** [Some reason] once the controller has entered fail-stop mode. *)
+
+val stats : t -> stats
+val recoveries : t -> Report.recovery list
+(** All recovery reports, oldest first. *)
+
+val discrepancies : t -> Report.discrepancy list
+(** All cross-check mismatches ever observed (the §4.3 testing signal). *)
+
+val last_recovery : t -> Report.recovery option

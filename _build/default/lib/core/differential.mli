@@ -1,0 +1,51 @@
+(** The testing phase (paper §4.3).
+
+    "The system must ensure the base and shadow filesystems produce
+    equivalent output for a sequence of operations.  Verification alone is
+    insufficient for this property, therefore, testing is necessary before
+    using the shadow.  The testing phase uses the base as a reference
+    filesystem to test the shadow by running a large volume of workloads
+    and monitoring for discrepancies."
+
+    This module is that phase as a library: it drives the same operation
+    stream into a base and a shadow mounted on identical fresh images and
+    reports every disagreement, plus an end-of-run comparison of the
+    essential state (tree contents and descriptor tables). *)
+
+type mismatch = {
+  m_index : int;
+  m_op : Rae_vfs.Op.t;
+  m_base : Rae_vfs.Op.outcome;
+  m_shadow : Rae_vfs.Op.outcome;
+}
+
+type result = {
+  ops_run : int;
+  mismatches : mismatch list;
+  base_crashed : string option;  (** the base hit a runtime error mid-test *)
+  shadow_violation : string option;  (** the shadow's checks fired mid-test *)
+  final_state_equal : bool;
+}
+
+val agreement : result -> bool
+(** No mismatches, no crashes, final states equal. *)
+
+val pp_mismatch : Format.formatter -> mismatch -> unit
+val pp_result : Format.formatter -> result -> unit
+
+val run :
+  ?nblocks:int ->
+  ?ninodes:int ->
+  ?base_config:Rae_basefs.Base.config ->
+  ?bugs:Rae_basefs.Bug_registry.t ->
+  Rae_vfs.Op.t list ->
+  result
+(** [run ops] builds two identical fresh images, mounts the base on one
+    and attaches the shadow to the other, executes [ops] on both, and
+    compares.  Sync operations are compared too (both sides accept them).
+    With [bugs] armed this doubles as a bug-hunting harness: the report
+    localises the first op whose outcome diverged. *)
+
+val run_seeded :
+  ?count:int -> ?profile:Rae_workload.Workload.profile -> seed:int64 -> unit -> result
+(** Convenience: generate a workload and {!run} it. *)

@@ -1,0 +1,33 @@
+open Rae_vfs
+
+type t = {
+  mutable entries : Op.recorded list;  (* newest first *)
+  mutable next_seq : int;
+  mutable fds : (Types.fd * Types.ino * Types.open_flags) list;
+  mutable total : int;
+  mutable discarded : int;
+  mutable max_window : int;
+}
+
+let create () =
+  { entries = []; next_seq = 0; fds = []; total = 0; discarded = 0; max_window = 0 }
+
+let record t op outcome =
+  t.entries <- { Op.op; outcome; seq = t.next_seq } :: t.entries;
+  t.next_seq <- t.next_seq + 1;
+  t.total <- t.total + 1;
+  let len = List.length t.entries in
+  if len > t.max_window then t.max_window <- len
+
+let entries t = List.rev t.entries
+let length t = List.length t.entries
+
+let checkpoint t ~fds =
+  t.discarded <- t.discarded + List.length t.entries;
+  t.entries <- [];
+  t.fds <- fds
+
+let fd_snapshot t = t.fds
+let total_recorded t = t.total
+let total_discarded t = t.discarded
+let max_window t = t.max_window

@@ -1,0 +1,47 @@
+type discrepancy = {
+  d_seq : int;
+  d_op : Rae_vfs.Op.t;
+  d_base : Rae_vfs.Op.outcome;
+  d_shadow : Rae_vfs.Op.outcome;
+}
+
+type trigger =
+  | Panic of { bug : string; msg : string }
+  | Hang_detected of { bug : string; msg : string }
+  | Validation of { context : string; msg : string }
+  | Warning_storm of { bug : string; msg : string }
+
+type outcome = Recovered | Recovery_failed of string
+
+type recovery = {
+  r_trigger : trigger;
+  r_window : int;
+  r_replayed : int;
+  r_skipped : int;
+  r_discrepancies : discrepancy list;
+  r_handoff_blocks : int;
+  r_delegated_sync : bool;
+  r_wall_seconds : float;
+  r_outcome : outcome;
+}
+
+let trigger_to_string = function
+  | Panic { bug; _ } -> Printf.sprintf "panic(%s)" bug
+  | Hang_detected { bug; _ } -> Printf.sprintf "hang(%s)" bug
+  | Validation { context; _ } -> Printf.sprintf "validation(%s)" context
+  | Warning_storm { bug; _ } -> Printf.sprintf "warning(%s)" bug
+
+let pp_discrepancy ppf d =
+  Format.fprintf ppf "#%d %a: base %a, shadow %a" d.d_seq Rae_vfs.Op.pp d.d_op
+    Rae_vfs.Op.pp_outcome d.d_base Rae_vfs.Op.pp_outcome d.d_shadow
+
+let pp_recovery ppf r =
+  Format.fprintf ppf
+    "@[<v 2>recovery [%s]: %s@,window=%d replayed=%d skipped=%d handoff=%d blocks%s (%.4fs)"
+    (trigger_to_string r.r_trigger)
+    (match r.r_outcome with Recovered -> "recovered" | Recovery_failed msg -> "FAILED: " ^ msg)
+    r.r_window r.r_replayed r.r_skipped r.r_handoff_blocks
+    (if r.r_delegated_sync then " +delegated fsync" else "")
+    r.r_wall_seconds;
+  List.iter (fun d -> Format.fprintf ppf "@,discrepancy %a" pp_discrepancy d) r.r_discrepancies;
+  Format.fprintf ppf "@]"

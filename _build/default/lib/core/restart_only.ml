@@ -1,0 +1,42 @@
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Detector = Rae_basefs.Detector
+
+type t = {
+  base : Base.t;
+  mutable window : int;  (* acknowledged ops since the last commit *)
+  mutable s_ops : int;
+  mutable s_restarts : int;
+  mutable s_lost : int;
+}
+
+type stats = { ops : int; restarts : int; lost_window_ops : int }
+
+let make base =
+  let t = { base; window = 0; s_ops = 0; s_restarts = 0; s_lost = 0 } in
+  Base.on_commit base (fun () -> t.window <- 0);
+  t
+
+let restart t =
+  t.s_restarts <- t.s_restarts + 1;
+  t.s_lost <- t.s_lost + t.window;
+  t.window <- 0;
+  (* Contained reboot only: back to S0, descriptors and the volatile
+     window are simply gone. *)
+  (match Base.contained_reboot t.base with Ok () -> () | Error _ -> ());
+  Error Errno.EIO
+
+let exec t op =
+  t.s_ops <- t.s_ops + 1;
+  match Base.exec t.base op with
+  | outcome ->
+      Detector.clear (Base.detector t.base);
+      (match outcome with
+      | Ok _ when Op.is_mutation op -> t.window <- t.window + 1
+      | Ok _ | Error _ -> ());
+      outcome
+  | exception Detector.Base_bug _ -> restart t
+  | exception Detector.Hang _ -> restart t
+  | exception Detector.Validation_failed _ -> restart t
+
+let stats t = { ops = t.s_ops; restarts = t.s_restarts; lost_window_ops = t.s_lost }

@@ -1,0 +1,32 @@
+(** The baseline RAE is measured against: restart-only recovery.
+
+    Paper §1: without RAE, "in many cases, the best approach is simply to
+    crash and recover from known on-disk state, and suffer the resulting
+    loss of availability and related negative consequences."  This
+    controller implements exactly that: on a detected runtime error it
+    performs the contained reboot (journal replay back to the last
+    committed state S0) and nothing else —
+
+    - the in-flight operation fails with [EIO];
+    - every open file descriptor dies ([EBADF] afterwards);
+    - the volatile operation window since the last commit is silently
+      lost: completed, acknowledged operations are rolled back, which
+      applications observe as state regressions.
+
+    Comparing this controller against {!Controller} under the same
+    workload and bug load quantifies what the shadow buys (bench E11). *)
+
+type t
+
+type stats = {
+  ops : int;
+  restarts : int;
+  lost_window_ops : int;  (** acknowledged operations rolled back *)
+}
+
+val make : Rae_basefs.Base.t -> t
+
+val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
+(** Never raises; detected runtime errors surface as [EIO] plus a restart. *)
+
+val stats : t -> stats

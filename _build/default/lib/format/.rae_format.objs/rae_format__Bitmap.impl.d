@@ -1,0 +1,1 @@
+lib/format/bitmap.ml: Bytes Char Format List Printf

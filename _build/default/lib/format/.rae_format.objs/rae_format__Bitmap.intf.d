@@ -1,0 +1,1 @@
+lib/format/bitmap.mli: Format

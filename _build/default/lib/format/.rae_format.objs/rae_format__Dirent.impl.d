@@ -1,0 +1,1 @@
+lib/format/dirent.ml: Bytes Codec Format Layout List Printf Rae_util Rae_vfs Result String

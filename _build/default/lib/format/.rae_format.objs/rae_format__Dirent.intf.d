@@ -1,0 +1,1 @@
+lib/format/dirent.mli: Format

@@ -1,0 +1,1 @@
+lib/format/inode.ml: Array Bytes Checksum Codec Format Int32 Int64 Layout List Printf Rae_util Rae_vfs String

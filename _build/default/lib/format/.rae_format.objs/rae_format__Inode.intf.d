@@ -1,0 +1,1 @@
+lib/format/inode.mli: Format Rae_vfs

@@ -1,0 +1,1 @@
+lib/format/layout.ml: Format Printf

@@ -1,0 +1,1 @@
+lib/format/mkfs.ml: Array Bitmap Bytes Dirent Inode Layout List Printf Rae_block Rae_vfs Superblock

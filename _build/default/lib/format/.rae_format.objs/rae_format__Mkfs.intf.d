@@ -1,0 +1,1 @@
+lib/format/mkfs.mli: Rae_block Superblock

@@ -1,0 +1,1 @@
+lib/format/reader.ml: Array Bitmap Bytes Codec Format Inode Layout List Printf Rae_util Result Superblock

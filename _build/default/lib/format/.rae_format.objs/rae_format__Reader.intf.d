@@ -1,0 +1,1 @@
+lib/format/reader.mli: Bitmap Format Inode Layout Superblock

@@ -1,0 +1,1 @@
+lib/format/superblock.ml: Bytes Checksum Codec Format Int64 Layout Printf Rae_util Result

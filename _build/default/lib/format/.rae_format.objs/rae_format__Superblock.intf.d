@@ -1,0 +1,1 @@
+lib/format/superblock.mli: Format Layout

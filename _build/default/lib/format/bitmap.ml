@@ -1,0 +1,132 @@
+type t = { bits : Bytes.t; nbits : int }
+
+let create ~nbits =
+  if nbits <= 0 then invalid_arg "Bitmap.create: nbits must be positive";
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+
+let nbits t = t.nbits
+let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }
+
+let check t i what =
+  if i < 0 || i >= t.nbits then
+    invalid_arg (Printf.sprintf "Bitmap.%s: index %d outside [0,%d)" what i t.nbits)
+
+let test t i =
+  check t i "test";
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let set t i =
+  check t i "set";
+  let byte = i / 8 in
+  Bytes.set t.bits byte (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i mod 8))))
+
+let clear t i =
+  check t i "clear";
+  let byte = i / 8 in
+  Bytes.set t.bits byte
+    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i mod 8)) land 0xFF))
+
+let set_result t i =
+  if i < 0 || i >= t.nbits then Error (Printf.sprintf "bit %d out of range" i)
+  else if test t i then Error (Printf.sprintf "bit %d already set (double allocation)" i)
+  else begin
+    set t i;
+    Ok ()
+  end
+
+let clear_result t i =
+  if i < 0 || i >= t.nbits then Error (Printf.sprintf "bit %d out of range" i)
+  else if not (test t i) then Error (Printf.sprintf "bit %d already clear (double free)" i)
+  else begin
+    clear t i;
+    Ok ()
+  end
+
+let find_free t ~from =
+  let rec go i = if i >= t.nbits then None else if not (test t i) then Some i else go (i + 1) in
+  if from < 0 || from >= t.nbits then None else go from
+
+let count_set t =
+  let popcount_byte c =
+    let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
+    go (Char.code c) 0
+  in
+  let total = ref 0 in
+  for byte = 0 to Bytes.length t.bits - 1 do
+    total := !total + popcount_byte (Bytes.get t.bits byte)
+  done;
+  (* Padding bits in the final byte are always zero in memory. *)
+  !total
+
+let count_free t = t.nbits - count_set t
+
+let to_blocks t ~block_size =
+  let nblocks = (Bytes.length t.bits + block_size - 1) / block_size in
+  let nblocks = max nblocks 1 in
+  let out = List.init nblocks (fun _ -> Bytes.make block_size '\xff') in
+  List.iteri
+    (fun bi block ->
+      let src_off = bi * block_size in
+      let len = min block_size (Bytes.length t.bits - src_off) in
+      if len > 0 then Bytes.blit t.bits src_off block 0 len)
+    out;
+  (* Mask padding bits inside the last partially-used byte: in-range bits
+     keep their value, out-of-range bits are forced to 1. *)
+  let last_byte = (t.nbits - 1) / 8 in
+  let used_bits = ((t.nbits - 1) mod 8) + 1 in
+  if used_bits < 8 then begin
+    let bi = last_byte / block_size and off = last_byte mod block_size in
+    let block = List.nth out bi in
+    let v = Char.code (Bytes.get block off) in
+    let mask_high = lnot ((1 lsl used_bits) - 1) land 0xFF in
+    Bytes.set block off (Char.chr (v lor mask_high))
+  end;
+  out
+
+let parse blocks ~nbits ~strict =
+  if nbits <= 0 then Error "nbits must be positive"
+  else
+    let needed_bytes = (nbits + 7) / 8 in
+    let total_bytes = List.fold_left (fun acc b -> acc + Bytes.length b) 0 blocks in
+    if total_bytes < needed_bytes then
+      Error (Printf.sprintf "bitmap blocks hold %d bytes, need %d" total_bytes needed_bytes)
+    else begin
+      let flat = Bytes.create total_bytes in
+      let off = ref 0 in
+      List.iter
+        (fun b ->
+          Bytes.blit b 0 flat !off (Bytes.length b);
+          off := !off + Bytes.length b)
+        blocks;
+      let t = { bits = Bytes.sub flat 0 needed_bytes; nbits } in
+      (* Clear the in-memory padding bits of the final byte. *)
+      let used_bits = ((nbits - 1) mod 8) + 1 in
+      let padding_ok = ref true in
+      if used_bits < 8 then begin
+        let v = Char.code (Bytes.get t.bits (needed_bytes - 1)) in
+        let mask_high = lnot ((1 lsl used_bits) - 1) land 0xFF in
+        if v land mask_high <> mask_high then padding_ok := false;
+        Bytes.set t.bits (needed_bytes - 1) (Char.chr (v land ((1 lsl used_bits) - 1)))
+      end;
+      (* Bytes past needed_bytes must be all-ones in strict mode. *)
+      if strict then begin
+        for i = needed_bytes to total_bytes - 1 do
+          if Bytes.get flat i <> '\xff' then padding_ok := false
+        done;
+        if not !padding_ok then Error "bitmap padding bits are not all-ones" else Ok t
+      end
+      else Ok t
+    end
+
+let of_blocks blocks ~nbits = parse blocks ~nbits ~strict:true
+let of_blocks_lenient blocks ~nbits = parse blocks ~nbits ~strict:false
+
+let equal a b = a.nbits = b.nbits && Bytes.equal a.bits b.bits
+
+let iter_set t f =
+  for i = 0 to t.nbits - 1 do
+    if test t i then f i
+  done
+
+let pp ppf t =
+  Format.fprintf ppf "bitmap<%d bits, %d set>" t.nbits (count_set t)

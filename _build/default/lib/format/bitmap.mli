@@ -1,0 +1,46 @@
+(** Allocation bitmaps (inode and block), ext-style: one bit per object,
+    packed little-endian within bytes, spanning one or more disk blocks.
+
+    The in-memory form is loaded from the bitmap region at mount and written
+    back through the journal on allocation changes.  The shadow rebuilds its
+    own copy from disk during recovery and *validates* the base's allocation
+    decisions against it (constrained mode, paper §3.2). *)
+
+type t
+
+val create : nbits:int -> t
+(** All bits clear. *)
+
+val nbits : t -> int
+val copy : t -> t
+val test : t -> int -> bool
+val set : t -> int -> unit
+val clear : t -> int -> unit
+
+val set_result : t -> int -> (unit, string) result
+(** Like {!set} but reports double-allocation instead of silently setting —
+    the shadow's invariant-checking allocator uses this. *)
+
+val clear_result : t -> int -> (unit, string) result
+
+val find_free : t -> from:int -> int option
+(** First clear bit at index >= [from] (wrapping is the caller's policy). *)
+
+val count_set : t -> int
+val count_free : t -> int
+
+val to_blocks : t -> block_size:int -> bytes list
+(** Serialise; the tail of the last block (bits beyond [nbits]) is all-ones,
+    matching ext2's convention that out-of-range bits read as allocated. *)
+
+val of_blocks : bytes list -> nbits:int -> (t, string) result
+(** Parse; fails if the blocks cannot hold [nbits] or padding bits are not
+    all-ones (a corruption signal fsck reports). *)
+
+val of_blocks_lenient : bytes list -> nbits:int -> (t, string) result
+(** Like {!of_blocks} but ignores padding bits — the base filesystem's mount
+    path, which (deliberately, per the paper's contrast) checks less. *)
+
+val equal : t -> t -> bool
+val iter_set : t -> (int -> unit) -> unit
+val pp : Format.formatter -> t -> unit

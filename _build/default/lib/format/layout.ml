@@ -1,0 +1,75 @@
+let block_size = 4096
+let inode_size = 256
+let inodes_per_block = block_size / inode_size
+let bits_per_block = block_size * 8
+let magic = 0x46454152L (* "RAEF" read little-endian *)
+let version = 1
+let default_journal_blocks = 64
+let pointers_per_block = block_size / 4
+let direct_pointers = 12
+
+let max_file_blocks =
+  direct_pointers + pointers_per_block + (pointers_per_block * pointers_per_block)
+
+let max_file_size = max_file_blocks * block_size
+
+type geometry = {
+  nblocks : int;
+  ninodes : int;
+  journal_start : int;
+  journal_len : int;
+  inode_bitmap_start : int;
+  inode_bitmap_len : int;
+  block_bitmap_start : int;
+  block_bitmap_len : int;
+  inode_table_start : int;
+  inode_table_len : int;
+  data_start : int;
+}
+
+let ceil_div a b = (a + b - 1) / b
+
+let compute ~nblocks ~ninodes ?(journal_len = default_journal_blocks) () =
+  if nblocks <= 0 then Error "nblocks must be positive"
+  else if ninodes <= 0 then Error "ninodes must be positive"
+  else if journal_len < 0 then Error "journal_len must be non-negative"
+  else
+    let journal_start = 1 in
+    let inode_bitmap_start = journal_start + journal_len in
+    let inode_bitmap_len = ceil_div (ninodes + 1) bits_per_block in
+    let block_bitmap_start = inode_bitmap_start + inode_bitmap_len in
+    let block_bitmap_len = ceil_div nblocks bits_per_block in
+    let inode_table_start = block_bitmap_start + block_bitmap_len in
+    let inode_table_len = ceil_div ninodes inodes_per_block in
+    let data_start = inode_table_start + inode_table_len in
+    if data_start >= nblocks then Error "disk too small: no data blocks left after metadata"
+    else
+      Ok
+        {
+          nblocks;
+          ninodes;
+          journal_start;
+          journal_len;
+          inode_bitmap_start;
+          inode_bitmap_len;
+          block_bitmap_start;
+          block_bitmap_len;
+          inode_table_start;
+          inode_table_len;
+          data_start;
+        }
+
+let inode_location g ino =
+  if ino < 1 || ino > g.ninodes then
+    invalid_arg (Printf.sprintf "Layout.inode_location: inode %d outside [1,%d]" ino g.ninodes);
+  let index = ino - 1 in
+  (g.inode_table_start + (index / inodes_per_block), index mod inodes_per_block * inode_size)
+
+let data_block_count g = g.nblocks - g.data_start
+
+let pp_geometry ppf g =
+  Format.fprintf ppf
+    "geometry { nblocks=%d; ninodes=%d; journal=%d+%d; ibmap=%d+%d; bbmap=%d+%d; itable=%d+%d; \
+     data=%d.. }"
+    g.nblocks g.ninodes g.journal_start g.journal_len g.inode_bitmap_start g.inode_bitmap_len
+    g.block_bitmap_start g.block_bitmap_len g.inode_table_start g.inode_table_len g.data_start

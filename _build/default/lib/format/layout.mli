@@ -1,0 +1,73 @@
+(** On-disk layout of the "rfs" format.
+
+    The format is deliberately ext4-shaped — superblock, inode and block
+    bitmaps, an inode table of fixed-size checksummed inodes with
+    direct/indirect/double-indirect pointers, variable-[rec_len] directory
+    blocks and a physical journal region — because the paper's whole premise
+    is that base and shadow share one on-disk format, and the bug study's
+    "crafted image" class attacks exactly these structures.
+
+    Disk layout (in [block_size] units):
+    {v
+      block 0                 superblock
+      1 .. journal_len        journal
+      ..                      inode bitmap
+      ..                      block bitmap
+      ..                      inode table
+      data_start .. nblocks   data blocks
+    v}
+
+    Block number 0 can never be a data block, so 0 serves as the
+    "unallocated" sentinel in block pointers; likewise inode 0 is invalid
+    and inode 1 is the root directory. *)
+
+val block_size : int
+(** 4096. *)
+
+val inode_size : int
+(** 256 bytes; 16 inodes per block. *)
+
+val inodes_per_block : int
+val bits_per_block : int
+val magic : int64
+(** Superblock magic, "RAEF" little-endian. *)
+
+val version : int
+val default_journal_blocks : int
+val pointers_per_block : int
+(** u32 block pointers in an indirect block (1024). *)
+
+val direct_pointers : int
+(** 12, as ext2/ext4. *)
+
+val max_file_blocks : int
+(** Data blocks addressable per file: direct + indirect + double. *)
+
+val max_file_size : int
+
+type geometry = {
+  nblocks : int;
+  ninodes : int;
+  journal_start : int;
+  journal_len : int;
+  inode_bitmap_start : int;
+  inode_bitmap_len : int;
+  block_bitmap_start : int;
+  block_bitmap_len : int;
+  inode_table_start : int;
+  inode_table_len : int;
+  data_start : int;
+}
+
+val compute : nblocks:int -> ninodes:int -> ?journal_len:int -> unit -> (geometry, string) result
+(** Compute the region layout for a disk of [nblocks] blocks and an inode
+    table of [ninodes].  Fails if the metadata does not fit or leaves no
+    data blocks. *)
+
+val inode_location : geometry -> int -> int * int
+(** [inode_location g ino] is [(block, offset_in_block)] of inode [ino] in
+    the inode table.
+    @raise Invalid_argument if [ino] is outside [1, ninodes]. *)
+
+val data_block_count : geometry -> int
+val pp_geometry : Format.formatter -> geometry -> unit

@@ -1,0 +1,73 @@
+module Device = Rae_block.Device
+
+let default_ninodes ~nblocks = max 16 (nblocks / 4)
+
+let format dev ~ninodes ?journal_len () =
+  let nblocks = Device.nblocks dev in
+  if Device.block_size dev <> Layout.block_size then
+    Error
+      (Printf.sprintf "device block size %d; rfs requires %d" (Device.block_size dev)
+         Layout.block_size)
+  else
+    match Layout.compute ~nblocks ~ninodes ?journal_len () with
+    | Error msg -> Error msg
+    | Ok g ->
+        let root_block = g.Layout.data_start in
+        if root_block >= nblocks then Error "no room for the root directory block"
+        else begin
+          (* Block bitmap: metadata region + root directory block. *)
+          let bbm = Bitmap.create ~nbits:nblocks in
+          for blk = 0 to g.Layout.data_start - 1 do
+            Bitmap.set bbm blk
+          done;
+          Bitmap.set bbm root_block;
+          (* Inode bitmap: bit 0 (invalid) and the root inode. *)
+          let ibm = Bitmap.create ~nbits:(ninodes + 1) in
+          Bitmap.set ibm 0;
+          Bitmap.set ibm Rae_vfs.Types.root_ino;
+          (* Root inode. *)
+          let root =
+            {
+              (Inode.empty Rae_vfs.Types.Directory ~mode:0o755 ~time:0L) with
+              Inode.nlink = 2;
+              size = Layout.block_size;
+              direct =
+                Array.init Layout.direct_pointers (fun i -> if i = 0 then root_block else 0);
+            }
+          in
+          (* Root directory block: "." and "..", both the root itself. *)
+          let root_dir = Dirent.empty_block () in
+          let dir_kind = Rae_vfs.Types.kind_code Rae_vfs.Types.Directory in
+          let ok1 = Dirent.insert root_dir ~name:"." ~ino:Rae_vfs.Types.root_ino ~kind_code:dir_kind in
+          let ok2 = Dirent.insert root_dir ~name:".." ~ino:Rae_vfs.Types.root_ino ~kind_code:dir_kind in
+          assert (ok1 && ok2);
+          (* Zero-fill metadata regions that are partially used. *)
+          let zero = Bytes.make Layout.block_size '\000' in
+          for blk = g.Layout.inode_table_start to g.Layout.inode_table_start + g.Layout.inode_table_len - 1
+          do
+            Device.write dev blk zero
+          done;
+          (* Write the root inode into its table slot. *)
+          let iblk, ioff = Layout.inode_location g Rae_vfs.Types.root_ino in
+          let itable_block = Bytes.make Layout.block_size '\000' in
+          Inode.encode root ~ino:Rae_vfs.Types.root_ino itable_block ~pos:ioff;
+          Device.write dev iblk itable_block;
+          (* Bitmaps. *)
+          List.iteri
+            (fun i b -> Device.write dev (g.Layout.inode_bitmap_start + i) b)
+            (Bitmap.to_blocks ibm ~block_size:Layout.block_size);
+          List.iteri
+            (fun i b -> Device.write dev (g.Layout.block_bitmap_start + i) b)
+            (Bitmap.to_blocks bbm ~block_size:Layout.block_size);
+          (* Root directory data. *)
+          Device.write dev root_block root_dir;
+          (* Superblock last: free counts exclude the root block / root inode. *)
+          let sb =
+            Superblock.make g
+              ~free_blocks:(Layout.data_block_count g - 1)
+              ~free_inodes:(ninodes - 1)
+          in
+          Device.write dev 0 (Superblock.encode sb);
+          Device.flush dev;
+          Ok sb
+        end

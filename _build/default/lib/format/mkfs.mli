@@ -1,0 +1,17 @@
+(** Filesystem creation (mkfs.rfs).
+
+    Writes a fresh image: superblock, bitmaps with the metadata region and
+    the root directory block allocated, an inode table containing only the
+    root directory inode, and an empty root directory block holding "." and
+    "..".  The journal region is left untouched — callers format it with
+    {!Rae_journal.Journal.format} (layering: this library does not depend on
+    the journal). *)
+
+val format :
+  Rae_block.Device.t -> ninodes:int -> ?journal_len:int -> unit -> (Superblock.t, string) result
+(** [format dev ~ninodes ()] lays out the whole device.  Fails when the
+    device is too small for the metadata plus one data block. *)
+
+val default_ninodes : nblocks:int -> int
+(** One inode per 4 data blocks, minimum 16 — a bytes-per-inode heuristic
+    like mke2fs. *)

@@ -1,0 +1,1 @@
+lib/fsck/fsck.ml: Bitmap Dirent Format Hashtbl Inode Layout List Rae_block Rae_format Rae_util Rae_vfs Reader String Superblock

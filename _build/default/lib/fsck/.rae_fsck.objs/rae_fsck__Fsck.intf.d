@@ -1,0 +1,1 @@
+lib/fsck/fsck.mli: Format Rae_block

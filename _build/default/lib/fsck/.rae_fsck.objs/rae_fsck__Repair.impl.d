@@ -1,0 +1,1 @@
+lib/fsck/repair.ml: Bitmap Bytes Dirent Format Fsck Hashtbl Inode Layout List Printf Rae_block Rae_format Rae_vfs Reader Result Superblock

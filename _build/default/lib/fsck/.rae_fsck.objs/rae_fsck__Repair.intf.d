@@ -1,0 +1,1 @@
+lib/fsck/repair.mli: Format Rae_block

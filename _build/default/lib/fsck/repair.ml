@@ -1,0 +1,210 @@
+open Rae_format
+module Device = Rae_block.Device
+module Types = Rae_vfs.Types
+
+type action =
+  | Fixed_free_counts of { free_inodes : int; free_blocks : int }
+  | Released_orphan of { ino : int; blocks_freed : int }
+  | Released_unreachable of { ino : int; nlink : int; blocks_freed : int }
+  | Freed_leaked_block of int
+  | Fixed_nlink of { ino : int; was : int; now : int }
+
+let pp_action ppf = function
+  | Fixed_free_counts { free_inodes; free_blocks } ->
+      Format.fprintf ppf "fixed superblock free counts (inodes=%d, blocks=%d)" free_inodes
+        free_blocks
+  | Released_orphan { ino; blocks_freed } ->
+      Format.fprintf ppf "released orphan inode %d (%d blocks freed)" ino blocks_freed
+  | Released_unreachable { ino; nlink; blocks_freed } ->
+      Format.fprintf ppf "released unreachable inode %d (nlink was %d; %d blocks freed)" ino nlink
+        blocks_freed
+  | Freed_leaked_block blk -> Format.fprintf ppf "freed leaked block %d" blk
+  | Fixed_nlink { ino; was; now } ->
+      Format.fprintf ppf "fixed inode %d nlink %d -> %d" ino was now
+
+(* A full census of the image: allocated inodes, reachable set, observed
+   reference counts, referenced blocks. *)
+type census = {
+  table : (int, Inode.t) Hashtbl.t;
+  reachable : (int, unit) Hashtbl.t;
+  refs : (int, int) Hashtbl.t;  (* ino -> dir-entry references *)
+  blocks : (int, unit) Hashtbl.t;  (* referenced physical blocks *)
+}
+
+let take_census reader =
+  let g = Reader.geometry reader in
+  let c =
+    {
+      table = Hashtbl.create 64;
+      reachable = Hashtbl.create 64;
+      refs = Hashtbl.create 64;
+      blocks = Hashtbl.create 256;
+    }
+  in
+  let ( let* ) = Result.bind in
+  let* () =
+    let rec scan ino =
+      if ino > g.Layout.ninodes then Ok ()
+      else
+        match Reader.read_inode_opt reader ino with
+        | Error e -> Error (Reader.error_to_string e)
+        | Ok None -> scan (ino + 1)
+        | Ok (Some inode) ->
+            Hashtbl.replace c.table ino inode;
+            scan (ino + 1)
+    in
+    scan 1
+  in
+  (* Block references for every allocated inode. *)
+  let* () =
+    Hashtbl.fold
+      (fun ino inode acc ->
+        let* () = acc in
+        Result.map_error
+          (fun e -> Printf.sprintf "inode %d: %s" ino (Reader.error_to_string e))
+          (Reader.iter_file_blocks reader inode ~f:(fun ~idx:_ ~phys ->
+               Hashtbl.replace c.blocks phys ();
+               Ok ())))
+      c.table (Ok ())
+  in
+  (* Reachability walk. *)
+  let* root =
+    match Hashtbl.find_opt c.table Types.root_ino with
+    | Some r when r.Inode.kind = Types.Directory -> Ok r
+    | Some _ | None -> Error "root inode missing or not a directory"
+  in
+  let rec walk ino inode =
+    Hashtbl.replace c.reachable ino ();
+    let nblocks = Inode.blocks_for_size inode.Inode.size in
+    let rec blocks idx =
+      if idx >= nblocks then Ok ()
+      else
+        let* b = Result.map_error Reader.error_to_string (Reader.read_file_block reader inode idx) in
+        let* entries = Result.map_error Dirent.error_to_string (Dirent.list b) in
+        let* () =
+          List.fold_left
+            (fun acc { Dirent.ino = child; name; _ } ->
+              let* () = acc in
+              if name = "." || name = ".." then Ok ()
+              else (
+                Hashtbl.replace c.refs child ((try Hashtbl.find c.refs child with Not_found -> 0) + 1);
+                match Hashtbl.find_opt c.table child with
+                | None -> Error (Printf.sprintf "entry %S points to free inode %d" name child)
+                | Some ci when ci.Inode.kind = Types.Directory ->
+                    if Hashtbl.mem c.reachable child then Ok () else walk child ci
+                | Some _ -> Ok ()))
+            (Ok ()) entries
+        in
+        blocks (idx + 1)
+    in
+    blocks 0
+  in
+  let* () = walk Types.root_ino root in
+  Ok c
+
+let repair dev =
+  let read blk = Device.read dev blk in
+  match Reader.attach read with
+  | Error e -> Error (Reader.error_to_string e)
+  | Ok reader -> (
+      let g = Reader.geometry reader in
+      match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
+      | Error e, _ | _, Error e -> Error (Reader.error_to_string e)
+      | Ok ibm, Ok bbm -> (
+          match take_census reader with
+          | Error msg -> Error ("structural damage, refusing to repair: " ^ msg)
+          | Ok c ->
+              let actions = ref [] in
+              let note a = actions := a :: !actions in
+              (* Release an inode: free its blocks, clear its slot + bit. *)
+              let release ino inode =
+                let freed = ref 0 in
+                (match
+                   Reader.iter_file_blocks reader inode ~f:(fun ~idx:_ ~phys ->
+                       if Bitmap.test bbm phys then begin
+                         Bitmap.clear bbm phys;
+                         incr freed
+                       end;
+                       Ok ())
+                 with
+                | Ok () | Error _ -> ());
+                let blk, pos = Layout.inode_location g ino in
+                let b = Device.read dev blk in
+                Bytes.fill b pos Layout.inode_size '\000';
+                Device.write dev blk b;
+                if Bitmap.test ibm ino then Bitmap.clear ibm ino;
+                Hashtbl.remove c.table ino;
+                !freed
+              in
+              (* 1. Orphans and unreachable inodes. *)
+              Hashtbl.iter
+                (fun ino inode ->
+                  if ino <> Types.root_ino && not (Hashtbl.mem c.reachable ino) then
+                    let observed = try Hashtbl.find c.refs ino with Not_found -> 0 in
+                    if observed = 0 then begin
+                      let blocks_freed = release ino inode in
+                      if inode.Inode.nlink = 0 then note (Released_orphan { ino; blocks_freed })
+                      else
+                        note
+                          (Released_unreachable { ino; nlink = inode.Inode.nlink; blocks_freed })
+                    end)
+                (Hashtbl.copy c.table);
+              (* 2. nlink corrections for surviving non-directories. *)
+              Hashtbl.iter
+                (fun ino inode ->
+                  if inode.Inode.kind <> Types.Directory && Hashtbl.mem c.refs ino then begin
+                    let observed = Hashtbl.find c.refs ino in
+                    if observed > 0 && observed <> inode.Inode.nlink then begin
+                      let blk, pos = Layout.inode_location g ino in
+                      let b = Device.read dev blk in
+                      Inode.encode { inode with Inode.nlink = observed } ~ino b ~pos;
+                      Device.write dev blk b;
+                      note (Fixed_nlink { ino; was = inode.Inode.nlink; now = observed })
+                    end
+                  end)
+                c.table;
+              (* 3. Leaked blocks: recompute references post-release. *)
+              let referenced = Hashtbl.create 256 in
+              Hashtbl.iter
+                (fun ino inode ->
+                  ignore ino;
+                  ignore
+                    (Reader.iter_file_blocks reader inode ~f:(fun ~idx:_ ~phys ->
+                         Hashtbl.replace referenced phys ();
+                         Ok ())))
+                c.table;
+              for blk = g.Layout.data_start to g.Layout.nblocks - 1 do
+                if Bitmap.test bbm blk && not (Hashtbl.mem referenced blk) then begin
+                  Bitmap.clear bbm blk;
+                  note (Freed_leaked_block blk)
+                end
+              done;
+              (* 4. Write back bitmaps and recomputed superblock counts. *)
+              List.iteri
+                (fun i b -> Device.write dev (g.Layout.inode_bitmap_start + i) b)
+                (Bitmap.to_blocks ibm ~block_size:Layout.block_size);
+              List.iteri
+                (fun i b -> Device.write dev (g.Layout.block_bitmap_start + i) b)
+                (Bitmap.to_blocks bbm ~block_size:Layout.block_size);
+              let free_inodes = Bitmap.count_free ibm and free_blocks = Bitmap.count_free bbm in
+              let sb = reader.Reader.sb in
+              if
+                sb.Superblock.free_inodes <> free_inodes
+                || sb.Superblock.free_blocks <> free_blocks
+                || !actions <> []
+              then begin
+                Device.write dev 0
+                  (Superblock.encode { sb with Superblock.free_inodes; free_blocks });
+                if
+                  sb.Superblock.free_inodes <> free_inodes
+                  || sb.Superblock.free_blocks <> free_blocks
+                then note (Fixed_free_counts { free_inodes; free_blocks })
+              end;
+              Device.flush dev;
+              (* 5. Verify. *)
+              let post = Fsck.check read in
+              if Fsck.clean post then Ok (List.rev !actions)
+              else
+                Error
+                  (Format.asprintf "repairs applied but errors remain: %a" Fsck.pp_finding
+                     (List.hd (Fsck.errors post)))))

@@ -1,0 +1,35 @@
+(** Repair (preen) mode.
+
+    The paper's roadmap wants a *verified* checker because the shadow's
+    liveness guarantee only holds on valid images (§4.3); a practical
+    deployment also wants the checker to fix what it safely can.  This
+    module repairs the classes of damage that have a unique safe fix:
+
+    - superblock free counts recomputed from the bitmaps;
+    - orphan inodes (allocated, nlink = 0, unreachable — crash leftovers)
+      released together with their blocks;
+    - unreachable inodes with nlink > 0 released likewise (a real e2fsck
+      would reattach them under /lost+found; releasing is the conservative
+      preen simplification, and the action log says exactly what was
+      dropped);
+    - leaked blocks (marked allocated, referenced by nothing) freed;
+    - inode link counts rewritten to the observed reference count.
+
+    Structural corruption (bad superblock, invalid inodes, malformed
+    directory blocks, doubly-referenced blocks) is *not* repaired — those
+    have no unique safe fix and repair refuses rather than guessing. *)
+
+type action =
+  | Fixed_free_counts of { free_inodes : int; free_blocks : int }
+  | Released_orphan of { ino : int; blocks_freed : int }
+  | Released_unreachable of { ino : int; nlink : int; blocks_freed : int }
+  | Freed_leaked_block of int
+  | Fixed_nlink of { ino : int; was : int; now : int }
+
+val pp_action : Format.formatter -> action -> unit
+
+val repair : Rae_block.Device.t -> (action list, string) result
+(** Check the image, apply every safe fix, and verify the result: returns
+    the actions taken iff the post-repair image passes {!Fsck.check} with
+    no errors.  Returns [Error] (image unmodified or partially repaired —
+    stated in the message) when structural damage remains. *)

@@ -1,0 +1,1 @@
+lib/journal/journal.ml: Bytes Checksum Codec Format Int32 Int64 List Printf Rae_block Rae_format Rae_util

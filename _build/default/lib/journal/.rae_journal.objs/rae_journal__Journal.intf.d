@@ -1,0 +1,1 @@
+lib/journal/journal.mli: Format Rae_block Rae_format

@@ -1,0 +1,1 @@
+lib/shadowfs/overlay.ml: Bytes Hashtbl List Printf Rae_block

@@ -1,0 +1,1 @@
+lib/shadowfs/overlay.mli: Rae_block

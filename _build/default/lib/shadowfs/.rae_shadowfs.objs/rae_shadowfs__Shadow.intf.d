@@ -1,0 +1,1 @@
+lib/shadowfs/shadow.mli: Rae_block Rae_vfs

@@ -1,0 +1,34 @@
+module Device = Rae_block.Device
+
+type t = {
+  dev : Device.t;  (* read-only *)
+  blocks : (int, bytes) Hashtbl.t;
+  mutable device_reads : int;
+}
+
+let create dev = { dev = Device.read_only dev; blocks = Hashtbl.create 64; device_reads = 0 }
+
+let read t blk =
+  match Hashtbl.find_opt t.blocks blk with
+  | Some b -> Bytes.copy b
+  | None ->
+      t.device_reads <- t.device_reads + 1;
+      Device.read t.dev blk
+
+let write t blk data =
+  if blk < 0 || blk >= Device.nblocks t.dev then
+    invalid_arg (Printf.sprintf "Overlay.write: block %d out of range" blk);
+  if Bytes.length data <> Device.block_size t.dev then
+    invalid_arg "Overlay.write: wrong block size";
+  Hashtbl.replace t.blocks blk (Bytes.copy data)
+
+let mem t blk = Hashtbl.mem t.blocks blk
+
+let dirty t =
+  Hashtbl.fold (fun blk data acc -> (blk, Bytes.copy data) :: acc) t.blocks []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let dirty_count t = Hashtbl.length t.blocks
+let block_size t = Device.block_size t.dev
+let nblocks t = Device.nblocks t.dev
+let reads_from_device t = t.device_reads

@@ -1,0 +1,34 @@
+(** Copy-on-write block overlay.
+
+    The shadow filesystem "never writes to the disk" (paper §2.3): it holds
+    a {!Rae_block.Device.read_only} handle and funnels every would-be write
+    into this in-memory overlay.  Reads consult the overlay first.  When
+    recovery completes, {!dirty} is exactly the hand-off payload the base
+    downloads into its caches. *)
+
+type t
+
+val create : Rae_block.Device.t -> t
+(** Wraps the device behind a read-only view regardless of the handle
+    passed in — defence in depth. *)
+
+val read : t -> int -> bytes
+(** Overlay content if present, else the device.  Returns a fresh copy. *)
+
+val write : t -> int -> bytes -> unit
+(** Stores a copy in the overlay; the device is never touched.
+    @raise Invalid_argument on wrong-sized blocks or out-of-range block
+    numbers. *)
+
+val mem : t -> int -> bool
+(** Is the block shadowed by the overlay? *)
+
+val dirty : t -> (int * bytes) list
+(** All overlaid blocks, sorted by block number; fresh copies. *)
+
+val dirty_count : t -> int
+val block_size : t -> int
+val nblocks : t -> int
+
+val reads_from_device : t -> int
+(** Device reads that missed the overlay — the shadow's IO footprint. *)

@@ -1,0 +1,86 @@
+(** The shadow filesystem.
+
+    The paper's robustness-first alternative implementation (§2.3, §3.3):
+
+    - {b single-threaded, synchronous}: every operation runs to completion
+      against the device, no queues, no caches — path lookup always walks
+      from the root inode and scans directory blocks linearly;
+    - {b never writes to disk}: all updates land in a copy-on-write
+      {!Overlay}; {!dirty_blocks} is the recovery hand-off payload;
+    - {b extensive runtime checks}: with [checks] enabled (the default)
+      every structural read verifies checksums and structure, every
+      allocator transition is double-checked against the bitmaps, and the
+      superblock summaries are revalidated after every mutation.  A failed
+      check raises {!Violation} — the shadow refuses to continue on a bad
+      image rather than corrupting further;
+    - {b same API and on-disk format as the base}: it satisfies
+      {!Rae_vfs.Fs_intf.S} over rfs images, so traces recorded against the
+      base replay directly.
+
+    [fsync]/[sync] are accepted as no-ops: the shadow has nothing volatile
+    to flush because it never writes; during recovery RAE delegates real
+    sync work back to the rebooted base (paper §3.3, "API support"). *)
+
+exception Violation of string
+(** An invariant check failed: the input image or a recorded operation is
+    inconsistent.  Recovery aborts safely when this escapes. *)
+
+type config = {
+  checks : bool;  (** runtime invariant checking (default true) *)
+  fsck_on_attach : bool;
+      (** run the full {!Rae_fsck.Fsck.check} before accepting the image —
+          the paper's verified-FSCK liveness requirement (default false
+          here; RAE recovery turns it on) *)
+  max_fds : int;
+}
+
+val default_config : config
+
+type t
+
+val attach : ?config:config -> Rae_block.Device.t -> (t, string) result
+(** Bind to an rfs image.  The device is wrapped read-only.  Validates the
+    superblock and both bitmaps (strict); with [fsck_on_attach] the whole
+    image. *)
+
+include Rae_vfs.Fs_intf.S with type t := t
+
+val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
+(** Autonomous mode (paper §3.2): the shadow makes its own policy
+    decisions (inode numbers, descriptor numbers, block placement). *)
+
+type constrained_result =
+  | Matches  (** re-execution reproduced the recorded outcome exactly *)
+  | Divergence of Rae_vfs.Op.outcome
+      (** what the shadow computed instead — a §4.3 discrepancy *)
+  | Skipped_error
+      (** the base had returned an error; the shadow omits the op (§3.2) *)
+  | Skipped_sync  (** sync-family op: nothing for a never-writing shadow to do *)
+
+val exec_constrained : t -> Rae_vfs.Op.recorded -> constrained_result
+(** Constrained mode (paper §3.2): re-execute a recorded operation and
+    validate the base's outcome — including its inode and descriptor
+    allocations — rather than trusting the shadow's own answer blindly.
+    On [Divergence] the shadow's state reflects the shadow's outcome (the
+    trusted answer); the caller decides whether to continue. *)
+
+val dirty_blocks : t -> (int * bytes) list
+(** The overlay: every block the shadow would have written. *)
+
+val fd_table : t -> (Rae_vfs.Types.fd * Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) list
+
+val install_fd :
+  t -> fd:Rae_vfs.Types.fd -> ino:Rae_vfs.Types.ino -> Rae_vfs.Types.open_flags -> (unit, string) result
+(** Pre-seed the descriptor table during recovery: descriptors that were
+    already open at the trusted on-disk state S0 (recorded by RAE at the
+    last commit) are reinstated before the operation window is replayed.
+    Validates that the inode is allocated and of a kind that can be open. *)
+
+val time : t -> int64
+val set_time : t -> int64 -> unit
+
+val checks_performed : t -> int
+(** Number of runtime invariant checks executed so far (bench E6). *)
+
+val device_reads : t -> int
+(** Blocks fetched from the device (overlay misses). *)

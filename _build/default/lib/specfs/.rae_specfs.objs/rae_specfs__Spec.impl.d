@@ -1,0 +1,1 @@
+lib/specfs/spec.ml: Bytes Errno Format Fs_intf Hashtbl Int Int64 List Map Path Printf Rae_format Rae_vfs Result Stdlib String Types

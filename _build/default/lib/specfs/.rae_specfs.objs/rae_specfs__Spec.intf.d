@@ -1,0 +1,1 @@
+lib/specfs/spec.mli: Format Rae_vfs

@@ -1,0 +1,1 @@
+lib/util/checksum.ml: Array Bytes Char Int32 Lazy

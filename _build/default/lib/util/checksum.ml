@@ -1,0 +1,38 @@
+(* CRC32C, table-driven implementation using the Castagnoli polynomial
+   0x1EDC6F41 (reflected: 0x82F63B78), as used by ext4 metadata_csum,
+   iSCSI and Btrfs. *)
+
+let polynomial_reflected = 0x82F63B78l
+
+let table =
+  lazy
+    (let t = Array.make 256 0l in
+     for n = 0 to 255 do
+       let c = ref (Int32.of_int n) in
+       for _ = 0 to 7 do
+         if Int32.logand !c 1l <> 0l then
+           c := Int32.logxor (Int32.shift_right_logical !c 1) polynomial_reflected
+         else c := Int32.shift_right_logical !c 1
+       done;
+       t.(n) <- !c
+     done;
+     t)
+
+let crc32c ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Checksum.crc32c: out of bounds";
+  let t = Lazy.force table in
+  let c = ref (Int32.lognot init) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.get b i)))) 0xFFl)
+    in
+    c := Int32.logxor t.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let crc32c_string s =
+  let b = Bytes.unsafe_of_string s in
+  crc32c b ~pos:0 ~len:(Bytes.length b)
+
+let verify b ~pos ~len ~expect = Int32.equal (crc32c b ~pos ~len) expect

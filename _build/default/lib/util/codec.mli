@@ -1,0 +1,57 @@
+(** Little-endian binary codec helpers over [bytes].
+
+    All on-disk structures (superblock, inodes, directory entries, journal
+    records) are serialised with these primitives.  Every accessor is
+    bounds-checked: a malformed length coming from a crafted disk image must
+    surface as a recoverable decode error, never as an out-of-bounds read. *)
+
+exception Decode_error of string
+(** Raised by [get_*] readers when a read would fall outside the buffer or a
+    length field is inconsistent.  The shadow filesystem treats this as an
+    invariant violation of the input image. *)
+
+val get_u8 : bytes -> int -> int
+val get_u16 : bytes -> int -> int
+val get_u32 : bytes -> int -> int64
+(** [get_u32 b off] reads an unsigned 32-bit value.  Returned as [int64] so
+    the full range is representable without sign games. *)
+
+val get_u32_int : bytes -> int -> int
+(** [get_u32_int b off] is [get_u32] narrowed to [int]; values are < 2^32 and
+    OCaml ints are 63-bit here, so this is lossless. *)
+
+val get_i32 : bytes -> int -> int32
+val get_u64 : bytes -> int -> int64
+val get_string : bytes -> pos:int -> len:int -> string
+
+val set_u8 : bytes -> int -> int -> unit
+val set_u16 : bytes -> int -> int -> unit
+val set_u32 : bytes -> int -> int64 -> unit
+val set_u32_int : bytes -> int -> int -> unit
+val set_i32 : bytes -> int -> int32 -> unit
+val set_u64 : bytes -> int -> int64 -> unit
+val set_string : bytes -> pos:int -> string -> unit
+
+(** A cursor for sequential encoding/decoding. *)
+module Cursor : sig
+  type t
+
+  val of_bytes : ?pos:int -> bytes -> t
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val remaining : t -> int
+  val read_u8 : t -> int
+  val read_u16 : t -> int
+  val read_u32 : t -> int64
+  val read_u32_int : t -> int
+  val read_u64 : t -> int64
+  val read_string : t -> len:int -> string
+  val write_u8 : t -> int -> unit
+  val write_u16 : t -> int -> unit
+  val write_u32 : t -> int64 -> unit
+  val write_u32_int : t -> int -> unit
+  val write_u64 : t -> int64 -> unit
+  val write_string : t -> string -> unit
+  val pad_to : t -> int -> unit
+  (** [pad_to c off] writes zero bytes until the cursor reaches [off]. *)
+end

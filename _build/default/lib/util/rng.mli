@@ -1,0 +1,46 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic component in the repository — workload generators,
+    non-deterministic bug triggers, fault injection — draws from an explicit
+    [Rng.t] seeded by the caller, so that every experiment and test is
+    reproducible from its seed. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] snapshots the generator state (independent stream from here). *)
+
+val next : t -> int64
+(** [next t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+val chance : t -> float -> bool
+(** [chance t p] is [true] with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick t arr] selects a uniform element.
+    @raise Invalid_argument on empty array. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** [pick_weighted t choices] selects proportionally to the integer weights.
+    @raise Invalid_argument if all weights are zero or the list is empty. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives an independent generator (and advances [t]). *)

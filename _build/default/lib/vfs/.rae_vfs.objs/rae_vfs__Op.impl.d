@@ -1,0 +1,1 @@
+lib/vfs/op.ml: Errno Format List Path String Types

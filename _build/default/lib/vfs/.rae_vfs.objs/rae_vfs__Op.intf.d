@@ -1,0 +1,1 @@
+lib/vfs/op.mli: Errno Format Path Types

@@ -1,0 +1,62 @@
+type t =
+  | ENOENT
+  | EEXIST
+  | ENOTDIR
+  | EISDIR
+  | ENOTEMPTY
+  | EBADF
+  | EINVAL
+  | ENOSPC
+  | EFBIG
+  | ENAMETOOLONG
+  | EMFILE
+  | EROFS
+  | EIO
+  | EACCES
+  | ELOOP
+  | EXDEV
+
+let equal = ( = )
+let compare = Stdlib.compare
+
+let to_string = function
+  | ENOENT -> "ENOENT"
+  | EEXIST -> "EEXIST"
+  | ENOTDIR -> "ENOTDIR"
+  | EISDIR -> "EISDIR"
+  | ENOTEMPTY -> "ENOTEMPTY"
+  | EBADF -> "EBADF"
+  | EINVAL -> "EINVAL"
+  | ENOSPC -> "ENOSPC"
+  | EFBIG -> "EFBIG"
+  | ENAMETOOLONG -> "ENAMETOOLONG"
+  | EMFILE -> "EMFILE"
+  | EROFS -> "EROFS"
+  | EIO -> "EIO"
+  | EACCES -> "EACCES"
+  | ELOOP -> "ELOOP"
+  | EXDEV -> "EXDEV"
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let all =
+  [
+    ENOENT;
+    EEXIST;
+    ENOTDIR;
+    EISDIR;
+    ENOTEMPTY;
+    EBADF;
+    EINVAL;
+    ENOSPC;
+    EFBIG;
+    ENAMETOOLONG;
+    EMFILE;
+    EROFS;
+    EIO;
+    EACCES;
+    ELOOP;
+    EXDEV;
+  ]
+
+type 'a result = ('a, t) Stdlib.result

@@ -1,0 +1,36 @@
+(** POSIX-style error codes returned at the filesystem API boundary.
+
+    These are the *application-visible* errors: a base filesystem returning
+    one of these has behaved legally (the operation failed per POSIX
+    semantics).  Runtime errors — BUG/WARN paths, panics, invariant
+    violations — are a separate channel (see {!Rae_basefs.Detector}) and are
+    what triggers Robust Alternative Execution. *)
+
+type t =
+  | ENOENT  (** no such file or directory *)
+  | EEXIST  (** file exists *)
+  | ENOTDIR  (** a path component is not a directory *)
+  | EISDIR  (** target is a directory *)
+  | ENOTEMPTY  (** directory not empty *)
+  | EBADF  (** bad file descriptor *)
+  | EINVAL  (** invalid argument *)
+  | ENOSPC  (** no space left on device *)
+  | EFBIG  (** file too large *)
+  | ENAMETOOLONG  (** path component too long *)
+  | EMFILE  (** too many open files *)
+  | EROFS  (** read-only filesystem *)
+  | EIO  (** input/output error *)
+  | EACCES  (** permission denied *)
+  | ELOOP  (** too many levels of symbolic links *)
+  | EXDEV  (** cross-device link (unused rename corner) *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val all : t list
+(** Every constructor, for exhaustive test generators. *)
+
+type 'a result = ('a, t) Stdlib.result
+(** Shorthand used across every filesystem signature. *)

@@ -1,0 +1,76 @@
+(** The common filesystem interface.
+
+    Every implementation in this repository — the pure specification model
+    ({!Rae_specfs.Spec}), the performance-oriented base ({!Rae_basefs.Base})
+    and the shadow ({!Rae_shadowfs.Shadow}) — satisfies {!S}.  The paper's
+    requirement that base and shadow "adhere to the same API" is this module
+    type; {!Dispatch} derives a uniform [Op.t] interpreter from it, which is
+    how traces are replayed against any implementation. *)
+
+open Types
+
+module type S = sig
+  type t
+
+  val create : t -> Path.t -> mode:int -> ino Errno.result
+  (** Create an empty regular file.  Fails [EEXIST] if the name exists,
+      [ENOENT]/[ENOTDIR] on bad parents. *)
+
+  val mkdir : t -> Path.t -> mode:int -> ino Errno.result
+  val unlink : t -> Path.t -> unit Errno.result
+  (** Remove a file or symlink ([EISDIR] on directories). *)
+
+  val rmdir : t -> Path.t -> unit Errno.result
+  (** Remove an empty directory ([ENOTEMPTY] otherwise). *)
+
+  val openf : t -> Path.t -> open_flags -> fd Errno.result
+  val close : t -> fd -> unit Errno.result
+  val pread : t -> fd -> off:int -> len:int -> string Errno.result
+  (** Short reads at EOF; [""] beyond EOF. *)
+
+  val pwrite : t -> fd -> off:int -> string -> int Errno.result
+  (** Returns bytes written; extends and zero-fills holes as needed.  With
+      [append] flag the offset argument is ignored and EOF is used. *)
+
+  val lookup : t -> Path.t -> ino Errno.result
+  val stat : t -> Path.t -> stat Errno.result
+  val fstat : t -> fd -> stat Errno.result
+  val readdir : t -> Path.t -> string list Errno.result
+  (** Entry names excluding "." and "..", sorted. *)
+
+  val rename : t -> Path.t -> Path.t -> unit Errno.result
+  val truncate : t -> Path.t -> size:int -> unit Errno.result
+  val link : t -> Path.t -> Path.t -> unit Errno.result
+  val symlink : t -> target:string -> Path.t -> ino Errno.result
+  val readlink : t -> Path.t -> string Errno.result
+  val chmod : t -> Path.t -> mode:int -> unit Errno.result
+  val fsync : t -> fd -> unit Errno.result
+  val sync : t -> unit Errno.result
+end
+
+(** Derive an [Op.t] interpreter from any {!S}. *)
+module Dispatch (F : S) = struct
+  let exec (fs : F.t) (op : Op.t) : Op.outcome =
+    let map f r = Result.map f r in
+    match op with
+    | Op.Create (path, mode) -> map (fun i -> Op.Ino i) (F.create fs path ~mode)
+    | Op.Mkdir (path, mode) -> map (fun i -> Op.Ino i) (F.mkdir fs path ~mode)
+    | Op.Unlink path -> map (fun () -> Op.Unit) (F.unlink fs path)
+    | Op.Rmdir path -> map (fun () -> Op.Unit) (F.rmdir fs path)
+    | Op.Open (path, flags) -> map (fun fd -> Op.Fd fd) (F.openf fs path flags)
+    | Op.Close fd -> map (fun () -> Op.Unit) (F.close fs fd)
+    | Op.Pread (fd, off, len) -> map (fun s -> Op.Data s) (F.pread fs fd ~off ~len)
+    | Op.Pwrite (fd, off, data) -> map (fun n -> Op.Len n) (F.pwrite fs fd ~off data)
+    | Op.Lookup path -> map (fun i -> Op.Ino i) (F.lookup fs path)
+    | Op.Stat path -> map (fun st -> Op.St st) (F.stat fs path)
+    | Op.Fstat fd -> map (fun st -> Op.St st) (F.fstat fs fd)
+    | Op.Readdir path -> map (fun names -> Op.Names names) (F.readdir fs path)
+    | Op.Rename (src, dst) -> map (fun () -> Op.Unit) (F.rename fs src dst)
+    | Op.Truncate (path, size) -> map (fun () -> Op.Unit) (F.truncate fs path ~size)
+    | Op.Link (src, dst) -> map (fun () -> Op.Unit) (F.link fs src dst)
+    | Op.Symlink (target, link) -> map (fun i -> Op.Ino i) (F.symlink fs ~target link)
+    | Op.Readlink path -> map (fun s -> Op.Data s) (F.readlink fs path)
+    | Op.Chmod (path, mode) -> map (fun () -> Op.Unit) (F.chmod fs path ~mode)
+    | Op.Fsync fd -> map (fun () -> Op.Unit) (F.fsync fs fd)
+    | Op.Sync -> map (fun () -> Op.Unit) (F.sync fs)
+end

@@ -1,0 +1,66 @@
+type ino = int
+type fd = int
+
+let root_ino = 1
+let invalid_ino = 0
+
+type kind = Regular | Directory | Symlink
+
+let kind_to_string = function
+  | Regular -> "regular"
+  | Directory -> "directory"
+  | Symlink -> "symlink"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let kind_code = function Regular -> 1 | Directory -> 2 | Symlink -> 3
+
+let kind_of_code = function
+  | 1 -> Some Regular
+  | 2 -> Some Directory
+  | 3 -> Some Symlink
+  | _ -> None
+
+type stat = {
+  st_ino : ino;
+  st_kind : kind;
+  st_size : int;
+  st_nlink : int;
+  st_mode : int;
+  st_mtime : int64;
+  st_ctime : int64;
+}
+
+let pp_stat ppf s =
+  Format.fprintf ppf "{ino=%d; kind=%a; size=%d; nlink=%d; mode=%03o; mtime=%Ld; ctime=%Ld}"
+    s.st_ino pp_kind s.st_kind s.st_size s.st_nlink s.st_mode s.st_mtime s.st_ctime
+
+let stat_equal ?(ignore_times = false) a b =
+  a.st_ino = b.st_ino && a.st_kind = b.st_kind && a.st_size = b.st_size
+  && a.st_nlink = b.st_nlink && a.st_mode = b.st_mode
+  && (ignore_times || (Int64.equal a.st_mtime b.st_mtime && Int64.equal a.st_ctime b.st_ctime))
+
+type open_flags = {
+  rd : bool;
+  wr : bool;
+  creat : bool;
+  excl : bool;
+  trunc : bool;
+  append : bool;
+}
+
+let flags_ro = { rd = true; wr = false; creat = false; excl = false; trunc = false; append = false }
+let flags_rw = { flags_ro with wr = true }
+let flags_create = { flags_rw with creat = true }
+let flags_excl = { flags_create with excl = true }
+let flags_trunc = { flags_rw with trunc = true }
+let flags_append = { flags_rw with append = true }
+
+let pp_flags ppf f =
+  let tag b s = if b then s else "" in
+  Format.fprintf ppf "%s%s%s%s%s%s"
+    (tag f.rd "r") (tag f.wr "w") (tag f.creat "c") (tag f.excl "x") (tag f.trunc "t")
+    (tag f.append "a")
+
+let max_name_len = 255
+let max_symlink_depth = 8

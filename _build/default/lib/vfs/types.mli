@@ -1,0 +1,71 @@
+(** Core value types shared by every filesystem implementation.
+
+    The base filesystem, the shadow filesystem and the pure specification
+    model all speak this vocabulary, which is what makes cross-checking their
+    outputs (paper §3.3, "core functionality") a typed comparison rather than
+    an ad-hoc diff. *)
+
+type ino = int
+(** Inode number.  [root_ino] is always 1, as in ext4 (inode 0 is invalid). *)
+
+type fd = int
+(** File descriptor, allocated lowest-free like POSIX. *)
+
+val root_ino : ino
+val invalid_ino : ino
+
+type kind = Regular | Directory | Symlink
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+val kind_code : kind -> int
+(** On-disk encoding of the kind (1-origin; 0 is reserved as invalid). *)
+
+val kind_of_code : int -> kind option
+
+type stat = {
+  st_ino : ino;
+  st_kind : kind;
+  st_size : int;  (** bytes for files, entry payload bytes for directories *)
+  st_nlink : int;
+  st_mode : int;  (** permission bits, 0o000–0o777 *)
+  st_mtime : int64;  (** logical timestamp (operation counter, see below) *)
+  st_ctime : int64;
+}
+(** File attributes.  Timestamps are *logical*: every executed operation
+    advances a per-filesystem counter, so two correct implementations
+    executing the same trace produce identical timestamps — which lets the
+    cross-checker compare stats exactly. *)
+
+val pp_stat : Format.formatter -> stat -> unit
+
+val stat_equal : ?ignore_times:bool -> stat -> stat -> bool
+(** Structural equality; [ignore_times] drops the timestamp fields, used when
+    comparing implementations that may tick differently (default false). *)
+
+type open_flags = {
+  rd : bool;
+  wr : bool;
+  creat : bool;
+  excl : bool;
+  trunc : bool;
+  append : bool;
+}
+
+val flags_ro : open_flags
+val flags_rw : open_flags
+val flags_create : open_flags
+(** Read-write, create-if-absent. *)
+
+val flags_excl : open_flags
+(** Create, fail if the file already exists. *)
+
+val flags_trunc : open_flags
+val flags_append : open_flags
+val pp_flags : Format.formatter -> open_flags -> unit
+
+val max_name_len : int
+(** Maximum length of a single path component (255, as ext4). *)
+
+val max_symlink_depth : int
+(** Symlink-following budget before [ELOOP]. *)

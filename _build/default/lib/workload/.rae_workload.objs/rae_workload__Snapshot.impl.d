@@ -1,0 +1,1 @@
+lib/workload/snapshot.ml: Errno Format List Op Path Rae_vfs Result String Types

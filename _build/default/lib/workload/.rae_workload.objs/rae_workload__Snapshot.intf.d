@@ -1,0 +1,1 @@
+lib/workload/snapshot.mli: Format Rae_vfs

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Format Fun List Op Path Printf Rae_vfs Result Scanf String Types

@@ -1,0 +1,1 @@
+lib/workload/workload.ml: Array Char Format Hashtbl List Op Path Printf Rae_util Rae_vfs String Types

@@ -1,0 +1,1 @@
+lib/workload/workload.mli: Format Rae_util Rae_vfs

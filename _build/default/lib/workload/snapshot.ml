@@ -1,0 +1,127 @@
+open Rae_vfs
+
+type entry = {
+  e_path : string;
+  e_kind : Types.kind;
+  e_ino : int;
+  e_size : int;
+  e_nlink : int;
+  e_mode : int;
+  e_content : string;
+}
+
+type t = entry list
+
+let capture ~exec fs =
+  let ( let* ) = Result.bind in
+  let err where outcome =
+    Error (Format.asprintf "%s: unexpected %a" where Op.pp_outcome outcome)
+  in
+  let rec walk path acc =
+    let pstr = Path.to_string path in
+    let* names =
+      match exec fs (Op.Readdir path) with
+      | Ok (Op.Names names) -> Ok names
+      | outcome -> err ("readdir " ^ pstr) outcome
+    in
+    List.fold_left
+      (fun acc name ->
+        let* acc = acc in
+        let child = Path.append path name in
+        let cstr = Path.to_string child in
+        (* Distinguish symlinks first: readlink does not follow. *)
+        match exec fs (Op.Readlink child) with
+        | Ok (Op.Data target) -> (
+            match exec fs (Op.Lookup child) with
+            | Ok (Op.Ino _) | Error _ ->
+                (* Target stats are captured at the target's own path. *)
+                Ok
+                  ({
+                     e_path = cstr;
+                     e_kind = Types.Symlink;
+                     e_ino = 0 (* symlink inode numbers tracked via lookup of the link? stat follows; keep 0 *);
+                     e_size = String.length target;
+                     e_nlink = 1;
+                     e_mode = 0o777;
+                     e_content = target;
+                   }
+                  :: acc)
+            | outcome -> err ("lookup " ^ cstr) outcome)
+        | Error Errno.EINVAL -> (
+            (* Not a symlink: stat it. *)
+            match exec fs (Op.Stat child) with
+            | Ok (Op.St st) -> (
+                match st.Types.st_kind with
+                | Types.Directory ->
+                    walk child
+                      ({
+                         e_path = cstr;
+                         e_kind = Types.Directory;
+                         e_ino = st.Types.st_ino;
+                         e_size = 0;
+                         e_nlink = st.Types.st_nlink;
+                         e_mode = st.Types.st_mode;
+                         e_content = "";
+                       }
+                      :: acc)
+                | Types.Regular -> (
+                    match exec fs (Op.Open (child, Types.flags_ro)) with
+                    | Ok (Op.Fd fd) -> (
+                        let data =
+                          match exec fs (Op.Pread (fd, 0, st.Types.st_size)) with
+                          | Ok (Op.Data d) -> Ok d
+                          | outcome -> err ("pread " ^ cstr) outcome
+                        in
+                        ignore (exec fs (Op.Close fd));
+                        match data with
+                        | Ok d ->
+                            Ok
+                              ({
+                                 e_path = cstr;
+                                 e_kind = Types.Regular;
+                                 e_ino = st.Types.st_ino;
+                                 e_size = st.Types.st_size;
+                                 e_nlink = st.Types.st_nlink;
+                                 e_mode = st.Types.st_mode;
+                                 e_content = d;
+                               }
+                              :: acc)
+                        | Error e -> Error e)
+                    | outcome -> err ("open " ^ cstr) outcome)
+                | Types.Symlink -> err ("stat " ^ cstr) (Ok (Op.St st)))
+            | outcome -> err ("stat " ^ cstr) outcome)
+        | outcome -> err ("readlink " ^ cstr) outcome)
+      (Ok acc) names
+  in
+  Result.map (List.sort (fun a b -> compare a.e_path b.e_path)) (walk [] [])
+
+let entry_equal a b =
+  a.e_path = b.e_path && a.e_kind = b.e_kind && a.e_ino = b.e_ino && a.e_size = b.e_size
+  && a.e_nlink = b.e_nlink && a.e_mode = b.e_mode && String.equal a.e_content b.e_content
+
+let equal a b = List.equal entry_equal a b
+
+let pp_entry ppf e =
+  Format.fprintf ppf "%s %s ino=%d size=%d nlink=%d mode=%03o" e.e_path
+    (Types.kind_to_string e.e_kind) e.e_ino e.e_size e.e_nlink e.e_mode
+
+let diff a b =
+  let index t = List.map (fun e -> (e.e_path, e)) t in
+  let ia = index a and ib = index b in
+  let out = ref [] in
+  let note fmt = Format.kasprintf (fun s -> out := s :: !out) fmt in
+  List.iter
+    (fun (path, ea) ->
+      match List.assoc_opt path ib with
+      | None -> note "only in first: %s" path
+      | Some eb ->
+          if not (entry_equal ea eb) then
+            note "differs at %s: %a vs %a" path pp_entry ea pp_entry eb)
+    ia;
+  List.iter (fun (path, _) -> if not (List.mem_assoc path ia) then note "only in second: %s" path) ib;
+  List.rev !out
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun e -> Format.fprintf ppf "%a@," pp_entry e) t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,32 @@
+(** Implementation-agnostic filesystem snapshots.
+
+    Walks any filesystem through its public operation interface (an [exec]
+    function) and produces a normalized view of the *essential state* the
+    paper's recovery must preserve (§2.2): the tree with kinds, sizes,
+    link counts, modes and full file contents.  Because it only uses the
+    public API, the same walker compares the specification, the base, the
+    shadow and the RAE controller.
+
+    The walk opens and closes descriptors; run it only at quiescent points
+    (it restores the descriptor table it found). *)
+
+type entry = {
+  e_path : string;
+  e_kind : Rae_vfs.Types.kind;
+  e_ino : int;
+  e_size : int;
+  e_nlink : int;
+  e_mode : int;
+  e_content : string;  (** file bytes, or symlink target; "" for dirs *)
+}
+
+type t = entry list
+(** Sorted by path. *)
+
+val capture : exec:('fs -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome) -> 'fs -> (t, string) result
+(** Walk from the root.  Fails on unexpected errors (e.g. a directory that
+    cannot be listed). *)
+
+val equal : t -> t -> bool
+val diff : t -> t -> string list
+val pp : Format.formatter -> t -> unit

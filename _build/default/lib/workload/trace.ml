@@ -1,0 +1,202 @@
+open Rae_vfs
+
+let flags_to_string (f : Types.open_flags) =
+  let tag b c = if b then String.make 1 c else "" in
+  let s =
+    tag f.rd 'r' ^ tag f.wr 'w' ^ tag f.creat 'c' ^ tag f.excl 'x' ^ tag f.trunc 't'
+    ^ tag f.append 'a'
+  in
+  if s = "" then "-" else s
+
+let flags_of_string s =
+  if String.exists (fun c -> not (String.contains "rwcxta-" c)) s then
+    Error (Printf.sprintf "bad flags %S" s)
+  else
+    Ok
+      {
+        Types.rd = String.contains s 'r';
+        wr = String.contains s 'w';
+        creat = String.contains s 'c';
+        excl = String.contains s 'x';
+        trunc = String.contains s 't';
+        append = String.contains s 'a';
+      }
+
+let quote_path path = Printf.sprintf "%S" (Path.to_string path)
+
+let op_to_line = function
+  | Op.Create (path, mode) -> Printf.sprintf "create %s %o" (quote_path path) mode
+  | Op.Mkdir (path, mode) -> Printf.sprintf "mkdir %s %o" (quote_path path) mode
+  | Op.Unlink path -> Printf.sprintf "unlink %s" (quote_path path)
+  | Op.Rmdir path -> Printf.sprintf "rmdir %s" (quote_path path)
+  | Op.Open (path, flags) -> Printf.sprintf "open %s %s" (quote_path path) (flags_to_string flags)
+  | Op.Close fd -> Printf.sprintf "close %d" fd
+  | Op.Pread (fd, off, len) -> Printf.sprintf "pread %d %d %d" fd off len
+  | Op.Pwrite (fd, off, data) -> Printf.sprintf "pwrite %d %d %S" fd off data
+  | Op.Lookup path -> Printf.sprintf "lookup %s" (quote_path path)
+  | Op.Stat path -> Printf.sprintf "stat %s" (quote_path path)
+  | Op.Fstat fd -> Printf.sprintf "fstat %d" fd
+  | Op.Readdir path -> Printf.sprintf "readdir %s" (quote_path path)
+  | Op.Rename (src, dst) -> Printf.sprintf "rename %s %s" (quote_path src) (quote_path dst)
+  | Op.Truncate (path, size) -> Printf.sprintf "truncate %s %d" (quote_path path) size
+  | Op.Link (src, dst) -> Printf.sprintf "link %s %s" (quote_path src) (quote_path dst)
+  | Op.Symlink (target, path) -> Printf.sprintf "symlink %S %s" target (quote_path path)
+  | Op.Readlink path -> Printf.sprintf "readlink %s" (quote_path path)
+  | Op.Chmod (path, mode) -> Printf.sprintf "chmod %s %o" (quote_path path) mode
+  | Op.Fsync fd -> Printf.sprintf "fsync %d" fd
+  | Op.Sync -> "sync"
+
+let parse_path s =
+  match Path.parse s with
+  | Ok p -> Ok p
+  | Error e -> Error (Format.asprintf "bad path %S: %a" s Path.pp_error e)
+
+let op_of_line line =
+  let ( let* ) = Result.bind in
+  let fail () = Error (Printf.sprintf "unparsable line %S" line) in
+  let try_scan fmt k = try Some (Scanf.sscanf line fmt k) with
+    | Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+  in
+  let keyword = match String.index_opt line ' ' with
+    | Some i -> String.sub line 0 i
+    | None -> line
+  in
+  match keyword with
+  | "create" -> (
+      match try_scan "create %S %o" (fun p m -> (p, m)) with
+      | Some (p, m) ->
+          let* p = parse_path p in
+          Ok (Op.Create (p, m))
+      | None -> fail ())
+  | "mkdir" -> (
+      match try_scan "mkdir %S %o" (fun p m -> (p, m)) with
+      | Some (p, m) ->
+          let* p = parse_path p in
+          Ok (Op.Mkdir (p, m))
+      | None -> fail ())
+  | "unlink" -> (
+      match try_scan "unlink %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Unlink p)
+      | None -> fail ())
+  | "rmdir" -> (
+      match try_scan "rmdir %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Rmdir p)
+      | None -> fail ())
+  | "open" -> (
+      match try_scan "open %S %s" (fun p f -> (p, f)) with
+      | Some (p, f) ->
+          let* p = parse_path p in
+          let* f = flags_of_string f in
+          Ok (Op.Open (p, f))
+      | None -> fail ())
+  | "close" -> (
+      match try_scan "close %d" Fun.id with Some fd -> Ok (Op.Close fd) | None -> fail ())
+  | "pread" -> (
+      match try_scan "pread %d %d %d" (fun a b c -> (a, b, c)) with
+      | Some (fd, off, len) -> Ok (Op.Pread (fd, off, len))
+      | None -> fail ())
+  | "pwrite" -> (
+      match try_scan "pwrite %d %d %S" (fun a b c -> (a, b, c)) with
+      | Some (fd, off, data) -> Ok (Op.Pwrite (fd, off, data))
+      | None -> fail ())
+  | "lookup" -> (
+      match try_scan "lookup %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Lookup p)
+      | None -> fail ())
+  | "stat" -> (
+      match try_scan "stat %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Stat p)
+      | None -> fail ())
+  | "fstat" -> (
+      match try_scan "fstat %d" Fun.id with Some fd -> Ok (Op.Fstat fd) | None -> fail ())
+  | "readdir" -> (
+      match try_scan "readdir %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Readdir p)
+      | None -> fail ())
+  | "rename" -> (
+      match try_scan "rename %S %S" (fun a b -> (a, b)) with
+      | Some (a, b) ->
+          let* a = parse_path a in
+          let* b = parse_path b in
+          Ok (Op.Rename (a, b))
+      | None -> fail ())
+  | "truncate" -> (
+      match try_scan "truncate %S %d" (fun a b -> (a, b)) with
+      | Some (p, size) ->
+          let* p = parse_path p in
+          Ok (Op.Truncate (p, size))
+      | None -> fail ())
+  | "link" -> (
+      match try_scan "link %S %S" (fun a b -> (a, b)) with
+      | Some (a, b) ->
+          let* a = parse_path a in
+          let* b = parse_path b in
+          Ok (Op.Link (a, b))
+      | None -> fail ())
+  | "symlink" -> (
+      match try_scan "symlink %S %S" (fun a b -> (a, b)) with
+      | Some (target, p) ->
+          let* p = parse_path p in
+          Ok (Op.Symlink (target, p))
+      | None -> fail ())
+  | "readlink" -> (
+      match try_scan "readlink %S" Fun.id with
+      | Some p ->
+          let* p = parse_path p in
+          Ok (Op.Readlink p)
+      | None -> fail ())
+  | "chmod" -> (
+      match try_scan "chmod %S %o" (fun a b -> (a, b)) with
+      | Some (p, m) ->
+          let* p = parse_path p in
+          Ok (Op.Chmod (p, m))
+      | None -> fail ())
+  | "fsync" -> (
+      match try_scan "fsync %d" Fun.id with Some fd -> Ok (Op.Fsync fd) | None -> fail ())
+  | "sync" -> Ok Op.Sync
+  | _ -> fail ()
+
+let to_string ops = String.concat "\n" (List.map op_to_line ops) ^ "\n"
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc rest
+        else (
+          match op_of_line trimmed with
+          | Ok op -> go (lineno + 1) (op :: acc) rest
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  go 1 [] lines
+
+let save path ops =
+  try
+    let oc = open_out path in
+    output_string oc (to_string ops);
+    close_out oc;
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    of_string s
+  with Sys_error msg -> Error msg
+
+let replay ~exec fs ops = List.map (fun op -> (op, exec fs op)) ops

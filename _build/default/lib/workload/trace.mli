@@ -1,0 +1,37 @@
+(** Textual operation traces.
+
+    RAE's oplog (paper §3.2) is the in-memory form of an execution trace;
+    this module gives traces a durable, human-readable text form so that
+    error-triggering sequences can be saved, shipped in bug reports, and
+    replayed deterministically against any {!Rae_vfs.Fs_intf.S}
+    implementation — the "sequence and outputs are recorded (input to the
+    shadow), making the shadow filesystem a valuable post-error testing
+    tool" workflow of §4.3.
+
+    Format: one operation per line, keyword first, strings OCaml-quoted:
+    {v
+      mkdir "/mail" 755
+      open "/mail/f00001" rwc
+      pwrite 0 0 "payload..."
+      fsync 0
+      close 0
+      sync
+    v}
+    Lines starting with ['#'] and blank lines are ignored. *)
+
+val op_to_line : Rae_vfs.Op.t -> string
+val op_of_line : string -> (Rae_vfs.Op.t, string) result
+
+val to_string : Rae_vfs.Op.t list -> string
+val of_string : string -> (Rae_vfs.Op.t list, string) result
+(** Fails with a message naming the first bad line (1-indexed). *)
+
+val save : string -> Rae_vfs.Op.t list -> (unit, string) result
+val load : string -> (Rae_vfs.Op.t list, string) result
+
+val replay :
+  exec:('fs -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome) ->
+  'fs ->
+  Rae_vfs.Op.t list ->
+  (Rae_vfs.Op.t * Rae_vfs.Op.outcome) list
+(** Execute a trace, pairing each op with its outcome. *)

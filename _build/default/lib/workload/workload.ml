@@ -1,0 +1,374 @@
+open Rae_vfs
+module Rng = Rae_util.Rng
+
+type profile = Varmail | Fileserver | Webserver | Metadata | Sequential_write | Random_read | Multiclient
+
+let all_profiles =
+  [ Varmail; Fileserver; Webserver; Metadata; Sequential_write; Random_read; Multiclient ]
+
+let profile_name = function
+  | Varmail -> "varmail"
+  | Fileserver -> "fileserver"
+  | Webserver -> "webserver"
+  | Metadata -> "metadata"
+  | Sequential_write -> "seqwrite"
+  | Random_read -> "randread"
+  | Multiclient -> "multiclient"
+
+let profile_of_name s = List.find_opt (fun p -> profile_name p = s) all_profiles
+
+(* ---- uniform generator over a closed universe ---- *)
+
+let names = [| "a"; "b"; "c"; "d" |]
+
+let gen_path rng =
+  let depth = Rng.int_in rng 0 3 in
+  List.init depth (fun _ -> Rng.pick rng names)
+
+let gen_nonroot_path rng =
+  let depth = Rng.int_in rng 1 3 in
+  List.init depth (fun _ -> Rng.pick rng names)
+
+let gen_fd rng = Rng.int rng 8
+let gen_mode rng = Rng.pick rng [| 0o644; 0o600; 0o755; 0o700; 0o444 |]
+
+let gen_flags rng =
+  Rng.pick rng
+    [|
+      Types.flags_ro;
+      Types.flags_rw;
+      Types.flags_create;
+      Types.flags_excl;
+      Types.flags_trunc;
+      Types.flags_append;
+      { Types.flags_rw with Types.rd = false };
+    |]
+
+let gen_data rng =
+  let len = Rng.pick rng [| 0; 1; 7; 64; 500; 4096; 5000 |] in
+  String.init len (fun i -> Char.chr (97 + ((i + Rng.int rng 26) mod 26)))
+
+let gen_target rng =
+  (* Mostly valid absolute targets, sometimes junk. *)
+  if Rng.chance rng 0.8 then Path.to_string (gen_nonroot_path rng)
+  else Rng.pick rng [| "relative/target"; "x"; "/" |]
+
+let gen_uniform_op ?(allow_sync = true) rng =
+  let weighted =
+    [
+      (8, `Create);
+      (6, `Mkdir);
+      (6, `Unlink);
+      (4, `Rmdir);
+      (10, `Open);
+      (8, `Close);
+      (8, `Pread);
+      (10, `Pwrite);
+      (5, `Lookup);
+      (5, `Stat);
+      (3, `Fstat);
+      (4, `Readdir);
+      (6, `Rename);
+      (4, `Truncate);
+      (3, `Link);
+      (3, `Symlink);
+      (2, `Readlink);
+      (3, `Chmod);
+      ((if allow_sync then 2 else 0), `Fsync);
+      ((if allow_sync then 1 else 0), `Sync);
+    ]
+    |> List.filter (fun (w, _) -> w > 0)
+  in
+  match Rng.pick_weighted rng weighted with
+  | `Create -> Op.Create (gen_nonroot_path rng, gen_mode rng)
+  | `Mkdir -> Op.Mkdir (gen_nonroot_path rng, gen_mode rng)
+  | `Unlink -> Op.Unlink (gen_nonroot_path rng)
+  | `Rmdir -> Op.Rmdir (gen_nonroot_path rng)
+  | `Open -> Op.Open (gen_nonroot_path rng, gen_flags rng)
+  | `Close -> Op.Close (gen_fd rng)
+  | `Pread -> Op.Pread (gen_fd rng, Rng.int rng 6000, Rng.int rng 6000)
+  | `Pwrite -> Op.Pwrite (gen_fd rng, Rng.int rng 6000, gen_data rng)
+  | `Lookup -> Op.Lookup (gen_path rng)
+  | `Stat -> Op.Stat (gen_path rng)
+  | `Fstat -> Op.Fstat (gen_fd rng)
+  | `Readdir -> Op.Readdir (gen_path rng)
+  | `Rename -> Op.Rename (gen_nonroot_path rng, gen_nonroot_path rng)
+  | `Truncate -> Op.Truncate (gen_nonroot_path rng, Rng.int rng 10000)
+  | `Link -> Op.Link (gen_nonroot_path rng, gen_nonroot_path rng)
+  | `Symlink -> Op.Symlink (gen_target rng, gen_nonroot_path rng)
+  | `Readlink -> Op.Readlink (gen_nonroot_path rng)
+  | `Chmod -> Op.Chmod (gen_nonroot_path rng, gen_mode rng)
+  | `Fsync -> Op.Fsync (gen_fd rng)
+  | `Sync -> Op.Sync
+
+let uniform rng ~count = List.init count (fun _ -> gen_uniform_op rng)
+let uniform_mutations rng ~count = List.init count (fun _ -> gen_uniform_op ~allow_sync:false rng)
+
+(* ---- profile generators ----
+
+   Stateful: each tracks the population of files it has created so the
+   emitted sequence mostly succeeds on an initially-empty filesystem. *)
+
+type sim = {
+  rng : Rng.t;
+  mutable files : Path.t list;  (* existing files, newest first *)
+  mutable next_id : int;
+  mutable acc : Op.t list;  (* reversed *)
+  dirs : Path.t list;
+}
+
+let emit sim op = sim.acc <- op :: sim.acc
+
+let fresh_file sim =
+  let dir = Rng.pick sim.rng (Array.of_list sim.dirs) in
+  let path = Path.append dir (Printf.sprintf "f%05d" sim.next_id) in
+  sim.next_id <- sim.next_id + 1;
+  path
+
+let pick_file sim = match sim.files with [] -> None | _ -> Some (Rng.pick sim.rng (Array.of_list sim.files))
+
+let remove_file sim path = sim.files <- List.filter (fun p -> not (Path.equal p path)) sim.files
+
+let mk_sim rng dirs =
+  let sim = { rng; files = []; next_id = 0; acc = []; dirs } in
+  List.iter (fun d -> emit sim (Op.Mkdir (d, 0o755))) dirs;
+  sim
+
+let payload rng lo hi =
+  let len = Rng.int_in rng lo hi in
+  String.make len (Char.chr (97 + Rng.int rng 26))
+
+(* varmail: create/append/fsync/read/delete over a mail-spool population. *)
+let varmail rng ~count =
+  let dirs = [ Path.parse_exn "/mail" ] in
+  let sim = mk_sim rng dirs in
+  while List.length sim.acc < count do
+    match Rng.pick_weighted sim.rng [ (4, `Deliver); (3, `Read_mail); (2, `Append); (2, `Delete) ] with
+    | `Deliver ->
+        let f = fresh_file sim in
+        emit sim (Op.Open (f, Types.flags_create));
+        emit sim (Op.Pwrite (0, 0, payload sim.rng 200 2000));
+        emit sim (Op.Fsync 0);
+        emit sim (Op.Close 0);
+        sim.files <- f :: sim.files
+    | `Read_mail -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Open (f, Types.flags_ro));
+            emit sim (Op.Pread (0, 0, 4096));
+            emit sim (Op.Close 0))
+    | `Append -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Open (f, Types.flags_append));
+            emit sim (Op.Pwrite (0, 0, payload sim.rng 100 500));
+            emit sim (Op.Fsync 0);
+            emit sim (Op.Close 0))
+    | `Delete -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Unlink f);
+            remove_file sim f)
+  done;
+  List.rev sim.acc
+
+(* fileserver: create/write/read/stat/delete with a larger working set. *)
+let fileserver rng ~count =
+  let dirs = List.init 4 (fun i -> Path.parse_exn (Printf.sprintf "/srv%d" i)) in
+  let sim = mk_sim rng dirs in
+  while List.length sim.acc < count do
+    match
+      Rng.pick_weighted sim.rng
+        [ (3, `Create); (4, `Whole_read); (3, `Append); (2, `Stat); (1, `Delete); (1, `List) ]
+    with
+    | `Create ->
+        let f = fresh_file sim in
+        emit sim (Op.Open (f, Types.flags_create));
+        emit sim (Op.Pwrite (0, 0, payload sim.rng 1000 16000));
+        emit sim (Op.Close 0);
+        sim.files <- f :: sim.files
+    | `Whole_read -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Open (f, Types.flags_ro));
+            emit sim (Op.Pread (0, 0, 16384));
+            emit sim (Op.Close 0))
+    | `Append -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Open (f, Types.flags_append));
+            emit sim (Op.Pwrite (0, 0, payload sim.rng 500 4000));
+            emit sim (Op.Close 0))
+    | `Stat -> ( match pick_file sim with None -> () | Some f -> emit sim (Op.Stat f))
+    | `Delete -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Unlink f);
+            remove_file sim f)
+    | `List ->
+        let d = Rng.pick sim.rng (Array.of_list sim.dirs) in
+        emit sim (Op.Readdir d)
+  done;
+  List.rev sim.acc
+
+(* webserver: read-heavy over a pre-created document tree + a log append. *)
+let webserver rng ~count =
+  let sim = mk_sim rng [ Path.parse_exn "/htdocs" ] in
+  (* Pre-populate documents. *)
+  for _ = 1 to 50 do
+    let f = fresh_file sim in
+    emit sim (Op.Open (f, Types.flags_create));
+    emit sim (Op.Pwrite (0, 0, payload sim.rng 2000 12000));
+    emit sim (Op.Close 0);
+    sim.files <- f :: sim.files
+  done;
+  emit sim (Op.Mkdir (Path.parse_exn "/logs", 0o755));
+  emit sim (Op.Create (Path.parse_exn "/logs/access.log", 0o644));
+  while List.length sim.acc < count do
+    match Rng.pick_weighted sim.rng [ (9, `Get); (1, `Log) ] with
+    | `Get -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Open (f, Types.flags_ro));
+            emit sim (Op.Pread (0, 0, 16384));
+            emit sim (Op.Close 0))
+    | `Log ->
+        emit sim (Op.Open (Path.parse_exn "/logs/access.log", Types.flags_append));
+        emit sim (Op.Pwrite (0, 0, payload sim.rng 80 200));
+        emit sim (Op.Close 0)
+  done;
+  List.rev sim.acc
+
+(* metadata: creates/renames/links/removals, little data. *)
+let metadata rng ~count =
+  let dirs = List.init 8 (fun i -> Path.parse_exn (Printf.sprintf "/d%d" i)) in
+  let sim = mk_sim rng dirs in
+  while List.length sim.acc < count do
+    match
+      Rng.pick_weighted sim.rng
+        [ (4, `Create); (3, `Rename); (2, `Link); (2, `Unlink); (2, `Mkdir_rmdir); (2, `Symlink); (1, `Chmod) ]
+    with
+    | `Create ->
+        let f = fresh_file sim in
+        emit sim (Op.Create (f, 0o644));
+        sim.files <- f :: sim.files
+    | `Rename -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            let dst = fresh_file sim in
+            emit sim (Op.Rename (f, dst));
+            remove_file sim f;
+            sim.files <- dst :: sim.files)
+    | `Link -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            let dst = fresh_file sim in
+            emit sim (Op.Link (f, dst));
+            sim.files <- dst :: sim.files)
+    | `Unlink -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            emit sim (Op.Unlink f);
+            remove_file sim f)
+    | `Mkdir_rmdir ->
+        let d = Path.parse_exn (Printf.sprintf "/tmp%d" sim.next_id) in
+        sim.next_id <- sim.next_id + 1;
+        emit sim (Op.Mkdir (d, 0o755));
+        emit sim (Op.Rmdir d)
+    | `Symlink -> (
+        match pick_file sim with
+        | None -> ()
+        | Some f ->
+            let l = fresh_file sim in
+            emit sim (Op.Symlink (Path.to_string f, l));
+            sim.files <- l :: sim.files)
+    | `Chmod -> (
+        match pick_file sim with None -> () | Some f -> emit sim (Op.Chmod (f, 0o600)))
+  done;
+  List.rev sim.acc
+
+(* sequential write: one large file written in block-sized chunks. *)
+let sequential_write rng ~count =
+  let f = Path.parse_exn "/big.dat" in
+  let ops = ref [ Op.Open (f, Types.flags_create) ] in
+  let chunk = payload rng 4096 4096 in
+  for i = 0 to count - 2 do
+    ops := Op.Pwrite (0, i * 4096, chunk) :: !ops
+  done;
+  List.rev (Op.Close 0 :: !ops)
+
+(* random read: pre-written file, random-offset reads. *)
+let random_read rng ~count =
+  let f = Path.parse_exn "/data.bin" in
+  let setup =
+    [ Op.Open (f, Types.flags_create) ]
+    @ List.init 64 (fun i -> Op.Pwrite (0, i * 4096, payload rng 4096 4096))
+  in
+  let reads = List.init (max 0 (count - List.length setup)) (fun _ -> Op.Pread (0, Rng.int rng 64 * 4096, 4096)) in
+  setup @ reads @ [ Op.Close 0 ]
+
+(* multiclient: N simulated clients, each holding a long-lived descriptor
+   to its own log file, interleaving appends, reads, fstats and the odd
+   fsync.  Exercises recovery with many live descriptors at the moment of
+   an error (fd-table reconstruction, paper 2.2). *)
+let multiclient rng ~count =
+  let nclients = 8 in
+  let acc = ref [ Op.Mkdir (Path.parse_exn "/mc", 0o755) ] in
+  let emit op = acc := op :: !acc in
+  let sizes = Array.make nclients 0 in
+  (* Client k opens /mc/client<k>; fds are allocated 0..N-1 in order
+     because nothing ever closes. *)
+  let client_flags = { Types.flags_append with Types.creat = true } in
+  for k = 0 to nclients - 1 do
+    emit (Op.Open (Path.parse_exn (Printf.sprintf "/mc/client%d" k), client_flags))
+  done;
+  while List.length !acc < count do
+    let k = Rng.int rng nclients in
+    match Rng.pick_weighted rng [ (5, `Append); (3, `Read); (2, `Fstat); (1, `Fsync) ] with
+    | `Append ->
+        let data = payload rng 50 400 in
+        emit (Op.Pwrite (k, 0, data)) (* append flag: offset ignored *);
+        sizes.(k) <- sizes.(k) + String.length data
+    | `Read ->
+        let off = if sizes.(k) = 0 then 0 else Rng.int rng sizes.(k) in
+        emit (Op.Pread (k, off, 512))
+    | `Fstat -> emit (Op.Fstat k)
+    | `Fsync -> emit (Op.Fsync k)
+  done;
+  List.rev !acc
+
+let ops profile rng ~count =
+  match profile with
+  | Varmail -> varmail rng ~count
+  | Fileserver -> fileserver rng ~count
+  | Webserver -> webserver rng ~count
+  | Metadata -> metadata rng ~count
+  | Sequential_write -> sequential_write rng ~count
+  | Random_read -> random_read rng ~count
+  | Multiclient -> multiclient rng ~count
+
+let pp_summary ppf ops =
+  let tbl = Hashtbl.create 20 in
+  List.iter
+    (fun op ->
+      let k = Op.kind op in
+      Hashtbl.replace tbl k ((try Hashtbl.find tbl k with Not_found -> 0) + 1))
+    ops;
+  Format.fprintf ppf "@[<h>%d ops:" (List.length ops);
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt tbl k with
+      | Some n -> Format.fprintf ppf " %s=%d" (Op.kind_to_string k) n
+      | None -> ())
+    Op.all_kinds;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,49 @@
+(** Seeded workload generators.
+
+    Two families:
+
+    - {b uniform} — operations drawn over a small closed path universe,
+      fds drawn from a small integer range.  Error outcomes (ENOENT,
+      EEXIST, EBADF, ...) are part of the workload; this is the generator
+      the implementation-equivalence property tests use, because any two
+      correct implementations must agree on *every* outcome, errors
+      included.
+    - {b profiles} — filebench-style application shapes (varmail,
+      fileserver, webserver, metadata-heavy), generating operation
+      sequences that mostly succeed against an initially-empty filesystem.
+      These drive the performance benches (experiments E3-E7) and the
+      availability experiment (E8).
+
+    All generators are deterministic functions of the {!Rae_util.Rng.t}
+    passed in. *)
+
+type profile =
+  | Varmail
+  | Fileserver
+  | Webserver
+  | Metadata
+  | Sequential_write
+  | Random_read
+  | Multiclient  (** many clients, each with a long-lived open descriptor *)
+
+val all_profiles : profile list
+val profile_name : profile -> string
+val profile_of_name : string -> profile option
+
+val uniform : Rae_util.Rng.t -> count:int -> Rae_vfs.Op.t list
+(** Ops over a closed universe of paths (depth <= 3, 4 names per level) and
+    fds 0..7; all 20 operation kinds appear. *)
+
+val uniform_mutations : Rae_util.Rng.t -> count:int -> Rae_vfs.Op.t list
+(** Like {!uniform} but excluding [Fsync]/[Sync] (for replay against
+    implementations where sync is a commit barrier, to keep the recorded
+    window open). *)
+
+val ops : profile -> Rae_util.Rng.t -> count:int -> Rae_vfs.Op.t list
+(** Generate approximately [count] operations of the given profile,
+    including any setup prefix (mkdir of working directories etc.).
+    Profiles are stateful generators that track which files they created,
+    so the sequences largely succeed. *)
+
+val pp_summary : Format.formatter -> Rae_vfs.Op.t list -> unit
+(** Histogram of op kinds, for logging. *)

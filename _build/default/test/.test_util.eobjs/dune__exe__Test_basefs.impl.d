@@ -1,0 +1,1 @@
+test/test_basefs.ml: Alcotest Errno Format List Op Path Printf QCheck2 QCheck_alcotest Rae_basefs Rae_block Rae_cache Rae_format Rae_fsck Rae_specfs Rae_util Rae_vfs Rae_workload Result String Types

@@ -1,0 +1,1 @@
+test/test_block.ml: Alcotest Blkmq Bytes Crashsim Device Disk Fault List Rae_block Rae_util

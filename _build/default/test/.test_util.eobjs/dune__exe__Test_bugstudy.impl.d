@@ -1,0 +1,1 @@
+test/test_bugstudy.ml: Alcotest Format List Rae_bugstudy String

@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Hashtbl Int List Printf QCheck2 QCheck_alcotest Rae_cache Rae_vfs

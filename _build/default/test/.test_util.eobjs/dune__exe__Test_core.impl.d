@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Errno Format List Op Path Printf QCheck2 QCheck_alcotest Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_specfs Rae_util Rae_vfs Rae_workload Result String Types

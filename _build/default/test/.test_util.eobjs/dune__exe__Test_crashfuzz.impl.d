@@ -1,0 +1,1 @@
+test/test_crashfuzz.ml: Alcotest Format Int64 List Path QCheck2 QCheck_alcotest Rae_basefs Rae_block Rae_format Rae_fsck Rae_util Rae_vfs Rae_workload Result String Types

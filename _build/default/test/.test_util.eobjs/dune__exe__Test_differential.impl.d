@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Format List Op Option Path Printf QCheck2 QCheck_alcotest Rae_basefs Rae_core Rae_vfs Rae_workload String

@@ -1,0 +1,1 @@
+test/test_format.ml: Alcotest Array Bitmap Bytes Dirent Hashtbl Inode Layout List Mkfs Printf QCheck2 QCheck_alcotest Rae_block Rae_format Rae_util Rae_vfs Reader Result String Superblock

@@ -1,0 +1,1 @@
+test/test_fsck.ml: Alcotest Array Bytes Char Dirent Format Inode Layout List Mkfs Printf QCheck2 QCheck_alcotest Rae_block Rae_format Rae_fsck Rae_vfs Result Superblock

@@ -1,0 +1,1 @@
+test/test_inflight.ml: Alcotest Format List Op Path Printf Rae_basefs Rae_block Rae_core Rae_format Rae_fsck Rae_specfs Rae_vfs Result Types

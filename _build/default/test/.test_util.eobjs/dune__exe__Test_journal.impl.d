@@ -1,0 +1,1 @@
+test/test_journal.ml: Alcotest Bytes Char Crashsim Device Disk Fault List QCheck2 QCheck_alcotest Rae_block Rae_format Rae_journal Result

@@ -1,0 +1,1 @@
+test/test_largefile.ml: Alcotest Errno Format List Op Path Printf Rae_basefs Rae_block Rae_format Rae_fsck Rae_shadowfs Rae_specfs Rae_vfs Result String Types

@@ -1,0 +1,1 @@
+test/test_oplog.ml: Alcotest Errno Format List Op Path Rae_core Rae_vfs String Types

@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Array Bytes Char Dirent Format Inode Layout List Rae_basefs Rae_block Rae_format Rae_fsck Rae_util Rae_vfs Rae_workload Reader Result String Superblock

@@ -1,0 +1,1 @@
+test/test_shadowfs.ml: Alcotest Bytes Errno Format List Op Path QCheck2 QCheck_alcotest Rae_block Rae_format Rae_shadowfs Rae_specfs Rae_util Rae_vfs Rae_workload Result String Types

@@ -1,0 +1,1 @@
+test/test_specfs.ml: Alcotest Errno List Op Path QCheck2 QCheck_alcotest Rae_specfs Rae_vfs Result String Types

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Filename List Op Path QCheck2 QCheck_alcotest Rae_specfs Rae_util Rae_vfs Rae_workload Result String Sys Types

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Checksum Codec Format Fun Hashtbl Int32 Int64 QCheck2 QCheck_alcotest Rae_util Rng String Vclock

@@ -1,0 +1,1 @@
+test/test_vfs.ml: Alcotest Errno Fs_intf List Op Path Printf QCheck2 QCheck_alcotest Rae_vfs String Types

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Format List Op Printf Rae_specfs Rae_util Rae_vfs Rae_workload String

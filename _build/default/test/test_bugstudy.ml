@@ -1,0 +1,183 @@
+(* Tests for rae_bugstudy: the classification pipeline must reproduce the
+   paper's Table 1 exactly and Figure 1's structure. *)
+
+module T = Rae_bugstudy.Taxonomy
+module Corpus = Rae_bugstudy.Corpus
+module Study = Rae_bugstudy.Study
+
+let corpus = Corpus.records ()
+let table = Study.table1 corpus
+
+let test_corpus_size () =
+  Alcotest.(check int) "256 bugs" 256 (List.length corpus);
+  Alcotest.(check int) "size constant" 256 Corpus.size;
+  Alcotest.(check int) "ids unique" 256
+    (List.length (List.sort_uniq compare (List.map (fun r -> r.T.id) corpus)))
+
+let test_corpus_deterministic () =
+  Alcotest.(check bool) "same corpus every call" true (Corpus.records () = corpus)
+
+(* The exact published Table 1. *)
+let test_table1_deterministic_row () =
+  let c = table.Study.deterministic in
+  Alcotest.(check int) "no crash" 68 c.Study.no_crash;
+  Alcotest.(check int) "crash" 78 c.Study.crash;
+  Alcotest.(check int) "warn" 11 c.Study.warn;
+  Alcotest.(check int) "unknown" 8 c.Study.unknown;
+  Alcotest.(check int) "total" 165 (Study.cell_total c)
+
+let test_table1_nondeterministic_row () =
+  let c = table.Study.non_deterministic in
+  Alcotest.(check int) "no crash" 31 c.Study.no_crash;
+  Alcotest.(check int) "crash" 26 c.Study.crash;
+  Alcotest.(check int) "warn" 19 c.Study.warn;
+  Alcotest.(check int) "unknown" 7 c.Study.unknown;
+  Alcotest.(check int) "total" 83 (Study.cell_total c)
+
+let test_table1_unknown_row () =
+  let c = table.Study.unknown_det in
+  Alcotest.(check int) "no crash" 5 c.Study.no_crash;
+  Alcotest.(check int) "crash" 2 c.Study.crash;
+  Alcotest.(check int) "warn" 1 c.Study.warn;
+  Alcotest.(check int) "unknown" 0 c.Study.unknown;
+  Alcotest.(check int) "total" 8 (Study.cell_total c)
+
+let test_grand_total () = Alcotest.(check int) "256 total" 256 (Study.grand_total table)
+
+let test_headline_claims () =
+  (* §2.1: "deterministic bugs are prevalent (165/256), and a significant
+     portion cause crashes or warnings that are detected as runtime
+     errors (89/165)". *)
+  Alcotest.(check int) "165 deterministic" 165 (Study.cell_total table.Study.deterministic);
+  Alcotest.(check int) "89 detectable" 89 (Study.detectable_deterministic table)
+
+let test_fig1_structure () =
+  let series = Study.fig1 corpus in
+  Alcotest.(check int) "11 years" 11 (List.length series);
+  Alcotest.(check (list int)) "years 2013..2023"
+    (List.init 11 (fun i -> 2013 + i))
+    (List.map fst series);
+  let total = List.fold_left (fun acc (_, c) -> acc + Study.cell_total c) 0 series in
+  Alcotest.(check int) "sums to 165 deterministic bugs" 165 total
+
+let test_fig1_trend () =
+  (* §2.1: "more bugs are fixed in recent years". *)
+  let series = Study.fig1 corpus in
+  let year y = Study.cell_total (List.assoc y series) in
+  Alcotest.(check bool) "2022 is the peak" true
+    (List.for_all (fun (y, c) -> y = 2022 || Study.cell_total c <= year 2022) series);
+  let early = year 2013 + year 2014 + year 2015 in
+  let late = year 2021 + year 2022 + year 2023 in
+  Alcotest.(check bool) "recent years dominate" true (late > 2 * early)
+
+let test_classifier_determinism_rules () =
+  let base =
+    {
+      T.id = 0;
+      title = "t";
+      fix_year = 2020;
+      subsystem = "extents";
+      source = T.Bugzilla;
+      has_reproducer = true;
+      involves_threading = false;
+      involves_inflight_io = false;
+      symptom_in_commit = Some T.Oops_or_bug;
+      analyzable = true;
+    }
+  in
+  Alcotest.(check string) "reproducible+serial = det" "Deterministic"
+    (T.determinism_to_string (T.classify_determinism base));
+  Alcotest.(check string) "no reproducer = nondet" "Non-Deterministic"
+    (T.determinism_to_string (T.classify_determinism { base with T.has_reproducer = false }));
+  Alcotest.(check string) "threading = nondet" "Non-Deterministic"
+    (T.determinism_to_string (T.classify_determinism { base with T.involves_threading = true }));
+  Alcotest.(check string) "inflight io = nondet" "Non-Deterministic"
+    (T.determinism_to_string (T.classify_determinism { base with T.involves_inflight_io = true }));
+  Alcotest.(check string) "unanalyzable = unknown" "Unknown"
+    (T.determinism_to_string (T.classify_determinism { base with T.analyzable = false }))
+
+let test_classifier_consequence_rules () =
+  let with_symptom s =
+    {
+      T.id = 0;
+      title = "t";
+      fix_year = 2020;
+      subsystem = "jbd2";
+      source = T.Reported_by_tag;
+      has_reproducer = true;
+      involves_threading = false;
+      involves_inflight_io = false;
+      symptom_in_commit = s;
+      analyzable = true;
+    }
+  in
+  let conseq s = T.consequence_to_string (T.classify_consequence (with_symptom s)) in
+  Alcotest.(check string) "oops = crash" "Crash" (conseq (Some T.Oops_or_bug));
+  Alcotest.(check string) "warn hit = warn" "WARN" (conseq (Some T.Warn_hit));
+  Alcotest.(check string) "corruption = no crash" "No Crash" (conseq (Some T.Data_corruption));
+  Alcotest.(check string) "perf = no crash" "No Crash" (conseq (Some T.Performance_issue));
+  Alcotest.(check string) "permission = no crash" "No Crash" (conseq (Some T.Permission_issue));
+  Alcotest.(check string) "freeze = no crash" "No Crash" (conseq (Some T.Freeze_or_deadlock));
+  Alcotest.(check string) "no stated symptom = unknown" "Unknown" (conseq None)
+
+let test_detected_at_runtime () =
+  Alcotest.(check bool) "crash detected" true (T.is_detected_at_runtime T.Crash);
+  Alcotest.(check bool) "warn detected" true (T.is_detected_at_runtime T.Warn);
+  Alcotest.(check bool) "no-crash not" false (T.is_detected_at_runtime T.No_crash);
+  Alcotest.(check bool) "unknown not" false (T.is_detected_at_runtime T.Unknown_consequence)
+
+let test_corpus_covers_attribute_space () =
+  let some f = List.exists f corpus in
+  Alcotest.(check bool) "both sources" true
+    (some (fun r -> r.T.source = T.Bugzilla) && some (fun r -> r.T.source = T.Reported_by_tag));
+  Alcotest.(check bool) "threading bugs present" true (some (fun r -> r.T.involves_threading));
+  Alcotest.(check bool) "inflight-io bugs present" true (some (fun r -> r.T.involves_inflight_io));
+  Alcotest.(check bool) "no-reproducer bugs present" true (some (fun r -> not r.T.has_reproducer));
+  Alcotest.(check bool) "several subsystems" true
+    (List.length (List.sort_uniq compare (List.map (fun r -> r.T.subsystem) corpus)) >= 8);
+  Alcotest.(check bool) "years within bounds" true
+    (List.for_all (fun r -> r.T.fix_year >= Corpus.first_year && r.T.fix_year <= Corpus.last_year) corpus)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_rendering () =
+  let t1 = Format.asprintf "%a" Study.pp_table1 table in
+  Alcotest.(check bool) "table mentions the 165 row" true
+    (contains t1 "165" && contains t1 "Deterministic" && contains t1 "256");
+  let f1 = Format.asprintf "%a" Study.pp_fig1 (Study.fig1 corpus) in
+  Alcotest.(check bool) "figure mentions 2013 and 2023" true
+    (contains f1 "2013" && contains f1 "2023")
+
+let () =
+  Alcotest.run "rae_bugstudy"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "size" `Quick test_corpus_size;
+          Alcotest.test_case "deterministic generation" `Quick test_corpus_deterministic;
+          Alcotest.test_case "attribute coverage" `Quick test_corpus_covers_attribute_space;
+        ] );
+      ( "table1",
+        [
+          Alcotest.test_case "deterministic row" `Quick test_table1_deterministic_row;
+          Alcotest.test_case "non-deterministic row" `Quick test_table1_nondeterministic_row;
+          Alcotest.test_case "unknown row" `Quick test_table1_unknown_row;
+          Alcotest.test_case "grand total" `Quick test_grand_total;
+          Alcotest.test_case "headline claims" `Quick test_headline_claims;
+        ] );
+      ( "fig1",
+        [
+          Alcotest.test_case "structure" `Quick test_fig1_structure;
+          Alcotest.test_case "trend" `Quick test_fig1_trend;
+        ] );
+      ( "classifiers",
+        [
+          Alcotest.test_case "determinism rules" `Quick test_classifier_determinism_rules;
+          Alcotest.test_case "consequence rules" `Quick test_classifier_consequence_rules;
+          Alcotest.test_case "runtime detectability" `Quick test_detected_at_runtime;
+        ] );
+      ("render", [ Alcotest.test_case "pp functions" `Quick test_rendering ]);
+    ]

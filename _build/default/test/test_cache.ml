@@ -1,0 +1,240 @@
+(* Tests for rae_cache: LRU, 2Q, dentry cache. *)
+
+module IntKey = struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end
+
+module L = Rae_cache.Lru.Make (IntKey)
+module Q = Rae_cache.Two_q.Make (IntKey)
+module Dentry = Rae_cache.Dentry
+module Types = Rae_vfs.Types
+
+(* ---- LRU ---- *)
+
+let test_lru_hit_miss () =
+  let c = L.create ~capacity:2 () in
+  Alcotest.(check (option string)) "miss" None (L.find c 1);
+  L.put c 1 "one";
+  Alcotest.(check (option string)) "hit" (Some "one") (L.find c 1);
+  let s = L.stats c in
+  Alcotest.(check (pair int int)) "stats" (1, 1) (s.Rae_cache.Lru.hits, s.Rae_cache.Lru.misses)
+
+let test_lru_eviction_order () =
+  let evicted = ref [] in
+  let c = L.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:2 () in
+  L.put c 1 "a";
+  L.put c 2 "b";
+  ignore (L.find c 1) (* promote 1 *);
+  L.put c 3 "c" (* evicts 2, the LRU *);
+  Alcotest.(check (list int)) "evicted LRU" [ 2 ] !evicted;
+  Alcotest.(check bool) "1 kept" true (L.mem c 1);
+  Alcotest.(check bool) "3 present" true (L.mem c 3)
+
+let test_lru_peek_no_promote () =
+  let c = L.create ~capacity:2 () in
+  L.put c 1 "a";
+  L.put c 2 "b";
+  ignore (L.peek c 1) (* does not promote *);
+  L.put c 3 "c";
+  Alcotest.(check bool) "1 evicted despite peek" false (L.mem c 1)
+
+let test_lru_pinning () =
+  let evicted = ref [] in
+  let c = L.create ~on_evict:(fun k _ -> evicted := k :: !evicted) ~capacity:2 () in
+  L.put c 1 "a";
+  L.pin c 1;
+  L.put c 2 "b";
+  L.put c 3 "c" (* must evict 2, not pinned 1 *);
+  Alcotest.(check bool) "pinned survives" true (L.mem c 1);
+  Alcotest.(check (list int)) "evicted unpinned" [ 2 ] !evicted;
+  L.unpin c 1;
+  L.put c 4 "d";
+  Alcotest.(check bool) "unpinned now evictable" false (L.mem c 1)
+
+let test_lru_all_pinned_grows () =
+  let c = L.create ~capacity:2 () in
+  L.put c 1 "a";
+  L.put c 2 "b";
+  L.pin c 1;
+  L.pin c 2;
+  L.put c 3 "c";
+  Alcotest.(check int) "grows past capacity" 3 (L.length c)
+
+let test_lru_replace_updates () =
+  let c = L.create ~capacity:2 () in
+  L.put c 1 "a";
+  L.put c 1 "a2";
+  Alcotest.(check (option string)) "replaced" (Some "a2") (L.find c 1);
+  Alcotest.(check int) "no duplicate" 1 (L.length c)
+
+let test_lru_remove_clear () =
+  let c = L.create ~capacity:4 () in
+  L.put c 1 "a";
+  L.put c 2 "b";
+  L.remove c 1;
+  Alcotest.(check bool) "removed" false (L.mem c 1);
+  L.clear c;
+  Alcotest.(check int) "cleared" 0 (L.length c);
+  (* After clear the recency list must be coherent: inserts still work. *)
+  L.put c 3 "c";
+  Alcotest.(check (option string)) "usable after clear" (Some "c") (L.find c 3)
+
+let prop_lru_capacity_respected =
+  QCheck2.Test.make ~name:"lru never exceeds capacity (unpinned)" ~count:200
+    QCheck2.Gen.(list_size (int_bound 100) (int_bound 20))
+    (fun keys ->
+      let c = L.create ~capacity:5 () in
+      List.iter (fun k -> L.put c k (string_of_int k)) keys;
+      L.length c <= 5)
+
+let prop_lru_contains_recent =
+  QCheck2.Test.make ~name:"lru keeps the most recent insert" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 50) (int_bound 20))
+    (fun keys ->
+      let c = L.create ~capacity:3 () in
+      List.iter (fun k -> L.put c k "v") keys;
+      L.mem c (List.nth keys (List.length keys - 1)))
+
+(* ---- 2Q ---- *)
+
+let test_twoq_basic () =
+  let c = Q.create ~capacity:4 () in
+  Q.put c 1 "a";
+  Alcotest.(check (option string)) "hit" (Some "a") (Q.find c 1);
+  Alcotest.(check (option string)) "miss" None (Q.find c 2)
+
+let test_twoq_ghost_promotion () =
+  let c = Q.create ~capacity:4 ~kin_ratio:0.5 ~kout_ratio:1.0 () in
+  (* Fill A1in and push 1 out into the ghost queue. *)
+  Q.put c 1 "a";
+  Q.put c 2 "b";
+  Q.put c 3 "c";
+  Q.put c 4 "d";
+  Q.put c 5 "e";
+  Q.put c 6 "f";
+  Alcotest.(check bool) "ghosts exist" true (Q.ghost_length c > 0);
+  Alcotest.(check bool) "1 evicted" false (Q.mem c 1);
+  (* Re-admitting a ghosted key goes to Am (hot). *)
+  Q.put c 1 "a'";
+  Alcotest.(check (option string)) "readmitted" (Some "a'") (Q.find c 1)
+
+let test_twoq_scan_resistance () =
+  (* A hot working set re-admitted via ghosts survives a long scan better
+     than it would under plain LRU semantics: after the scan, hot keys
+     readmitted from ghosts sit in Am while scan pages wash through A1in. *)
+  let c = Q.create ~capacity:8 ~kin_ratio:0.25 ~kout_ratio:2.0 () in
+  let hot = [ 1; 2 ] in
+  (* Establish the hot set in Am via ghost promotion. *)
+  List.iter (fun k -> Q.put c k "hot") hot;
+  for i = 100 to 120 do Q.put c i "wash" done;
+  List.iter (fun k -> Q.put c k "hot") hot (* from ghosts -> Am *);
+  (* Long scan of cold keys. *)
+  for i = 200 to 260 do Q.put c i "scan" done;
+  List.iter
+    (fun k -> Alcotest.(check bool) (Printf.sprintf "hot %d survives scan" k) true (Q.mem c k))
+    hot
+
+let test_twoq_pinning () =
+  let c = Q.create ~capacity:2 ~kin_ratio:1.0 () in
+  Q.put c 1 "a";
+  Q.pin c 1;
+  for i = 2 to 10 do Q.put c i "x" done;
+  Alcotest.(check bool) "pinned survives" true (Q.mem c 1);
+  Q.unpin c 1
+
+let test_twoq_remove_clear () =
+  let c = Q.create ~capacity:4 () in
+  Q.put c 1 "a";
+  Q.put c 2 "b";
+  Q.remove c 1;
+  Alcotest.(check bool) "removed" false (Q.mem c 1);
+  Q.clear c;
+  Alcotest.(check int) "cleared" 0 (Q.length c);
+  Alcotest.(check int) "ghosts cleared" 0 (Q.ghost_length c)
+
+let prop_twoq_capacity =
+  QCheck2.Test.make ~name:"2q stays within capacity (unpinned)" ~count:200
+    QCheck2.Gen.(list_size (int_bound 200) (int_bound 40))
+    (fun keys ->
+      let c = Q.create ~capacity:8 () in
+      List.iter (fun k -> Q.put c k "v") keys;
+      Q.length c <= 8)
+
+let prop_twoq_find_after_put =
+  QCheck2.Test.make ~name:"2q: last put always findable" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 100) (int_bound 30))
+    (fun keys ->
+      let c = Q.create ~capacity:6 () in
+      List.iter (fun k -> Q.put c k (string_of_int k)) keys;
+      let last = List.nth keys (List.length keys - 1) in
+      Q.peek c last = Some (string_of_int last))
+
+(* ---- Dentry ---- *)
+
+let test_dentry_positive_negative () =
+  let d = Dentry.create ~capacity:16 in
+  Dentry.add d ~dir:1 ~name:"a" (Dentry.Present { ino = 5; kind = Types.Regular });
+  Dentry.add d ~dir:1 ~name:"gone" Dentry.Absent;
+  (match Dentry.find d ~dir:1 ~name:"a" with
+  | Some (Dentry.Present { ino; _ }) -> Alcotest.(check int) "positive" 5 ino
+  | _ -> Alcotest.fail "expected positive entry");
+  (match Dentry.find d ~dir:1 ~name:"gone" with
+  | Some Dentry.Absent -> ()
+  | _ -> Alcotest.fail "expected negative entry");
+  Alcotest.(check bool) "unknown is None" true (Dentry.find d ~dir:1 ~name:"other" = None)
+
+let test_dentry_scoped_by_dir () =
+  let d = Dentry.create ~capacity:16 in
+  Dentry.add d ~dir:1 ~name:"x" (Dentry.Present { ino = 5; kind = Types.Regular });
+  Alcotest.(check bool) "same name other dir missing" true (Dentry.find d ~dir:2 ~name:"x" = None)
+
+let test_dentry_invalidate () =
+  let d = Dentry.create ~capacity:16 in
+  Dentry.add d ~dir:1 ~name:"x" (Dentry.Present { ino = 5; kind = Types.Regular });
+  Dentry.add d ~dir:1 ~name:"y" (Dentry.Present { ino = 6; kind = Types.Regular });
+  Dentry.add d ~dir:2 ~name:"z" (Dentry.Present { ino = 7; kind = Types.Regular });
+  Dentry.invalidate d ~dir:1 ~name:"x";
+  Alcotest.(check bool) "x dropped" true (Dentry.find d ~dir:1 ~name:"x" = None);
+  Alcotest.(check bool) "y kept" true (Dentry.find d ~dir:1 ~name:"y" <> None);
+  Dentry.invalidate_dir d ~dir:1;
+  Alcotest.(check bool) "y dropped with dir" true (Dentry.find d ~dir:1 ~name:"y" = None);
+  Alcotest.(check bool) "other dir kept" true (Dentry.find d ~dir:2 ~name:"z" <> None);
+  Dentry.clear d;
+  Alcotest.(check int) "cleared" 0 (Dentry.length d)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_cache"
+    [
+      ( "lru",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_lru_hit_miss;
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "peek no promote" `Quick test_lru_peek_no_promote;
+          Alcotest.test_case "pinning" `Quick test_lru_pinning;
+          Alcotest.test_case "all pinned grows" `Quick test_lru_all_pinned_grows;
+          Alcotest.test_case "replace" `Quick test_lru_replace_updates;
+          Alcotest.test_case "remove/clear" `Quick test_lru_remove_clear;
+          q prop_lru_capacity_respected;
+          q prop_lru_contains_recent;
+        ] );
+      ( "two_q",
+        [
+          Alcotest.test_case "basic" `Quick test_twoq_basic;
+          Alcotest.test_case "ghost promotion" `Quick test_twoq_ghost_promotion;
+          Alcotest.test_case "scan resistance" `Quick test_twoq_scan_resistance;
+          Alcotest.test_case "pinning" `Quick test_twoq_pinning;
+          Alcotest.test_case "remove/clear" `Quick test_twoq_remove_clear;
+          q prop_twoq_capacity;
+          q prop_twoq_find_after_put;
+        ] );
+      ( "dentry",
+        [
+          Alcotest.test_case "positive/negative" `Quick test_dentry_positive_negative;
+          Alcotest.test_case "scoped by dir" `Quick test_dentry_scoped_by_dir;
+          Alcotest.test_case "invalidation" `Quick test_dentry_invalidate;
+        ] );
+    ]

@@ -1,0 +1,518 @@
+(* End-to-end tests for rae_core: transparent masking of every bug class,
+   state reconstruction fidelity, fd preservation, delegated sync,
+   discrepancy reporting, graceful degradation. *)
+
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Report = Rae_core.Report
+module Spec = Rae_specfs.Spec
+module Disk = Rae_block.Disk
+module Device = Rae_block.Device
+module Layout = Rae_format.Layout
+
+let p = Path.parse_exn
+let bs = Layout.block_size
+let ok = Result.get_ok
+
+let arm ?(rng_seed = 9L) ids =
+  Bug_registry.arm ~rng:(Rae_util.Rng.create rng_seed) (List.filter_map Bug_registry.find ids)
+
+let mk ?policy ?config ?bugs ?(nblocks = 2048) ?(ninodes = 256) () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes ()));
+  let base = ok (Base.mount ?config ?bugs dev) in
+  (disk, dev, Controller.make ?policy ~device:dev base)
+
+(* Run a trace through both the controller and the spec, asserting outcome
+   equality op by op.  This is the paper's core claim: despite runtime
+   errors, applications observe exactly POSIX semantics. *)
+let assert_matches_spec ?(expect_recoveries = false) ctl ops =
+  let sp = Spec.make () in
+  List.iteri
+    (fun i op ->
+      let want = Spec.exec sp op in
+      let got = Controller.exec ctl op in
+      if not (Op.outcome_equal want got) then
+        Alcotest.failf "op %d %s: spec %s, RAE %s (recoveries so far: %d)" i (Op.to_string op)
+          (Format.asprintf "%a" Op.pp_outcome want)
+          (Format.asprintf "%a" Op.pp_outcome got)
+          (Controller.stats ctl).Controller.recoveries)
+    ops;
+  if expect_recoveries then
+    Alcotest.(check bool) "at least one recovery happened" true
+      ((Controller.stats ctl).Controller.recoveries > 0);
+  Alcotest.(check (option Alcotest.string)) "not degraded" None (Controller.degraded ctl)
+
+(* ---- healthy-path behaviour ---- *)
+
+let test_passthrough_no_bugs () =
+  let _disk, _dev, ctl = mk () in
+  let rng = Rae_util.Rng.create 1L in
+  assert_matches_spec ctl (Rae_workload.Workload.uniform rng ~count:400);
+  Alcotest.(check int) "no recoveries" 0 (Controller.stats ctl).Controller.recoveries
+
+let test_oplog_prunes_at_commit () =
+  let _disk, _dev, ctl = mk () in
+  ignore (ok (Controller.create ctl (p "/a") ~mode:0o644));
+  ignore (ok (Controller.create ctl (p "/b") ~mode:0o644));
+  Alcotest.(check int) "window grows" 2 (Controller.stats ctl).Controller.window;
+  ignore (ok (Controller.sync ctl));
+  Alcotest.(check int) "window pruned at commit" 0 (Controller.stats ctl).Controller.window;
+  Alcotest.(check bool) "discards counted" true
+    ((Controller.stats ctl).Controller.total_discarded >= 2)
+
+(* ---- masking each bug class ---- *)
+
+let test_mask_panic_bug () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  ignore (ok (Controller.mkdir ctl (p "/d") ~mode:0o755));
+  (* This op panics the base; RAE must mask it. *)
+  let ino = Controller.create ctl (p "/d/pwn") ~mode:0o644 in
+  Alcotest.(check bool) "operation succeeded" true (Result.is_ok ino);
+  Alcotest.(check int) "one recovery" 1 (Controller.stats ctl).Controller.recoveries;
+  (* The created file is really there, on a fully working filesystem. *)
+  Alcotest.(check bool) "visible afterwards" true
+    (Result.is_ok (Controller.lookup ctl (p "/d/pwn")));
+  ignore (ok (Controller.create ctl (p "/d/after") ~mode:0o644));
+  Alcotest.(check (list string)) "directory consistent" [ "after"; "pwn" ]
+    (ok (Controller.readdir ctl (p "/d")))
+
+let test_mask_deterministic_nth_panic () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "dx-hash-panic" ]) () in
+  ignore (ok (Controller.create ctl (p "/f") ~mode:0o644));
+  (* The 40th lookup panics. *)
+  for _ = 1 to 45 do
+    Alcotest.(check bool) "every lookup answered" true
+      (Result.is_ok (Controller.lookup ctl (p "/f")))
+  done;
+  Alcotest.(check int) "exactly one recovery" 1 (Controller.stats ctl).Controller.recoveries
+
+let test_mask_warn_bug () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "extent-status-warn" ]) () in
+  ignore (ok (Controller.create ctl (p "/f") ~mode:0o644));
+  for i = 1 to 6 do
+    Alcotest.(check bool) "truncate ok" true (Result.is_ok (Controller.truncate ctl (p "/f") ~size:i))
+  done;
+  Alcotest.(check int) "warn triggered recovery" 1 (Controller.stats ctl).Controller.recoveries;
+  (match Controller.last_recovery ctl with
+  | Some r -> (
+      match r.Report.r_trigger with
+      | Report.Warning_storm { bug; _ } -> Alcotest.(check string) "trigger" "extent-status-warn" bug
+      | other -> Alcotest.failf "wrong trigger %s" (Report.trigger_to_string other))
+  | None -> Alcotest.fail "no recovery report")
+
+let test_warn_coinciding_with_commit () =
+  (* A WARN on the very operation that triggers the group commit: the
+     window is already durable and validated, so the controller must NOT
+     replay it (that would re-execute durable ops); it accepts the result
+     and continues. *)
+  let _disk, _dev, ctl =
+    mk
+      ~config:{ Base.default_config with Base.commit_interval = 5 }
+      ~bugs:(arm [ "extent-status-warn" ])
+      ()
+  in
+  let sp = Spec.make () in
+  let step op =
+    let want = Spec.exec sp op and got = Controller.exec ctl op in
+    Alcotest.(check bool) (Op.to_string op) true (Op.outcome_equal want got)
+  in
+  step (Op.Create (p "/f", 0o644)) (* mutation 1 *);
+  List.iter (fun i -> step (Op.Truncate (p "/f", i))) [ 1; 2; 3 ] (* mutations 2-4 *);
+  (* Mutation 5 = 5th truncate: fires the WARN *and* the interval commit. *)
+  step (Op.Truncate (p "/f", 4));
+  Alcotest.(check int) "no recovery for a post-commit warn" 0
+    (Controller.stats ctl).Controller.recoveries;
+  Alcotest.(check int) "window pruned by the commit" 0 (Controller.stats ctl).Controller.window;
+  (* Life goes on, consistently. *)
+  step (Op.Truncate (p "/f", 5));
+  step (Op.Stat (p "/f"));
+  Alcotest.(check (option Alcotest.string)) "not degraded" None (Controller.degraded ctl)
+
+let test_mask_silent_corruption () =
+  (* Corruption is injected on the 30th create and detected at the commit
+     barrier; RAE recovers and the application never notices. *)
+  let _disk, _dev, ctl =
+    mk
+      ~config:{ Base.default_config with Base.commit_interval = 10 }
+      ~bugs:(arm [ "mballoc-freecount" ])
+      ()
+  in
+  let sp = Spec.make () in
+  for i = 1 to 40 do
+    let op = Op.Create (p (Printf.sprintf "/f%03d" i), 0o644) in
+    let want = Spec.exec sp op and got = Controller.exec ctl op in
+    Alcotest.(check bool) (Printf.sprintf "create %d matches spec" i) true
+      (Op.outcome_equal want got)
+  done;
+  Alcotest.(check bool) "recovered from validation failure" true
+    ((Controller.stats ctl).Controller.recoveries >= 1);
+  (match Controller.last_recovery ctl with
+  | Some { Report.r_trigger = Report.Validation _; _ } -> ()
+  | Some r -> Alcotest.failf "wrong trigger %s" (Report.trigger_to_string r.Report.r_trigger)
+  | None -> Alcotest.fail "no report")
+
+let test_mask_hang () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "fsync-deadlock" ]) () in
+  let fd = ok (Controller.openf ctl (p "/f") Types.flags_create) in
+  for i = 1 to 20 do
+    ignore (ok (Controller.pwrite ctl fd ~off:(i * 10) "x"));
+    Alcotest.(check bool) (Printf.sprintf "fsync %d ok" i) true
+      (Result.is_ok (Controller.fsync ctl fd))
+  done;
+  Alcotest.(check int) "hang recovered once" 1 (Controller.stats ctl).Controller.recoveries;
+  (match Controller.last_recovery ctl with
+  | Some r ->
+      Alcotest.(check bool) "fsync was delegated to the rebooted base" true
+        r.Report.r_delegated_sync
+  | None -> Alcotest.fail "no report")
+
+let test_mask_nondeterministic_bug () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "rename-race-panic" ]) () in
+  ignore (ok (Controller.create ctl (p "/f0") ~mode:0o644));
+  for i = 0 to 199 do
+    Alcotest.(check bool) "rename ok" true
+      (Result.is_ok
+         (Controller.rename ctl (p (Printf.sprintf "/f%d" i)) (p (Printf.sprintf "/f%d" (i + 1)))))
+  done;
+  Alcotest.(check bool) "racy bug recovered at least once" true
+    ((Controller.stats ctl).Controller.recoveries > 0);
+  Alcotest.(check bool) "file survived 200 renames" true
+    (Result.is_ok (Controller.lookup ctl (p "/f200")))
+
+(* ---- state reconstruction fidelity ---- *)
+
+let test_fd_survives_recovery () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  let fd = ok (Controller.openf ctl (p "/log") Types.flags_create) in
+  ignore (ok (Controller.pwrite ctl fd ~off:0 "before-crash "));
+  (* Trigger a panic on an unrelated operation. *)
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644);
+  Alcotest.(check int) "recovered" 1 (Controller.stats ctl).Controller.recoveries;
+  (* The application's descriptor still works, with the data intact. *)
+  ignore (ok (Controller.pwrite ctl fd ~off:13 "after-crash"));
+  Alcotest.(check string) "descriptor and data preserved" "before-crash after-crash"
+    (ok (Controller.pread ctl fd ~off:0 ~len:100));
+  ignore (ok (Controller.close ctl fd))
+
+let test_orphan_survives_recovery () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  let fd = ok (Controller.openf ctl (p "/doomed") Types.flags_create) in
+  ignore (ok (Controller.pwrite ctl fd ~off:0 "orphan data"));
+  ignore (ok (Controller.unlink ctl (p "/doomed")));
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644) (* panic + recovery *);
+  Alcotest.(check string) "unlinked-but-open file survives recovery" "orphan data"
+    (ok (Controller.pread ctl fd ~off:0 ~len:100));
+  ignore (ok (Controller.close ctl fd))
+
+let test_inode_and_fd_numbers_stable () =
+  (* Paper §2.2: "the inode number of a file and file descriptor numbers
+     must be identical to the applications for completed operations". *)
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  let ino_a = ok (Controller.create ctl (p "/a") ~mode:0o644) in
+  let fd_a = ok (Controller.openf ctl (p "/a") Types.flags_ro) in
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644) (* recovery *);
+  let st = ok (Controller.fstat ctl fd_a) in
+  Alcotest.(check int) "ino unchanged through recovery" ino_a st.Types.st_ino;
+  let st2 = ok (Controller.stat ctl (p "/a")) in
+  Alcotest.(check int) "path agrees" ino_a st2.Types.st_ino
+
+let test_recovery_report_contents () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  ignore (ok (Controller.create ctl (p "/w1") ~mode:0o644));
+  ignore (ok (Controller.create ctl (p "/w2") ~mode:0o644));
+  ignore (Controller.unlink ctl (p "/missing")) (* an Error op: skipped in replay *);
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644);
+  match Controller.last_recovery ctl with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r ->
+      Alcotest.(check int) "window covers the three ops" 3 r.Report.r_window;
+      Alcotest.(check int) "two replayed" 2 r.Report.r_replayed;
+      Alcotest.(check int) "one skipped (errored in base)" 1 r.Report.r_skipped;
+      Alcotest.(check bool) "handoff carried blocks" true (r.Report.r_handoff_blocks > 0);
+      Alcotest.(check bool) "recovered" true (r.Report.r_outcome = Report.Recovered);
+      Alcotest.(check bool) "report prints" true
+        (String.length (Format.asprintf "%a" Report.pp_recovery r) > 0)
+
+let test_durable_after_recovery () =
+  (* Recovery commits the reconstructed state: a crash right after must
+     preserve it. *)
+  let disk, dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  ignore (ok (Controller.create ctl (p "/w1") ~mode:0o644));
+  ignore (ok (Controller.create ctl (p "/pwn") ~mode:0o644)) (* recovery *);
+  ignore disk;
+  (* Simulate a process crash: fresh mount of the same device. *)
+  let base2 = ok (Base.mount dev) in
+  Alcotest.(check bool) "w1 durable" true (Result.is_ok (Base.lookup base2 (p "/w1")));
+  Alcotest.(check bool) "pwn durable" true (Result.is_ok (Base.lookup base2 (p "/pwn")));
+  Alcotest.(check bool) "image clean" true
+    (Rae_fsck.Fsck.clean (Rae_fsck.Fsck.check_device dev))
+
+(* ---- full-workload availability (experiment E8's core assertion) ---- *)
+
+let test_availability_under_all_bugs () =
+  (* Arm every deterministic bug except the wrong-result one (which by
+     design produces an application-visible wrong answer, detectable only
+     by cross-checking) and run every profile: all outcomes must match the
+     spec exactly. *)
+  (* isize-extension and stat-size-skew are excluded: both are in the
+     app-visible-before-detection class (the paper's undetected NoCrash
+     cell) — the application can observe the corruption in the op that
+     triggers it, before any commit barrier can catch it. *)
+  let ids =
+    [
+      "dx-hash-panic";
+      "extent-status-warn";
+      "mballoc-freecount";
+      "dirent-reclen-zero";
+      "orphan-close-uaf";
+      "fsync-deadlock";
+    ]
+  in
+  List.iter
+    (fun profile ->
+      let _disk, _dev, ctl =
+        mk ~config:{ Base.default_config with Base.commit_interval = 16 } ~bugs:(arm ids) ()
+      in
+      let rng = Rae_util.Rng.create 77L in
+      let ops = Rae_workload.Workload.ops profile rng ~count:300 in
+      assert_matches_spec ctl ops)
+    Rae_workload.Workload.all_profiles
+
+let prop_availability_random_traces =
+  QCheck2.Test.make ~name:"RAE == spec under armed bugs (random traces)" ~count:15
+    QCheck2.Gen.(pair ui64 (int_range 50 250))
+    (fun (seed, count) ->
+      let ids = [ "dx-hash-panic"; "mballoc-freecount"; "orphan-close-uaf"; "extent-status-warn" ] in
+      let _disk, _dev, ctl =
+        mk ~config:{ Base.default_config with Base.commit_interval = 8 } ~bugs:(arm ids) ()
+      in
+      let rng = Rae_util.Rng.create seed in
+      let ops = Rae_workload.Workload.uniform rng ~count in
+      let sp = Spec.make () in
+      List.for_all
+        (fun op ->
+          let want = Spec.exec sp op and got = Controller.exec ctl op in
+          Op.outcome_equal want got)
+        ops)
+
+let test_isize_corruption_caught_and_recovered () =
+  (* isize-extension oversizes a cached inode.  The window between the
+     corruption and the next commit barrier may surface wrong results to
+     the application (EFBIG on appends) — the paper's undetected-error
+     window — but the commit validation must catch it, RAE must recover,
+     and the filesystem must be fully consistent afterwards. *)
+  let _disk, dev, ctl =
+    mk ~config:{ Base.default_config with Base.commit_interval = 8 } ~bugs:(arm [ "isize-extension" ]) ()
+  in
+  let fd = ok (Controller.openf ctl (p "/victim") Types.flags_create) in
+  for i = 0 to 59 do
+    (* pwrite #50 fires the bug; outcomes in the window may be wrong. *)
+    ignore (Controller.pwrite ctl fd ~off:(i * 8) "payload!")
+  done;
+  Alcotest.(check bool) "validation recovery happened" true
+    (List.exists
+       (fun r -> match r.Report.r_trigger with Report.Validation _ -> true | _ -> false)
+       (Controller.recoveries ctl));
+  Alcotest.(check (option Alcotest.string)) "not degraded" None (Controller.degraded ctl);
+  (* Post-recovery the file works and the image is consistent. *)
+  ignore (ok (Controller.pwrite ctl fd ~off:0 "healed!!"));
+  ignore (ok (Controller.close ctl fd));
+  ignore (ok (Controller.sync ctl));
+  Alcotest.(check bool) "fsck clean after recovery" true
+    (Rae_fsck.Fsck.clean (Rae_fsck.Fsck.check_device dev))
+
+let prop_recovery_preserves_whole_tree =
+  (* The strongest reconstruction property: inject a panic at a random
+     point in a random trace, then walk the ENTIRE tree (kinds, sizes,
+     nlinks, modes, full contents) through the public API and compare with
+     the specification. *)
+  QCheck2.Test.make ~name:"post-recovery tree identical to spec" ~count:15
+    QCheck2.Gen.(pair ui64 (int_range 1 30))
+    (fun (seed, nth) ->
+      let bug =
+        {
+          Bug_registry.id = "prop-panic";
+          determinism = Bug_registry.Deterministic;
+          trigger = Bug_registry.Nth_op_of_kind (Op.K_pwrite, nth);
+          consequence = Bug_registry.Panic;
+          modeled_after = "property-test injection";
+        }
+      in
+      let _disk, _dev, ctl =
+        mk ~config:{ Base.default_config with Base.commit_interval = 16 }
+          ~bugs:(Bug_registry.arm [ bug ]) ()
+      in
+      let sp = Spec.make () in
+      let ops = Rae_workload.Workload.uniform (Rae_util.Rng.create seed) ~count:150 in
+      List.iter
+        (fun op ->
+          let want = Spec.exec sp op and got = Controller.exec ctl op in
+          if not (Op.outcome_equal want got) then
+            QCheck2.Test.fail_reportf "outcome mismatch on %s" (Op.to_string op))
+        ops;
+      let snap_spec = Rae_workload.Snapshot.capture ~exec:Spec.exec sp in
+      let snap_rae = Rae_workload.Snapshot.capture ~exec:Controller.exec ctl in
+      match (snap_spec, snap_rae) with
+      | Ok a, Ok b ->
+          if Rae_workload.Snapshot.equal a b then true
+          else
+            QCheck2.Test.fail_reportf "trees differ: %s"
+              (String.concat "; " (Rae_workload.Snapshot.diff a b))
+      | Error e, _ | _, Error e -> QCheck2.Test.fail_reportf "walk failed: %s" e)
+
+(* ---- cross-checking finds wrong-result bugs (E9) ---- *)
+
+let test_cross_check_finds_wrong_results () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "stat-size-skew"; "crafted-name-panic" ]) () in
+  let fd = ok (Controller.openf ctl (p "/f") Types.flags_create) in
+  ignore (ok (Controller.pwrite ctl fd ~off:0 "12345"));
+  ignore (ok (Controller.close ctl fd));
+  (* The 20th stat returns a wrong size — undetectable in-line. *)
+  for _ = 1 to 20 do
+    ignore (Controller.stat ctl (p "/f"))
+  done;
+  Alcotest.(check int) "no recovery from a wrong result alone" 0
+    (Controller.stats ctl).Controller.recoveries;
+  (* A later panic forces replay; the cross-check exposes the lie. *)
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644);
+  let ds = Controller.discrepancies ctl in
+  Alcotest.(check bool) "discrepancy reported" true (List.length ds >= 1);
+  (match ds with
+  | d :: _ -> (
+      match (d.Report.d_base, d.Report.d_shadow) with
+      | Ok (Op.St b), Ok (Op.St s) ->
+          Alcotest.(check int) "base lied by one" (s.Types.st_size + 1) b.Types.st_size
+      | _ -> Alcotest.fail "expected stat outcomes")
+  | [] -> ());
+  Alcotest.(check (option Alcotest.string)) "recovery still succeeded (policy: continue)" None
+    (Controller.degraded ctl)
+
+(* ---- the restart-only baseline loses what RAE preserves ---- *)
+
+let test_restart_only_baseline_loses_state () =
+  let mk_base_only () =
+    let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:2048 () in
+    let dev = Device.of_disk disk in
+    ignore (ok (Base.mkfs dev ~ninodes:256 ()));
+    (dev, ok (Base.mount ~bugs:(arm [ "crafted-name-panic" ]) dev))
+  in
+  let _dev, base = mk_base_only () in
+  let ro = Rae_core.Restart_only.make base in
+  let exec = Rae_core.Restart_only.exec ro in
+  (* Build volatile state: a file with data and an open descriptor. *)
+  (match exec (Op.Create (p "/acknowledged", 0o644)) with
+  | Ok (Op.Ino _) -> ()
+  | _ -> Alcotest.fail "create failed");
+  let fd = match exec (Op.Open (p "/acknowledged", Types.flags_rw)) with
+    | Ok (Op.Fd fd) -> fd
+    | _ -> Alcotest.fail "open failed"
+  in
+  (* The panic: restart-only recovery gives EIO and rolls back to S0. *)
+  (match exec (Op.Create (p "/pwn", 0o644)) with
+  | Error Errno.EIO -> ()
+  | other -> Alcotest.failf "expected EIO, got %a" Op.pp_outcome other);
+  let s = Rae_core.Restart_only.stats ro in
+  Alcotest.(check int) "one restart" 1 s.Rae_core.Restart_only.restarts;
+  Alcotest.(check bool) "acknowledged work lost" true (s.Rae_core.Restart_only.lost_window_ops >= 1);
+  (* The acknowledged file is GONE (it never committed)... *)
+  (match exec (Op.Lookup (p "/acknowledged")) with
+  | Error Errno.ENOENT -> ()
+  | other -> Alcotest.failf "expected rollback, got %a" Op.pp_outcome other);
+  (* ...and the descriptor is dead. *)
+  (match exec (Op.Pread (fd, 0, 1)) with
+  | Error Errno.EBADF -> ()
+  | other -> Alcotest.failf "expected EBADF, got %a" Op.pp_outcome other);
+  (* Contrast: the same scenario under RAE preserves both (see
+     test_fd_survives_recovery); here we just confirm the baseline's loss
+     is real, which is exactly the paper's motivation. *)
+  ()
+
+(* ---- graceful degradation ---- *)
+
+let test_degrades_on_unrecoverable_image () =
+  (* Corrupt the on-disk root directory: the base panics, and the shadow's
+     fsck refuses S0.  RAE must degrade to EIO — the process survives. *)
+  let disk, _dev, ctl = mk () in
+  ignore (ok (Controller.create ctl (p "/x") ~mode:0o644));
+  ignore (ok (Controller.sync ctl));
+  let g =
+    (ok (Rae_format.Reader.attach (fun blk -> Disk.read disk blk))).Rae_format.Reader.sb
+      .Rae_format.Superblock.geometry
+  in
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:4 (fun _ -> '\000');
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:5 (fun _ -> '\000');
+  (* Drop caches so the corruption is read back. *)
+  ignore (ok (Base.contained_reboot (Controller.base ctl)));
+  (match Controller.lookup ctl (p "/x") with
+  | Error Errno.EIO -> ()
+  | other ->
+      Alcotest.failf "expected EIO, got %s"
+        (match other with Ok i -> string_of_int i | Error e -> Errno.to_string e));
+  Alcotest.(check bool) "degraded with a reason" true (Controller.degraded ctl <> None);
+  (match Controller.last_recovery ctl with
+  | Some { Report.r_outcome = Report.Recovery_failed _; _ } -> ()
+  | _ -> Alcotest.fail "expected a failed-recovery report");
+  (* Subsequent calls fail fast, no exception escapes. *)
+  (match Controller.stat ctl (p "/x") with
+  | Error Errno.EIO -> ()
+  | _ -> Alcotest.fail "degraded controller must return EIO")
+
+let test_recovery_counts_in_stats () =
+  let _disk, _dev, ctl = mk ~bugs:(arm [ "crafted-name-panic" ]) () in
+  ignore (Controller.create ctl (p "/pwn") ~mode:0o644);
+  ignore (Controller.create ctl (p "/pwn2") ~mode:0o644);
+  let s = Controller.stats ctl in
+  Alcotest.(check int) "ops counted" 2 s.Controller.ops;
+  Alcotest.(check int) "one recovery (second name has no 'pwn' component...)" 1 s.Controller.recoveries
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_core"
+    [
+      ( "common-path",
+        [
+          Alcotest.test_case "passthrough" `Quick test_passthrough_no_bugs;
+          Alcotest.test_case "oplog prunes at commit" `Quick test_oplog_prunes_at_commit;
+        ] );
+      ( "masking",
+        [
+          Alcotest.test_case "panic" `Quick test_mask_panic_bug;
+          Alcotest.test_case "nth-lookup panic" `Quick test_mask_deterministic_nth_panic;
+          Alcotest.test_case "warn" `Quick test_mask_warn_bug;
+          Alcotest.test_case "warn coinciding with commit" `Quick test_warn_coinciding_with_commit;
+          Alcotest.test_case "silent corruption" `Quick test_mask_silent_corruption;
+          Alcotest.test_case "hang + delegated fsync" `Quick test_mask_hang;
+          Alcotest.test_case "non-deterministic race" `Quick test_mask_nondeterministic_bug;
+        ] );
+      ( "reconstruction",
+        [
+          Alcotest.test_case "fd survives" `Quick test_fd_survives_recovery;
+          Alcotest.test_case "orphan survives" `Quick test_orphan_survives_recovery;
+          Alcotest.test_case "ino/fd numbers stable" `Quick test_inode_and_fd_numbers_stable;
+          Alcotest.test_case "report contents" `Quick test_recovery_report_contents;
+          Alcotest.test_case "recovered state durable" `Quick test_durable_after_recovery;
+        ] );
+      ( "availability",
+        [
+          Alcotest.test_case "all profiles, all bugs" `Slow test_availability_under_all_bugs;
+          Alcotest.test_case "isize corruption caught" `Quick test_isize_corruption_caught_and_recovered;
+          q prop_availability_random_traces;
+          q prop_recovery_preserves_whole_tree;
+        ] );
+      ( "cross-check",
+        [ Alcotest.test_case "wrong results exposed" `Quick test_cross_check_finds_wrong_results ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "restart-only loses state" `Quick
+            test_restart_only_baseline_loses_state;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "unrecoverable image" `Quick test_degrades_on_unrecoverable_image;
+          Alcotest.test_case "stats" `Quick test_recovery_counts_in_stats;
+        ] );
+    ]

@@ -1,0 +1,90 @@
+(* Tests for rae_core's differential-testing harness (paper §4.3's testing
+   phase): healthy implementations agree; seeded bugs are localized. *)
+
+open Rae_vfs
+module D = Rae_core.Differential
+module Bug_registry = Rae_basefs.Bug_registry
+module W = Rae_workload.Workload
+
+let p = Path.parse_exn
+
+let test_agreement_uniform () =
+  List.iter
+    (fun seed ->
+      let r = D.run_seeded ~count:600 ~seed () in
+      if not (D.agreement r) then
+        Alcotest.failf "disagreement (seed %Ld): %s" seed (Format.asprintf "%a" D.pp_result r);
+      Alcotest.(check int) "all ops ran" 600 r.D.ops_run)
+    [ 1L; 2L; 3L ]
+
+let test_agreement_profiles () =
+  List.iter
+    (fun profile ->
+      let r = D.run_seeded ~count:400 ~profile ~seed:5L () in
+      if not (D.agreement r) then
+        Alcotest.failf "%s disagreement: %s" (W.profile_name profile)
+          (Format.asprintf "%a" D.pp_result r))
+    W.all_profiles
+
+let prop_agreement =
+  QCheck2.Test.make ~name:"base and shadow agree on random traces" ~count:20
+    QCheck2.Gen.(pair ui64 (int_range 30 200))
+    (fun (seed, count) -> D.agreement (D.run_seeded ~count ~seed ()))
+
+let arm id = Bug_registry.arm (Option.to_list (Bug_registry.find id))
+
+let test_wrong_result_bug_localized () =
+  (* The wrong-result bug: the harness must pinpoint the exact op. *)
+  let ops =
+    [ Op.Create (p "/f", 0o644) ]
+    @ List.init 20 (fun _ -> Op.Stat (p "/f"))
+  in
+  let r = D.run ~bugs:(arm "stat-size-skew") ops in
+  Alcotest.(check int) "one mismatch" 1 (List.length r.D.mismatches);
+  (match r.D.mismatches with
+  | [ m ] ->
+      Alcotest.(check int) "at the 20th stat" 20 m.D.m_index;
+      Alcotest.(check bool) "it is a stat" true (Op.kind m.D.m_op = Op.K_stat)
+  | _ -> Alcotest.fail "expected exactly one mismatch");
+  Alcotest.(check bool) "flagged as disagreement" false (D.agreement r)
+
+let test_base_crash_reported () =
+  let ops = [ Op.Mkdir (p "/d", 0o755); Op.Create (p "/d/pwn", 0o644); Op.Stat (p "/d") ] in
+  let r = D.run ~bugs:(arm "crafted-name-panic") ops in
+  Alcotest.(check bool) "base crash captured" true (r.D.base_crashed <> None);
+  Alcotest.(check int) "stopped at the crash" 1 r.D.ops_run;
+  Alcotest.(check bool) "not agreement" false (D.agreement r)
+
+let test_silent_corruption_diverges_state () =
+  (* The free-count corruption is internal only — API outcomes stay equal —
+     but forcing a sync makes the base's validation fire, which the harness
+     reports as a crash. *)
+  let ops =
+    List.init 30 (fun i -> Op.Create (p (Printf.sprintf "/f%02d" i), 0o644)) @ [ Op.Sync ]
+  in
+  let r = D.run ~bugs:(arm "mballoc-freecount") ops in
+  Alcotest.(check bool) "caught via validation or mismatch" true
+    (r.D.base_crashed <> None || not r.D.final_state_equal || r.D.mismatches <> [])
+
+let test_pp_result_renders () =
+  let r = D.run_seeded ~count:50 ~seed:9L () in
+  Alcotest.(check bool) "prints" true (String.length (Format.asprintf "%a" D.pp_result r) > 0)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_differential"
+    [
+      ( "agreement",
+        [
+          Alcotest.test_case "uniform traces" `Quick test_agreement_uniform;
+          Alcotest.test_case "profile traces" `Quick test_agreement_profiles;
+          q prop_agreement;
+        ] );
+      ( "bug hunting",
+        [
+          Alcotest.test_case "wrong result localized" `Quick test_wrong_result_bug_localized;
+          Alcotest.test_case "base crash reported" `Quick test_base_crash_reported;
+          Alcotest.test_case "silent corruption surfaces" `Quick test_silent_corruption_diverges_state;
+          Alcotest.test_case "rendering" `Quick test_pp_result_renders;
+        ] );
+    ]

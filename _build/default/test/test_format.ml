@@ -1,0 +1,575 @@
+(* Tests for rae_format: layout, superblock, bitmap, inode, dirent, mkfs,
+   reader. *)
+
+open Rae_format
+module Types = Rae_vfs.Types
+
+let bs = Layout.block_size
+
+let geo ?(nblocks = 256) ?(ninodes = 64) () =
+  match Layout.compute ~nblocks ~ninodes () with
+  | Ok g -> g
+  | Error msg -> Alcotest.failf "layout: %s" msg
+
+(* ---- Layout ---- *)
+
+let test_layout_regions_ordered () =
+  let g = geo () in
+  Alcotest.(check bool) "ordered" true
+    (g.Layout.journal_start = 1
+    && g.Layout.inode_bitmap_start = g.Layout.journal_start + g.Layout.journal_len
+    && g.Layout.block_bitmap_start = g.Layout.inode_bitmap_start + g.Layout.inode_bitmap_len
+    && g.Layout.inode_table_start = g.Layout.block_bitmap_start + g.Layout.block_bitmap_len
+    && g.Layout.data_start = g.Layout.inode_table_start + g.Layout.inode_table_len
+    && g.Layout.data_start < g.Layout.nblocks)
+
+let test_layout_too_small () =
+  match Layout.compute ~nblocks:32 ~ninodes:16 () with
+  | Error _ -> ()
+  | Ok g -> Alcotest.failf "expected failure, got %a" Layout.pp_geometry g
+
+let test_layout_inode_location () =
+  let g = geo () in
+  let blk1, off1 = Layout.inode_location g 1 in
+  Alcotest.(check (pair int int)) "inode 1" (g.Layout.inode_table_start, 0) (blk1, off1);
+  let blk17, off17 = Layout.inode_location g 17 in
+  Alcotest.(check (pair int int)) "inode 17 in second block"
+    (g.Layout.inode_table_start + 1, 0)
+    (blk17, off17);
+  (try ignore (Layout.inode_location g 0); Alcotest.fail "ino 0" with Invalid_argument _ -> ());
+  try ignore (Layout.inode_location g 65); Alcotest.fail "ino > ninodes"
+  with Invalid_argument _ -> ()
+
+let test_layout_max_file () =
+  Alcotest.(check int) "addressable blocks" (12 + 1024 + (1024 * 1024)) Layout.max_file_blocks
+
+(* ---- Superblock ---- *)
+
+let mk_sb () = Superblock.make (geo ()) ~free_blocks:10 ~free_inodes:20
+
+let test_sb_roundtrip () =
+  let sb = mk_sb () in
+  match Superblock.decode (Superblock.encode sb) with
+  | Ok sb' -> Alcotest.(check bool) "equal" true (sb = sb')
+  | Error e -> Alcotest.failf "decode: %a" Superblock.pp_error e
+
+let test_sb_bad_magic () =
+  let b = Superblock.encode (mk_sb ()) in
+  Bytes.set b 0 'X';
+  match Superblock.decode b with
+  | Error (Superblock.Bad_magic _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Superblock.pp_error e
+  | Ok _ -> Alcotest.fail "decoded corrupt superblock"
+
+let test_sb_bad_checksum () =
+  let b = Superblock.encode (mk_sb ()) in
+  (* Flip a byte inside the checksummed area but outside magic/version. *)
+  Bytes.set b 70 '\xff';
+  match Superblock.decode b with
+  | Error Superblock.Bad_checksum -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Superblock.pp_error e
+  | Ok _ -> Alcotest.fail "decoded corrupt superblock"
+
+let test_sb_crafted_geometry () =
+  (* A checksum-valid superblock with impossible geometry must be rejected
+     by [decode] but accepted by [decode_unchecked] — the crafted-image
+     distinction. *)
+  let sb = mk_sb () in
+  let crafted = { sb with Superblock.geometry = { sb.Superblock.geometry with Layout.data_start = 5 } } in
+  let b = Superblock.encode crafted in
+  (match Superblock.decode b with
+  | Error (Superblock.Bad_geometry _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Superblock.pp_error e
+  | Ok _ -> Alcotest.fail "accepted crafted geometry");
+  match Superblock.decode_unchecked b with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "unchecked rejected: %a" Superblock.pp_error e
+
+let test_sb_bad_counts () =
+  let sb = { (mk_sb ()) with Superblock.free_blocks = 1_000_000 } in
+  match Superblock.decode (Superblock.encode sb) with
+  | Error (Superblock.Bad_counts _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Superblock.pp_error e
+  | Ok _ -> Alcotest.fail "accepted impossible free count"
+
+let test_sb_state () =
+  let sb = Superblock.with_state (mk_sb ()) Superblock.Dirty in
+  match Superblock.decode (Superblock.encode sb) with
+  | Ok sb' -> Alcotest.(check string) "dirty" "dirty" (Superblock.state_to_string sb'.Superblock.state)
+  | Error e -> Alcotest.failf "decode: %a" Superblock.pp_error e
+
+(* ---- Bitmap ---- *)
+
+let test_bitmap_basic () =
+  let bm = Bitmap.create ~nbits:100 in
+  Alcotest.(check int) "all free" 100 (Bitmap.count_free bm);
+  Bitmap.set bm 0;
+  Bitmap.set bm 99;
+  Alcotest.(check bool) "bit 0" true (Bitmap.test bm 0);
+  Alcotest.(check bool) "bit 99" true (Bitmap.test bm 99);
+  Alcotest.(check bool) "bit 50" false (Bitmap.test bm 50);
+  Alcotest.(check int) "two set" 2 (Bitmap.count_set bm);
+  Bitmap.clear bm 0;
+  Alcotest.(check bool) "cleared" false (Bitmap.test bm 0)
+
+let test_bitmap_result_ops () =
+  let bm = Bitmap.create ~nbits:10 in
+  Alcotest.(check bool) "set ok" true (Bitmap.set_result bm 3 = Ok ());
+  Alcotest.(check bool) "double set fails" true (Result.is_error (Bitmap.set_result bm 3));
+  Alcotest.(check bool) "clear ok" true (Bitmap.clear_result bm 3 = Ok ());
+  Alcotest.(check bool) "double clear fails" true (Result.is_error (Bitmap.clear_result bm 3));
+  Alcotest.(check bool) "out of range" true (Result.is_error (Bitmap.set_result bm 10))
+
+let test_bitmap_find_free () =
+  let bm = Bitmap.create ~nbits:8 in
+  Bitmap.set bm 0;
+  Bitmap.set bm 1;
+  Bitmap.set bm 3;
+  Alcotest.(check (option int)) "first free" (Some 2) (Bitmap.find_free bm ~from:0);
+  Alcotest.(check (option int)) "from 3" (Some 4) (Bitmap.find_free bm ~from:3);
+  for i = 0 to 7 do Bitmap.set bm i done;
+  Alcotest.(check (option int)) "full" None (Bitmap.find_free bm ~from:0)
+
+let test_bitmap_block_roundtrip () =
+  let bm = Bitmap.create ~nbits:1000 in
+  List.iter (Bitmap.set bm) [ 0; 1; 17; 999; 512 ];
+  let blocks = Bitmap.to_blocks bm ~block_size:bs in
+  Alcotest.(check int) "one block" 1 (List.length blocks);
+  match Bitmap.of_blocks blocks ~nbits:1000 with
+  | Ok bm' -> Alcotest.(check bool) "equal" true (Bitmap.equal bm bm')
+  | Error e -> Alcotest.failf "of_blocks: %s" e
+
+let test_bitmap_padding_strictness () =
+  let bm = Bitmap.create ~nbits:9 in
+  let blocks = Bitmap.to_blocks bm ~block_size:bs in
+  let block = List.hd blocks in
+  (* Corrupt a padding bit (bit 9..15 live in byte 1). *)
+  Bytes.set block 1 '\x00';
+  (match Bitmap.of_blocks [ block ] ~nbits:9 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "strict parse accepted bad padding");
+  match Bitmap.of_blocks_lenient [ block ] ~nbits:9 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "lenient parse rejected: %s" e
+
+let test_bitmap_too_few_blocks () =
+  match Bitmap.of_blocks [ Bytes.make 4 '\xff' ] ~nbits:100 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted undersized bitmap"
+
+let prop_bitmap_roundtrip =
+  QCheck2.Test.make ~name:"bitmap to/of blocks roundtrip" ~count:100
+    QCheck2.Gen.(pair (int_range 1 5000) (list_size (int_bound 50) (int_bound 4999)))
+    (fun (nbits, sets) ->
+      let bm = Bitmap.create ~nbits in
+      List.iter (fun i -> if i < nbits then Bitmap.set bm i) sets;
+      match Bitmap.of_blocks (Bitmap.to_blocks bm ~block_size:bs) ~nbits with
+      | Ok bm' -> Bitmap.equal bm bm'
+      | Error _ -> false)
+
+(* ---- Inode ---- *)
+
+let sample_inode () =
+  {
+    (Inode.empty Types.Regular ~mode:0o644 ~time:42L) with
+    Inode.size = 123456;
+    nlink = 2;
+    direct = Array.init 12 (fun i -> if i < 4 then 100 + i else 0);
+    indirect = 200;
+    generation = 7;
+  }
+
+let test_inode_roundtrip () =
+  let i = sample_inode () in
+  let b = Bytes.make bs '\000' in
+  Inode.encode i ~ino:5 b ~pos:256;
+  match Inode.decode b ~pos:256 ~ino:5 with
+  | Ok i' -> Alcotest.(check bool) "equal" true (Inode.equal i i')
+  | Error e -> Alcotest.failf "decode: %a" Inode.pp_error e
+
+let test_inode_checksum_seeded_by_ino () =
+  (* The same bytes decoded as a different inode number must fail: catches
+     inode-table blits to the wrong slot. *)
+  let i = sample_inode () in
+  let b = Bytes.make bs '\000' in
+  Inode.encode i ~ino:5 b ~pos:0;
+  match Inode.decode b ~pos:0 ~ino:6 with
+  | Error (Inode.Bad_checksum _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Inode.pp_error e
+  | Ok _ -> Alcotest.fail "accepted wrong-slot inode"
+
+let test_inode_corruption_detected () =
+  let i = sample_inode () in
+  let b = Bytes.make bs '\000' in
+  Inode.encode i ~ino:1 b ~pos:0;
+  Bytes.set b 9 '\xff' (* inside size field *);
+  match Inode.decode b ~pos:0 ~ino:1 with
+  | Error (Inode.Bad_checksum _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Inode.pp_error e
+  | Ok _ -> Alcotest.fail "accepted corrupt inode"
+
+let test_inode_nocheck_trusts () =
+  (* The base's fast path decodes without verifying — deliberately. *)
+  let i = sample_inode () in
+  let b = Bytes.make bs '\000' in
+  Inode.encode i ~ino:1 b ~pos:0;
+  Bytes.set b 250 '\x01' (* corrupt a reserved byte: checksum now wrong *);
+  let i' = Inode.decode_nocheck b ~pos:0 in
+  Alcotest.(check bool) "fields still parse" true (i'.Inode.size = i.Inode.size)
+
+let test_inode_free_slot () =
+  let b = Bytes.make bs '\000' in
+  Alcotest.(check bool) "all-zero is free" true (Inode.is_free_slot b ~pos:0);
+  Inode.encode (sample_inode ()) ~ino:2 b ~pos:0;
+  Alcotest.(check bool) "encoded is not free" false (Inode.is_free_slot b ~pos:0)
+
+let test_inode_field_validation () =
+  let b = Bytes.make bs '\000' in
+  (* Kind code 0 (free-slot marker) with nonzero content → Bad_kind. *)
+  Rae_util.Codec.set_u16 b 4 1 (* nlink *);
+  (match Inode.decode b ~pos:0 ~ino:1 with
+  | Error (Inode.Bad_kind 0) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Inode.pp_error e
+  | Ok _ -> Alcotest.fail "accepted kind 0");
+  (* nlink = 0 is legal (orphans); an impossible size is not.  Craft a
+     checksum-valid inode whose size exceeds the format maximum. *)
+  let crafted = { (sample_inode ()) with Inode.size = Layout.max_file_size + 1 } in
+  Inode.encode crafted ~ino:1 b ~pos:0;
+  (match Inode.decode b ~pos:0 ~ino:1 with
+  | Error (Inode.Bad_field _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Inode.pp_error e
+  | Ok _ -> Alcotest.fail "accepted oversized file");
+  (* And nlink = 0 decodes fine. *)
+  let orphan = { (sample_inode ()) with Inode.nlink = 0 } in
+  Inode.encode orphan ~ino:1 b ~pos:0;
+  match Inode.decode b ~pos:0 ~ino:1 with
+  | Ok i -> Alcotest.(check int) "orphan nlink" 0 i.Inode.nlink
+  | Error e -> Alcotest.failf "orphan rejected: %a" Inode.pp_error e
+
+let prop_inode_roundtrip =
+  let gen =
+    QCheck2.Gen.(
+      let* kind = oneofl [ Types.Regular; Types.Directory; Types.Symlink ] in
+      let* mode = int_bound 0o777 in
+      let* nlink = int_range 1 100 in
+      let* size = int_bound Layout.max_file_size in
+      let* ptrs = array_size (return 12) (int_bound 5000) in
+      let* ind = int_bound 5000 in
+      let* gen_ = int_bound 1000 in
+      return
+        {
+          (Inode.empty kind ~mode ~time:1L) with
+          Inode.nlink;
+          size;
+          direct = ptrs;
+          indirect = ind;
+          generation = gen_;
+        })
+  in
+  QCheck2.Test.make ~name:"inode encode/decode roundtrip" ~count:300 gen (fun i ->
+      let b = Bytes.make Layout.inode_size '\000' in
+      Inode.encode i ~ino:9 b ~pos:0;
+      match Inode.decode b ~pos:0 ~ino:9 with Ok i' -> Inode.equal i i' | Error _ -> false)
+
+(* ---- Dirent ---- *)
+
+let reg = Types.kind_code Types.Regular
+let dirk = Types.kind_code Types.Directory
+
+let entries_of b =
+  match Dirent.list b with
+  | Ok es -> List.map (fun e -> (e.Dirent.name, e.Dirent.ino)) es
+  | Error e -> Alcotest.failf "list: %a" Dirent.pp_error e
+
+let test_dirent_empty_block () =
+  let b = Dirent.empty_block () in
+  Alcotest.(check int) "no entries" 0 (Dirent.count b);
+  Alcotest.(check bool) "validates" true (Dirent.validate b = Ok ());
+  Alcotest.(check int) "all space free" bs (Dirent.free_bytes b)
+
+let test_dirent_insert_find_remove () =
+  let b = Dirent.empty_block () in
+  Alcotest.(check bool) "insert a" true (Dirent.insert b ~name:"alpha" ~ino:10 ~kind_code:reg);
+  Alcotest.(check bool) "insert b" true (Dirent.insert b ~name:"beta" ~ino:11 ~kind_code:dirk);
+  Alcotest.(check bool) "insert c" true (Dirent.insert b ~name:"gamma" ~ino:12 ~kind_code:reg);
+  Alcotest.(check int) "three entries" 3 (Dirent.count b);
+  (match Dirent.find b "beta" with
+  | Some (Ok e) ->
+      Alcotest.(check int) "ino" 11 e.Dirent.ino;
+      Alcotest.(check int) "kind" dirk e.Dirent.kind_code
+  | Some (Error e) -> Alcotest.failf "find: %a" Dirent.pp_error e
+  | None -> Alcotest.fail "beta not found");
+  Alcotest.(check bool) "absent name" true (Dirent.find b "delta" = None);
+  Alcotest.(check bool) "remove beta" true (Dirent.remove b "beta");
+  Alcotest.(check bool) "beta gone" true (Dirent.find b "beta" = None);
+  Alcotest.(check int) "two left" 2 (Dirent.count b);
+  Alcotest.(check bool) "still valid" true (Dirent.validate b = Ok ());
+  Alcotest.(check bool) "remove absent" false (Dirent.remove b "beta")
+
+let test_dirent_remove_first_entry () =
+  let b = Dirent.empty_block () in
+  ignore (Dirent.insert b ~name:"first" ~ino:1 ~kind_code:reg);
+  ignore (Dirent.insert b ~name:"second" ~ino:2 ~kind_code:reg);
+  Alcotest.(check bool) "remove head" true (Dirent.remove b "first");
+  Alcotest.(check bool) "valid after head removal" true (Dirent.validate b = Ok ());
+  Alcotest.(check (list (pair string int))) "second remains" [ ("second", 2) ] (entries_of b)
+
+let test_dirent_space_reuse () =
+  let b = Dirent.empty_block () in
+  ignore (Dirent.insert b ~name:"victim" ~ino:1 ~kind_code:reg);
+  ignore (Dirent.insert b ~name:"keeper" ~ino:2 ~kind_code:reg);
+  ignore (Dirent.remove b "victim");
+  Alcotest.(check bool) "reinsert into freed space" true
+    (Dirent.insert b ~name:"newbie" ~ino:3 ~kind_code:reg);
+  Alcotest.(check bool) "valid" true (Dirent.validate b = Ok ());
+  let names = List.sort compare (List.map fst (entries_of b)) in
+  Alcotest.(check (list string)) "both present" [ "keeper"; "newbie" ] names
+
+let test_dirent_block_fills_up () =
+  let b = Dirent.empty_block () in
+  let inserted = ref 0 in
+  (try
+     for i = 0 to 1000 do
+       if Dirent.insert b ~name:(Printf.sprintf "file%04d" i) ~ino:(i + 1) ~kind_code:reg then
+         incr inserted
+       else raise Exit
+     done
+   with Exit -> ());
+  (* 16-byte records (8 header + 8 padded name): 256 per 4096 block. *)
+  Alcotest.(check int) "fills to capacity" 256 !inserted;
+  Alcotest.(check bool) "still valid when full" true (Dirent.validate b = Ok ())
+
+let craft set_off v b =
+  let c = Bytes.copy b in
+  Rae_util.Codec.set_u16 c set_off v;
+  c
+
+let test_dirent_crafted_rec_len_zero () =
+  let b = Dirent.empty_block () in
+  ignore (Dirent.insert b ~name:"x" ~ino:1 ~kind_code:reg);
+  let crafted = craft 4 0 b (* rec_len of first record = 0: kernel lockup bug shape *) in
+  (match Dirent.validate crafted with
+  | Error (Dirent.Bad_rec_len _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Dirent.pp_error e
+  | Ok () -> Alcotest.fail "accepted rec_len 0");
+  (* The trusting fast path must at least terminate. *)
+  ignore (Dirent.list_nocheck crafted)
+
+let test_dirent_crafted_overrun () =
+  let b = Dirent.empty_block () in
+  ignore (Dirent.insert b ~name:"x" ~ino:1 ~kind_code:reg);
+  let crafted = craft 4 8192 b in
+  match Dirent.validate crafted with
+  | Error (Dirent.Overrun _ | Dirent.Bad_rec_len _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Dirent.pp_error e
+  | Ok () -> Alcotest.fail "accepted overrun"
+
+let test_dirent_crafted_name_len () =
+  let b = Dirent.empty_block () in
+  ignore (Dirent.insert b ~name:"ab" ~ino:1 ~kind_code:reg);
+  let c = Bytes.copy b in
+  Rae_util.Codec.set_u8 c 6 200 (* name_len stretched over the padding *);
+  match Dirent.validate c with
+  | Error (Dirent.Bad_name_len _ | Dirent.Bad_name _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %a" Dirent.pp_error e
+  | Ok () -> Alcotest.fail "accepted bad name_len"
+
+let test_dirent_dot_entries_allowed () =
+  let b = Dirent.empty_block () in
+  Alcotest.(check bool) "." true (Dirent.insert b ~name:"." ~ino:1 ~kind_code:dirk);
+  Alcotest.(check bool) ".." true (Dirent.insert b ~name:".." ~ino:1 ~kind_code:dirk);
+  Alcotest.(check bool) "valid" true (Dirent.validate b = Ok ())
+
+let prop_dirent_insert_remove =
+  (* Random insert/remove sequences keep the block structurally valid and
+     consistent with a model map. *)
+  let gen_name = QCheck2.Gen.(map (Printf.sprintf "n%03d") (int_bound 40)) in
+  QCheck2.Test.make ~name:"dirent block vs model" ~count:200
+    QCheck2.Gen.(list_size (int_bound 60) (pair bool gen_name))
+    (fun script ->
+      let b = Dirent.empty_block () in
+      let model = Hashtbl.create 16 in
+      let next_ino = ref 1 in
+      List.iter
+        (fun (is_insert, name) ->
+          if is_insert then begin
+            if not (Hashtbl.mem model name) then begin
+              incr next_ino;
+              if Dirent.insert b ~name ~ino:!next_ino ~kind_code:1 then
+                Hashtbl.replace model name !next_ino
+            end
+          end
+          else if Hashtbl.mem model name then begin
+            ignore (Dirent.remove b name);
+            Hashtbl.remove model name
+          end)
+        script;
+      Dirent.validate b = Ok ()
+      && Dirent.count b = Hashtbl.length model
+      && Hashtbl.fold
+           (fun name ino acc ->
+             acc
+             && match Dirent.find b name with Some (Ok e) -> e.Dirent.ino = ino | _ -> false)
+           model true)
+
+(* ---- Mkfs + Reader ---- *)
+
+let mk_device ?(nblocks = 256) () =
+  let disk = Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency ~block_size:bs ~nblocks () in
+  (disk, Rae_block.Device.of_disk disk)
+
+let test_mkfs_produces_valid_image () =
+  let _disk, dev = mk_device () in
+  match Mkfs.format dev ~ninodes:64 () with
+  | Error msg -> Alcotest.failf "mkfs: %s" msg
+  | Ok sb ->
+      Alcotest.(check int) "free inodes" 63 sb.Superblock.free_inodes;
+      let reader =
+        match Reader.attach (fun blk -> Rae_block.Device.read dev blk) with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "reader attach: %a" Reader.pp_error e
+      in
+      (match Reader.read_inode reader 1 with
+      | Ok root ->
+          Alcotest.(check bool) "root is dir" true (root.Inode.kind = Types.Directory);
+          Alcotest.(check int) "root nlink" 2 root.Inode.nlink;
+          (match Reader.read_file_block reader root 0 with
+          | Ok block ->
+              let names = List.map (fun e -> e.Dirent.name) (Result.get_ok (Dirent.list block)) in
+              Alcotest.(check (list string)) "dot entries" [ "."; ".." ] names
+          | Error e -> Alcotest.failf "root block: %a" Reader.pp_error e)
+      | Error e -> Alcotest.failf "root inode: %a" Reader.pp_error e);
+      (match Reader.read_inode_opt reader 2 with
+      | Ok None -> ()
+      | Ok (Some _) -> Alcotest.fail "inode 2 should be free"
+      | Error e -> Alcotest.failf "inode 2: %a" Reader.pp_error e);
+      match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
+      | Ok ibm, Ok bbm ->
+          Alcotest.(check int) "inode bitmap free" 63 (Bitmap.count_free ibm);
+          Alcotest.(check int) "block bitmap free" sb.Superblock.free_blocks (Bitmap.count_free bbm)
+      | Error e, _ | _, Error e -> Alcotest.failf "bitmaps: %a" Reader.pp_error e
+
+let test_mkfs_too_small () =
+  let _disk, dev = mk_device ~nblocks:16 () in
+  match Mkfs.format dev ~ninodes:64 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mkfs accepted a too-small device"
+
+let test_reader_file_block_chains () =
+  (* Build an inode by hand with direct, indirect and double-indirect
+     pointers and verify the resolution logic at each level. *)
+  let disk, dev = mk_device ~nblocks:4096 () in
+  ignore (Result.get_ok (Mkfs.format dev ~ninodes:64 ()));
+  let reader = Result.get_ok (Reader.attach (fun blk -> Rae_block.Device.read dev blk)) in
+  let g = Reader.geometry reader in
+  let d0 = g.Layout.data_start in
+  (* indirect block at d0+20: entry 0 -> d0+30; double at d0+21: L1[0] ->
+     d0+22, whose entry 5 -> d0+40. *)
+  let iblk = Bytes.make bs '\000' in
+  Rae_util.Codec.set_u32_int iblk 0 (d0 + 30);
+  Rae_block.Disk.write disk (d0 + 20) iblk;
+  let dblk = Bytes.make bs '\000' in
+  Rae_util.Codec.set_u32_int dblk 0 (d0 + 22);
+  Rae_block.Disk.write disk (d0 + 21) dblk;
+  let l2 = Bytes.make bs '\000' in
+  Rae_util.Codec.set_u32_int l2 (4 * 5) (d0 + 40);
+  Rae_block.Disk.write disk (d0 + 22) l2;
+  let inode =
+    {
+      (Inode.empty Types.Regular ~mode:0o644 ~time:0L) with
+      Inode.size = Layout.max_file_size;
+      direct = Array.init 12 (fun i -> if i = 0 then d0 + 10 else 0);
+      indirect = d0 + 20;
+      double_indirect = d0 + 21;
+    }
+  in
+  let fb i = Result.get_ok (Reader.file_block reader inode i) in
+  Alcotest.(check int) "direct 0" (d0 + 10) (fb 0);
+  Alcotest.(check int) "direct hole" 0 (fb 1);
+  Alcotest.(check int) "indirect entry 0" (d0 + 30) (fb 12);
+  Alcotest.(check int) "indirect hole" 0 (fb 13);
+  Alcotest.(check int) "double [0][5]" (d0 + 40) (fb (12 + 1024 + 5));
+  Alcotest.(check int) "double hole L1" 0 (fb (12 + 1024 + 1024 + 3));
+  (* Out-of-range pointer must be rejected. *)
+  let bad = { inode with Inode.direct = Array.make 12 1 (* metadata block *) } in
+  Alcotest.(check bool) "bad pointer rejected" true (Result.is_error (Reader.file_block reader bad 0))
+
+let test_reader_read_file () =
+  let disk, dev = mk_device () in
+  ignore (Result.get_ok (Mkfs.format dev ~ninodes:64 ()));
+  let reader = Result.get_ok (Reader.attach (fun blk -> Rae_block.Device.read dev blk)) in
+  let g = Reader.geometry reader in
+  let d0 = g.Layout.data_start in
+  let content = Bytes.make bs 'q' in
+  Rae_block.Disk.write disk (d0 + 3) content;
+  let inode =
+    {
+      (Inode.empty Types.Regular ~mode:0o644 ~time:0L) with
+      Inode.size = 100;
+      direct = Array.init 12 (fun i -> if i = 0 then d0 + 3 else 0);
+    }
+  in
+  Alcotest.(check string) "first 100 bytes" (String.make 100 'q')
+    (Result.get_ok (Reader.read_file reader inode))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_format"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "regions ordered" `Quick test_layout_regions_ordered;
+          Alcotest.test_case "too small rejected" `Quick test_layout_too_small;
+          Alcotest.test_case "inode location" `Quick test_layout_inode_location;
+          Alcotest.test_case "max file blocks" `Quick test_layout_max_file;
+        ] );
+      ( "superblock",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_sb_roundtrip;
+          Alcotest.test_case "bad magic" `Quick test_sb_bad_magic;
+          Alcotest.test_case "bad checksum" `Quick test_sb_bad_checksum;
+          Alcotest.test_case "crafted geometry" `Quick test_sb_crafted_geometry;
+          Alcotest.test_case "bad counts" `Quick test_sb_bad_counts;
+          Alcotest.test_case "state field" `Quick test_sb_state;
+        ] );
+      ( "bitmap",
+        [
+          Alcotest.test_case "basic ops" `Quick test_bitmap_basic;
+          Alcotest.test_case "checked set/clear" `Quick test_bitmap_result_ops;
+          Alcotest.test_case "find_free" `Quick test_bitmap_find_free;
+          Alcotest.test_case "block roundtrip" `Quick test_bitmap_block_roundtrip;
+          Alcotest.test_case "padding strictness" `Quick test_bitmap_padding_strictness;
+          Alcotest.test_case "undersized rejected" `Quick test_bitmap_too_few_blocks;
+          q prop_bitmap_roundtrip;
+        ] );
+      ( "inode",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_inode_roundtrip;
+          Alcotest.test_case "checksum seeded by ino" `Quick test_inode_checksum_seeded_by_ino;
+          Alcotest.test_case "corruption detected" `Quick test_inode_corruption_detected;
+          Alcotest.test_case "nocheck trusts" `Quick test_inode_nocheck_trusts;
+          Alcotest.test_case "free slot detection" `Quick test_inode_free_slot;
+          Alcotest.test_case "field validation" `Quick test_inode_field_validation;
+          q prop_inode_roundtrip;
+        ] );
+      ( "dirent",
+        [
+          Alcotest.test_case "empty block" `Quick test_dirent_empty_block;
+          Alcotest.test_case "insert/find/remove" `Quick test_dirent_insert_find_remove;
+          Alcotest.test_case "remove first entry" `Quick test_dirent_remove_first_entry;
+          Alcotest.test_case "space reuse" `Quick test_dirent_space_reuse;
+          Alcotest.test_case "fills to capacity" `Quick test_dirent_block_fills_up;
+          Alcotest.test_case "crafted rec_len 0" `Quick test_dirent_crafted_rec_len_zero;
+          Alcotest.test_case "crafted overrun" `Quick test_dirent_crafted_overrun;
+          Alcotest.test_case "crafted name_len" `Quick test_dirent_crafted_name_len;
+          Alcotest.test_case "dot entries allowed" `Quick test_dirent_dot_entries_allowed;
+          q prop_dirent_insert_remove;
+        ] );
+      ( "mkfs+reader",
+        [
+          Alcotest.test_case "mkfs valid image" `Quick test_mkfs_produces_valid_image;
+          Alcotest.test_case "mkfs too small" `Quick test_mkfs_too_small;
+          Alcotest.test_case "file block chains" `Quick test_reader_file_block_chains;
+          Alcotest.test_case "read_file" `Quick test_reader_read_file;
+        ] );
+    ]

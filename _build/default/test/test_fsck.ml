@@ -1,0 +1,280 @@
+(* Tests for rae_fsck: a fresh image is clean; every injected corruption
+   class is detected with the right finding code. *)
+
+open Rae_format
+module Disk = Rae_block.Disk
+module Device = Rae_block.Device
+module Fsck = Rae_fsck.Fsck
+module Types = Rae_vfs.Types
+
+let bs = Layout.block_size
+
+let mk_image ?(nblocks = 256) ?(ninodes = 64) () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let dev = Device.of_disk disk in
+  let sb = Result.get_ok (Mkfs.format dev ~ninodes ()) in
+  (disk, dev, sb)
+
+let has_code report code =
+  List.exists (fun f -> f.Fsck.code = code) report.Fsck.findings
+
+let check_finds ?(also_ok = false) disk code msg =
+  let report = Fsck.check_device (Device.of_disk disk) in
+  if also_ok then Alcotest.(check bool) (msg ^ ": still clean") true (Fsck.clean report)
+  else Alcotest.(check bool) (msg ^ ": not clean") false (Fsck.clean report);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: finds %s" msg (Fsck.code_to_string code))
+    true (has_code report code)
+
+let test_fresh_image_clean () =
+  let disk, _, _ = mk_image () in
+  let report = Fsck.check_device (Device.of_disk disk) in
+  Alcotest.(check bool) "clean" true (Fsck.clean report);
+  Alcotest.(check (list string)) "no findings" []
+    (List.map (fun f -> Format.asprintf "%a" Fsck.pp_finding f) report.Fsck.findings);
+  Alcotest.(check int) "root walked" 1 report.Fsck.dirs_walked;
+  Alcotest.(check int) "one inode" 1 report.Fsck.inodes_checked
+
+let test_superblock_corruption () =
+  let disk, _, _ = mk_image () in
+  Disk.corrupt_byte disk ~block:0 ~offset:0 (fun _ -> 'X');
+  check_finds disk Fsck.Sb_invalid "magic corrupted"
+
+let test_superblock_count_drift () =
+  let disk, dev, sb = mk_image () in
+  let crafted = { sb with Superblock.free_blocks = sb.Superblock.free_blocks - 5 } in
+  Device.write dev 0 (Superblock.encode crafted);
+  check_finds disk Fsck.Count_mismatch "free count drift"
+
+let test_inode_corruption () =
+  let disk, _, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* Flip a byte in the root inode (inode table slot 0 of its block). *)
+  Disk.corrupt_byte disk ~block:g.Layout.inode_table_start ~offset:8 (fun _ -> '\xff');
+  check_finds disk Fsck.Inode_invalid "root inode corrupted"
+
+let test_inode_bitmap_drift () =
+  let disk, dev, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* Mark inode 5 allocated in the bitmap while its slot stays free. *)
+  let b = Device.read dev g.Layout.inode_bitmap_start in
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lor (1 lsl 5)));
+  Device.write dev g.Layout.inode_bitmap_start b;
+  check_finds disk Fsck.Ibmap_invalid "inode bitmap drift"
+
+let test_dirent_corruption () =
+  let disk, _, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* The root directory's data block: zero the rec_len of the first
+     record — the classic crafted-image lockup shape. *)
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:4 (fun _ -> '\000');
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:5 (fun _ -> '\000');
+  check_finds disk Fsck.Dirent_invalid "rec_len zero"
+
+let test_dot_entry_mismatch () =
+  let disk, _, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* "." entry of the root points to inode 1: scribble its ino to 2. *)
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:0 (fun _ -> '\002');
+  check_finds disk Fsck.Dot_mismatch "dot points elsewhere"
+
+let test_block_bitmap_leak () =
+  let disk, dev, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* Mark a free data block as allocated; also fix sb counts so only the
+     leak (a warning) plus count mismatch appear; leaks alone keep clean. *)
+  let bbm_blk = g.Layout.block_bitmap_start in
+  let target = g.Layout.data_start + 10 in
+  let b = Device.read dev bbm_blk in
+  Bytes.set b (target / 8) (Char.chr (Char.code (Bytes.get b (target / 8)) lor (1 lsl (target mod 8))));
+  Device.write dev bbm_blk b;
+  let crafted = { sb with Superblock.free_blocks = sb.Superblock.free_blocks - 1 } in
+  Device.write dev 0 (Superblock.encode crafted);
+  let report = Fsck.check_device (Device.of_disk disk) in
+  Alcotest.(check bool) "leak found" true (has_code report Fsck.Bitmap_leak);
+  Alcotest.(check bool) "leak is only a warning" true (Fsck.clean report)
+
+let test_block_bitmap_missing () =
+  let disk, dev, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  (* Clear the root directory block's bit. *)
+  let bbm_blk = g.Layout.block_bitmap_start in
+  let target = g.Layout.data_start in
+  let b = Device.read dev bbm_blk in
+  Bytes.set b (target / 8)
+    (Char.chr (Char.code (Bytes.get b (target / 8)) land lnot (1 lsl (target mod 8)) land 0xFF));
+  Device.write dev bbm_blk b;
+  check_finds disk Fsck.Bitmap_missing "referenced block marked free"
+
+(* Build a slightly richer image by hand: root + one file, to exercise
+   nlink and pointer checks. *)
+let with_file () =
+  let disk, dev, sb = mk_image () in
+  let g = sb.Superblock.geometry in
+  let file_ino = 2 in
+  let file_blk = g.Layout.data_start + 1 in
+  (* File inode. *)
+  let inode =
+    {
+      (Inode.empty Types.Regular ~mode:0o644 ~time:1L) with
+      Inode.size = 5;
+      direct = Array.init 12 (fun i -> if i = 0 then file_blk else 0);
+    }
+  in
+  let iblk, ioff = Layout.inode_location g file_ino in
+  let itable = Device.read dev iblk in
+  Inode.encode inode ~ino:file_ino itable ~pos:ioff;
+  Device.write dev iblk itable;
+  (* Data. *)
+  let data = Bytes.make bs '\000' in
+  Bytes.blit_string "hello" 0 data 0 5;
+  Device.write dev file_blk data;
+  (* Directory entry in root. *)
+  let root_blk = Device.read dev g.Layout.data_start in
+  assert (Dirent.insert root_blk ~name:"f" ~ino:file_ino ~kind_code:(Types.kind_code Types.Regular));
+  Device.write dev g.Layout.data_start root_blk;
+  (* Bitmaps + superblock counts. *)
+  let ibm_b = Device.read dev g.Layout.inode_bitmap_start in
+  Bytes.set ibm_b 0 (Char.chr (Char.code (Bytes.get ibm_b 0) lor (1 lsl file_ino)));
+  Device.write dev g.Layout.inode_bitmap_start ibm_b;
+  let bbm_b = Device.read dev g.Layout.block_bitmap_start in
+  Bytes.set bbm_b (file_blk / 8)
+    (Char.chr (Char.code (Bytes.get bbm_b (file_blk / 8)) lor (1 lsl (file_blk mod 8))));
+  Device.write dev g.Layout.block_bitmap_start bbm_b;
+  let sb' =
+    { sb with Superblock.free_blocks = sb.Superblock.free_blocks - 1;
+      free_inodes = sb.Superblock.free_inodes - 1 }
+  in
+  Device.write dev 0 (Superblock.encode sb');
+  (disk, dev, sb', g, file_ino, file_blk)
+
+let test_hand_built_file_clean () =
+  let disk, _, _, _, _, _ = with_file () in
+  let report = Fsck.check_device (Device.of_disk disk) in
+  Alcotest.(check (list string)) "no findings" []
+    (List.map (fun f -> Format.asprintf "%a" Fsck.pp_finding f) report.Fsck.findings);
+  Alcotest.(check int) "two inodes" 2 report.Fsck.inodes_checked
+
+let test_nlink_mismatch () =
+  let disk, dev, _, g, file_ino, _ = with_file () in
+  (* Rewrite the file inode with nlink = 2 while only one entry refers. *)
+  let iblk, ioff = Layout.inode_location g file_ino in
+  let itable = Device.read dev iblk in
+  let inode = Result.get_ok (Inode.decode itable ~pos:ioff ~ino:file_ino) in
+  Inode.encode { inode with Inode.nlink = 2 } ~ino:file_ino itable ~pos:ioff;
+  Device.write dev iblk itable;
+  check_finds disk Fsck.Nlink_mismatch "nlink too high"
+
+let test_unreachable_inode () =
+  let disk, dev, _, g, file_ino, _ = with_file () in
+  (* Remove the directory entry but keep the inode allocated. *)
+  let root_blk = Device.read dev g.Layout.data_start in
+  assert (Dirent.remove root_blk "f");
+  Device.write dev g.Layout.data_start root_blk;
+  ignore file_ino;
+  check_finds disk Fsck.Unreachable_inode "entry removed, inode kept"
+
+let test_orphan_inode_warning () =
+  let disk, dev, _, g, file_ino, _ = with_file () in
+  (* nlink = 0 + no entry: a legitimate crash leftover, warning only.
+     Note: nlink 0 inodes fail strict decode, so fsck reports the slot as
+     invalid instead.  Craft it with nlink 0 via decode_nocheck/encode. *)
+  let root_blk = Device.read dev g.Layout.data_start in
+  assert (Dirent.remove root_blk "f");
+  Device.write dev g.Layout.data_start root_blk;
+  let iblk, ioff = Layout.inode_location g file_ino in
+  let itable = Device.read dev iblk in
+  let inode = Inode.decode_nocheck itable ~pos:ioff in
+  Inode.encode { inode with Inode.nlink = 0 } ~ino:file_ino itable ~pos:ioff;
+  Device.write dev iblk itable;
+  let report = Fsck.check_device (Device.of_disk disk) in
+  (* nlink=0 fails Inode.decode's field validation: accept either the
+     orphan warning or the invalid-inode error, but the image must not be
+     reported fully clean. *)
+  Alcotest.(check bool) "flagged" true
+    (has_code report Fsck.Orphan_inode || has_code report Fsck.Inode_invalid)
+
+let test_bad_pointer () =
+  let disk, dev, _, g, file_ino, _ = with_file () in
+  let iblk, ioff = Layout.inode_location g file_ino in
+  let itable = Device.read dev iblk in
+  let inode = Result.get_ok (Inode.decode itable ~pos:ioff ~ino:file_ino) in
+  let direct = Array.copy inode.Inode.direct in
+  direct.(0) <- 3 (* a metadata block *);
+  Inode.encode { inode with Inode.direct } ~ino:file_ino itable ~pos:ioff;
+  Device.write dev iblk itable;
+  check_finds disk Fsck.Bad_pointer "pointer into metadata"
+
+let test_double_referenced_block () =
+  let disk, dev, _, g, file_ino, file_blk = with_file () in
+  (* Point a second logical block at the same physical block. *)
+  let iblk, ioff = Layout.inode_location g file_ino in
+  let itable = Device.read dev iblk in
+  let inode = Result.get_ok (Inode.decode itable ~pos:ioff ~ino:file_ino) in
+  let direct = Array.copy inode.Inode.direct in
+  direct.(1) <- file_blk;
+  Inode.encode { inode with Inode.direct; size = 2 * bs } ~ino:file_ino itable ~pos:ioff;
+  Device.write dev iblk itable;
+  check_finds disk Fsck.Double_ref "same block twice"
+
+let test_dir_size_unaligned () =
+  let disk, dev, _, g, _, _ = with_file () in
+  let iblk, ioff = Layout.inode_location g 1 in
+  let itable = Device.read dev iblk in
+  let root = Result.get_ok (Inode.decode itable ~pos:ioff ~ino:1) in
+  Inode.encode { root with Inode.size = 100 } ~ino:1 itable ~pos:ioff;
+  Device.write dev iblk itable;
+  check_finds disk Fsck.Size_invalid "dir size unaligned"
+
+let test_io_error_during_check () =
+  let disk, _, _ = mk_image () in
+  let fault =
+    Rae_block.Fault.create [ Rae_block.Fault.Read_error { block = 0; from_nth = 1; count = 100 } ]
+  in
+  let dev = Rae_block.Fault.wrap fault (Device.of_disk disk) in
+  let report = Fsck.check_device dev in
+  Alcotest.(check bool) "not clean" false (Fsck.clean report)
+
+let prop_random_corruption_never_crashes =
+  (* Fuzz: arbitrary single-byte corruptions anywhere on the image must
+     never make fsck raise — it reports findings instead.  (It MAY still
+     report clean when the byte lands in a don't-care region.) *)
+  QCheck2.Test.make ~name:"fsck total on corrupt images" ~count:150
+    QCheck2.Gen.(pair (int_bound 255) (pair (int_bound (bs - 1)) (int_bound 255)))
+    (fun (blk, (off, v)) ->
+      let disk, _, _, _, _, _ = with_file () in
+      let blk = blk mod Disk.nblocks disk in
+      Disk.corrupt_byte disk ~block:blk ~offset:off (fun _ -> Char.chr v);
+      let report = Fsck.check_device (Device.of_disk disk) in
+      ignore report.Fsck.findings;
+      true)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_fsck"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "fresh image" `Quick test_fresh_image_clean;
+          Alcotest.test_case "hand-built file image" `Quick test_hand_built_file_clean;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "superblock corruption" `Quick test_superblock_corruption;
+          Alcotest.test_case "count drift" `Quick test_superblock_count_drift;
+          Alcotest.test_case "inode corruption" `Quick test_inode_corruption;
+          Alcotest.test_case "inode bitmap drift" `Quick test_inode_bitmap_drift;
+          Alcotest.test_case "dirent rec_len 0" `Quick test_dirent_corruption;
+          Alcotest.test_case "dot mismatch" `Quick test_dot_entry_mismatch;
+          Alcotest.test_case "block bitmap leak (warn)" `Quick test_block_bitmap_leak;
+          Alcotest.test_case "block bitmap missing" `Quick test_block_bitmap_missing;
+          Alcotest.test_case "nlink mismatch" `Quick test_nlink_mismatch;
+          Alcotest.test_case "unreachable inode" `Quick test_unreachable_inode;
+          Alcotest.test_case "orphan inode" `Quick test_orphan_inode_warning;
+          Alcotest.test_case "bad pointer" `Quick test_bad_pointer;
+          Alcotest.test_case "double-referenced block" `Quick test_double_referenced_block;
+          Alcotest.test_case "dir size unaligned" `Quick test_dir_size_unaligned;
+          Alcotest.test_case "io errors reported" `Quick test_io_error_during_check;
+        ] );
+      ("fuzz", [ q prop_random_corruption_never_crashes ]);
+    ]

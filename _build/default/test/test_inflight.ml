@@ -1,0 +1,97 @@
+(* Autonomous-mode coverage: EVERY operation kind can be the in-flight
+   operation at the moment the base panics, and RAE must return the
+   POSIX-correct result for it (paper §3.2: the shadow "allows in-flight
+   operations to complete").
+
+   Table-driven: for each op kind, a small setup script plus a trigger op
+   of that kind; a panic bug armed on the Nth op of that kind fires
+   exactly on the trigger. *)
+
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Spec = Rae_specfs.Spec
+module Disk = Rae_block.Disk
+module Device = Rae_block.Device
+
+let p = Path.parse_exn
+let ok = Result.get_ok
+let bs = Rae_format.Layout.block_size
+
+(* (kind, setup ops, trigger op).  The trigger is the FIRST op of its kind
+   in the whole script, so the bug arms with n = 1. *)
+let cases =
+  [
+    (Op.K_create, [], Op.Create (p "/t", 0o644));
+    (Op.K_mkdir, [], Op.Mkdir (p "/d", 0o755));
+    (Op.K_unlink, [ Op.Create (p "/t", 0o644) ], Op.Unlink (p "/t"));
+    (Op.K_rmdir, [ Op.Mkdir (p "/d", 0o755) ], Op.Rmdir (p "/d"));
+    (Op.K_open, [ Op.Create (p "/t", 0o644) ], Op.Open (p "/t", Types.flags_rw));
+    (Op.K_close, [ Op.Open (p "/t", Types.flags_create) ], Op.Close 0);
+    (Op.K_pread, [ Op.Open (p "/t", Types.flags_create); Op.Pwrite (0, 0, "hello") ], Op.Pread (0, 1, 3));
+    (Op.K_pwrite, [ Op.Open (p "/t", Types.flags_create) ], Op.Pwrite (0, 0, "payload"));
+    (Op.K_lookup, [ Op.Create (p "/t", 0o644) ], Op.Lookup (p "/t"));
+    (Op.K_stat, [ Op.Create (p "/t", 0o644) ], Op.Stat (p "/t"));
+    (Op.K_fstat, [ Op.Open (p "/t", Types.flags_create) ], Op.Fstat 0);
+    (Op.K_readdir, [ Op.Mkdir (p "/d", 0o755); Op.Create (p "/d/x", 0o644) ], Op.Readdir (p "/d"));
+    (Op.K_rename, [ Op.Create (p "/t", 0o644) ], Op.Rename (p "/t", p "/u"));
+    (Op.K_truncate, [ Op.Open (p "/t", Types.flags_create); Op.Pwrite (0, 0, "longcontent") ],
+     Op.Truncate (p "/t", 4));
+    (Op.K_link, [ Op.Create (p "/t", 0o644) ], Op.Link (p "/t", p "/hard"));
+    (Op.K_symlink, [], Op.Symlink ("/t", p "/ln"));
+    (Op.K_readlink, [ Op.Symlink ("/t", p "/ln") ], Op.Readlink (p "/ln"));
+    (Op.K_chmod, [ Op.Create (p "/t", 0o644) ], Op.Chmod (p "/t", 0o400));
+    (Op.K_fsync, [ Op.Open (p "/t", Types.flags_create); Op.Pwrite (0, 0, "x") ], Op.Fsync 0);
+    (Op.K_sync, [ Op.Create (p "/t", 0o644) ], Op.Sync);
+  ]
+
+let run_case (kind, setup, trigger) =
+  let bug =
+    {
+      Bug_registry.id = "inflight-panic";
+      determinism = Bug_registry.Deterministic;
+      trigger = Bug_registry.Nth_op_of_kind (kind, 1);
+      consequence = Bug_registry.Panic;
+      modeled_after = "in-flight coverage";
+    }
+  in
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:2048 () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes:256 ()));
+  let base = ok (Base.mount ~bugs:(Bug_registry.arm [ bug ]) dev) in
+  let ctl = Controller.make ~device:dev base in
+  let sp = Spec.make () in
+  let name = Op.kind_to_string kind in
+  List.iteri
+    (fun i op ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s setup %d" name i)
+        true
+        (Op.outcome_equal (Spec.exec sp op) (Controller.exec ctl op)))
+    setup;
+  (* The trigger op panics the base; its result must still be correct. *)
+  let want = Spec.exec sp trigger and got = Controller.exec ctl trigger in
+  if not (Op.outcome_equal want got) then
+    Alcotest.failf "in-flight %s: spec %s, RAE %s" name
+      (Format.asprintf "%a" Op.pp_outcome want)
+      (Format.asprintf "%a" Op.pp_outcome got);
+  Alcotest.(check int) (name ^ " recovered once") 1 (Controller.stats ctl).Controller.recoveries;
+  (* The system remains usable and consistent. *)
+  Alcotest.(check bool) (name ^ " still alive") true
+    (Result.is_ok (Controller.create ctl (p "/after") ~mode:0o644));
+  ignore (ok (Controller.sync ctl));
+  Alcotest.(check bool)
+    (name ^ " fsck clean")
+    true
+    (Rae_fsck.Fsck.clean (Rae_fsck.Fsck.check_device dev))
+
+let () =
+  Alcotest.run "rae_inflight"
+    [
+      ( "in-flight op kinds",
+        List.map
+          (fun ((kind, _, _) as case) ->
+            Alcotest.test_case (Op.kind_to_string kind) `Quick (fun () -> run_case case))
+          cases );
+    ]

@@ -1,0 +1,338 @@
+(* Tests for rae_journal: commit/checkpoint, replay, crash consistency,
+   escaping, revocation. *)
+
+open Rae_block
+module Journal = Rae_journal.Journal
+module Layout = Rae_format.Layout
+
+let bs = Layout.block_size
+
+let setup ?(nblocks = 512) ?(journal_len = 16) () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let dev = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+  Journal.format dev g;
+  (disk, dev, g)
+
+let attach_exn dev g =
+  match Journal.attach dev g with Ok j -> j | Error msg -> Alcotest.failf "attach: %s" msg
+
+let block_of_char c = Bytes.make bs c
+let data_blk g i = g.Layout.data_start + i
+
+let test_format_attach () =
+  let _disk, dev, g = setup () in
+  ignore (attach_exn dev g)
+
+let test_attach_unformatted () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:512 () in
+  let dev = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks:512 ~ninodes:64 ~journal_len:16 ()) in
+  match Journal.attach dev g with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "attached to an unformatted journal"
+
+let test_commit_checkpoints () =
+  let disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.txn_write txn (data_blk g 1) (block_of_char 'b');
+  Journal.commit j txn;
+  Alcotest.(check bool) "home 0 written" true (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char 'a'));
+  Alcotest.(check bool) "home 1 written" true (Bytes.equal (Disk.read disk (data_blk g 1)) (block_of_char 'b'));
+  let s = Journal.stats j in
+  Alcotest.(check int) "1 commit" 1 s.Journal.commits;
+  Alcotest.(check int) "2 blocks" 2 s.Journal.blocks_logged
+
+let test_empty_commit_noop () =
+  let disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let before = Disk.writes disk in
+  Journal.commit j (Journal.begin_txn j);
+  Alcotest.(check int) "no io" before (Disk.writes disk);
+  Alcotest.(check int) "no commit counted" 0 (Journal.stats j).Journal.commits
+
+let test_txn_write_supersedes () =
+  let disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'b');
+  Alcotest.(check int) "one block buffered" 1 (Journal.txn_block_count txn);
+  Journal.commit j txn;
+  Alcotest.(check bool) "later write wins" true
+    (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char 'b'))
+
+let test_abort_discards () =
+  let disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.abort j txn;
+  Journal.commit j txn (* now empty: no-op *);
+  Alcotest.(check bool) "home untouched" true
+    (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char '\000'))
+
+let test_replay_clean_is_noop () =
+  let _disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.commit j txn;
+  Alcotest.(check (result int string)) "0 replayed" (Ok 0) (Journal.replay dev g)
+
+(* Crash between journal-commit and checkpoint: replay must re-apply. *)
+let test_crash_after_journal_commit () =
+  let nblocks = 512 and journal_len = 16 in
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let raw = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+  Journal.format raw g;
+  let sim, dev = Crashsim.create raw in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.txn_write txn (data_blk g 1) (block_of_char 'b');
+  (* Intercept: run commit but crash before the checkpoint flush completes.
+     We emulate by committing fully through the crashsim and then crashing
+     with only the first flush applied: re-run commit steps manually is
+     intrusive, so instead test the replay path by restoring a snapshot
+     taken right after the journal flush.  Simpler: write journal records
+     through a crashsim and crash after the *first* flush boundary. *)
+  (* Commit issues: journal writes, flush, home writes, flush, jsb, flush.
+     Crash the device after 1 flush by tracking flush count. *)
+  (try
+     let flush_budget = ref 1 in
+     let dev' =
+       {
+         dev with
+         Device.dev_flush =
+           (fun () ->
+             if !flush_budget = 0 then raise Exit;
+             decr flush_budget;
+             Device.flush dev);
+       }
+     in
+     let j' = attach_exn dev' g in
+     let txn' = Journal.begin_txn j' in
+     Journal.txn_write txn' (data_blk g 0) (block_of_char 'a');
+     Journal.txn_write txn' (data_blk g 1) (block_of_char 'b');
+     Journal.commit j' txn'
+   with Exit -> ());
+  Crashsim.crash sim (* drop everything after the last flush *);
+  ignore j;
+  (* At this point the journal records are on the medium, the home writes
+     are lost.  Replay must reconstruct them. *)
+  (match Journal.replay raw g with
+  | Ok n -> Alcotest.(check int) "one txn replayed" 1 n
+  | Error msg -> Alcotest.failf "replay: %s" msg);
+  Alcotest.(check bool) "home 0 recovered" true
+    (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char 'a'));
+  Alcotest.(check bool) "home 1 recovered" true
+    (Bytes.equal (Disk.read disk (data_blk g 1)) (block_of_char 'b'));
+  (* Replay is idempotent and advances the tail. *)
+  Alcotest.(check (result int string)) "second replay no-op" (Ok 0) (Journal.replay raw g)
+
+(* Crash before the journal flush: transaction must vanish entirely. *)
+let test_crash_before_journal_flush () =
+  let nblocks = 512 and journal_len = 16 in
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let raw = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+  Journal.format raw g;
+  let sim, dev = Crashsim.create raw in
+  (try
+     let dev' = { dev with Device.dev_flush = (fun () -> raise Exit) } in
+     let j = attach_exn dev' g in
+     let txn = Journal.begin_txn j in
+     Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+     Journal.commit j txn
+   with Exit -> ());
+  Crashsim.crash sim;
+  (match Journal.replay raw g with
+  | Ok n -> Alcotest.(check int) "nothing replayed" 0 n
+  | Error msg -> Alcotest.failf "replay: %s" msg);
+  Alcotest.(check bool) "home untouched" true
+    (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char '\000'))
+
+let test_escaping () =
+  (* A data block that begins with the journal magic must roundtrip. *)
+  let disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let tricky = Bytes.make bs '\000' in
+  (* "JRNL" little-endian magic *)
+  Bytes.set tricky 0 'J';
+  Bytes.set tricky 1 'R';
+  Bytes.set tricky 2 'N';
+  Bytes.set tricky 3 'L';
+  Bytes.set tricky 100 'x';
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) tricky;
+  Journal.commit j txn;
+  Alcotest.(check int) "escape counted" 1 (Journal.stats j).Journal.escapes;
+  Alcotest.(check bool) "home content exact" true (Bytes.equal (Disk.read disk (data_blk g 0)) tricky)
+
+let test_escaping_survives_replay () =
+  let nblocks = 512 and journal_len = 16 in
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let raw = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+  Journal.format raw g;
+  let sim, dev = Crashsim.create raw in
+  let tricky = Bytes.make bs 'z' in
+  Bytes.set tricky 0 'J'; Bytes.set tricky 1 'R'; Bytes.set tricky 2 'N'; Bytes.set tricky 3 'L';
+  (try
+     let flush_budget = ref 1 in
+     let dev' =
+       {
+         dev with
+         Device.dev_flush =
+           (fun () ->
+             if !flush_budget = 0 then raise Exit;
+             decr flush_budget;
+             Device.flush dev);
+       }
+     in
+     let j = attach_exn dev' g in
+     let txn = Journal.begin_txn j in
+     Journal.txn_write txn (data_blk g 0) tricky;
+     Journal.commit j txn
+   with Exit -> ());
+  Crashsim.crash sim;
+  (match Journal.replay raw g with
+  | Ok 1 -> ()
+  | Ok n -> Alcotest.failf "expected 1 txn, replayed %d" n
+  | Error msg -> Alcotest.failf "replay: %s" msg);
+  Alcotest.(check bool) "escaped block restored with magic" true
+    (Bytes.equal (Disk.read disk (data_blk g 0)) tricky)
+
+let test_many_commits_wrap () =
+  (* More transactions than the journal region holds: the tail reset must
+     kick in and everything must stay consistent. *)
+  let disk, dev, g = setup ~journal_len:8 () in
+  let j = attach_exn dev g in
+  for i = 0 to 19 do
+    let txn = Journal.begin_txn j in
+    Journal.txn_write txn (data_blk g (i mod 4)) (block_of_char (Char.chr (Char.code 'a' + (i mod 26))));
+    Journal.commit j txn
+  done;
+  Alcotest.(check bool) "tail resets happened" true ((Journal.stats j).Journal.tail_resets > 0);
+  Alcotest.(check bool) "last value present" true
+    (Bytes.equal (Disk.read disk (data_blk g 3)) (block_of_char 't'));
+  Alcotest.(check (result int string)) "clean replay" (Ok 0) (Journal.replay dev g)
+
+let test_journal_full () =
+  let _disk, dev, g = setup ~journal_len:4 () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  for i = 0 to 9 do
+    Journal.txn_write txn (data_blk g i) (block_of_char 'x')
+  done;
+  match Journal.commit j txn with
+  | exception Journal.Journal_full _ -> ()
+  | () -> Alcotest.fail "expected Journal_full"
+
+let test_revoke_suppresses_replay () =
+  (* txn1 writes block B; txn2 revokes B (freed).  Crash with both in the
+     journal and no checkpoint: replay must NOT restore txn1's image of B. *)
+  let nblocks = 512 and journal_len = 32 in
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+  let raw = Device.of_disk disk in
+  let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+  Journal.format raw g;
+  let target = data_blk g 0 in
+  (* Make the journal superblock writes vanish: the tail never advances on
+     the medium, so after the "crash" both transactions sit in the replay
+     window even though they were fully checkpointed in memory. *)
+  let fault = Fault.create [ Fault.Stuck_write { block = g.Layout.journal_start } ] in
+  let dev = Fault.wrap fault raw in
+  let j = attach_exn dev g in
+  let txn1 = Journal.begin_txn j in
+  Journal.txn_write txn1 target (block_of_char 'O');
+  Journal.commit j txn1;
+  let txn2 = Journal.begin_txn j in
+  Journal.txn_write txn2 (data_blk g 1) (block_of_char 'M');
+  Journal.txn_revoke txn2 target;
+  Journal.commit j txn2;
+  (* Overwrite the target on the medium to simulate its reuse as data. *)
+  Disk.write disk target (block_of_char 'D');
+  (match Journal.replay raw g with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "replay: %s" msg);
+  Alcotest.(check bool) "revoked block not replayed" true
+    (Bytes.equal (Disk.read disk target) (block_of_char 'D'));
+  Alcotest.(check bool) "non-revoked write replayed" true
+    (Bytes.equal (Disk.read disk (data_blk g 1)) (block_of_char 'M'))
+
+let prop_commit_replay_equivalence =
+  (* Random write batches: committing through the journal and crashing
+     after the journal flush then replaying yields the same medium as
+     committing without a crash. *)
+  QCheck2.Test.make ~name:"crash+replay == direct commit" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 8) (pair (int_bound 19) (int_bound 25)))
+    (fun writes ->
+      let run ~crash =
+        let nblocks = 512 and journal_len = 32 in
+        let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks () in
+        let raw = Device.of_disk disk in
+        let g = Result.get_ok (Layout.compute ~nblocks ~ninodes:64 ~journal_len ()) in
+        Journal.format raw g;
+        let sim, dev = Crashsim.create raw in
+        (try
+           let flush_budget = ref (if crash then 1 else max_int) in
+           let dev' =
+             {
+               dev with
+               Device.dev_flush =
+                 (fun () ->
+                   if !flush_budget = 0 then raise Exit;
+                   decr flush_budget;
+                   Device.flush dev);
+             }
+           in
+           let j = attach_exn dev' g in
+           let txn = Journal.begin_txn j in
+           List.iter
+             (fun (blk, c) ->
+               Journal.txn_write txn (data_blk g blk) (block_of_char (Char.chr (Char.code 'a' + c))))
+             writes;
+           Journal.commit j txn
+         with Exit -> ());
+        if crash then Crashsim.crash sim else Device.flush dev;
+        if crash then ignore (Result.get_ok (Journal.replay raw g));
+        (* Compare only the data region: journal tail state may differ. *)
+        List.init 20 (fun i -> Disk.read disk (data_blk g i))
+      in
+      let direct = run ~crash:false and recovered = run ~crash:true in
+      List.for_all2 Bytes.equal direct recovered)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_journal"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "format/attach" `Quick test_format_attach;
+          Alcotest.test_case "attach unformatted" `Quick test_attach_unformatted;
+        ] );
+      ( "commit",
+        [
+          Alcotest.test_case "commit checkpoints" `Quick test_commit_checkpoints;
+          Alcotest.test_case "empty commit no-op" `Quick test_empty_commit_noop;
+          Alcotest.test_case "intra-txn supersede" `Quick test_txn_write_supersedes;
+          Alcotest.test_case "abort discards" `Quick test_abort_discards;
+          Alcotest.test_case "journal full" `Quick test_journal_full;
+          Alcotest.test_case "wraparound" `Quick test_many_commits_wrap;
+          Alcotest.test_case "magic escaping" `Quick test_escaping;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "clean replay no-op" `Quick test_replay_clean_is_noop;
+          Alcotest.test_case "crash after journal commit" `Quick test_crash_after_journal_commit;
+          Alcotest.test_case "crash before journal flush" `Quick test_crash_before_journal_flush;
+          Alcotest.test_case "escaping survives replay" `Quick test_escaping_survives_replay;
+          Alcotest.test_case "revocation suppresses replay" `Quick test_revoke_suppresses_replay;
+          q prop_commit_replay_equivalence;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Large and sparse file coverage: the single- and double-indirect block
+   chains of the format, exercised identically on the base, the shadow and
+   the spec; plus ENOSPC behaviour on the base. *)
+
+open Rae_vfs
+module Base = Rae_basefs.Base
+module Shadow = Rae_shadowfs.Shadow
+module Spec = Rae_specfs.Spec
+module Disk = Rae_block.Disk
+module Device = Rae_block.Device
+module Layout = Rae_format.Layout
+module Fsck = Rae_fsck.Fsck
+
+let p = Path.parse_exn
+let ok = Result.get_ok
+let bs = Layout.block_size
+
+(* Offsets probing each mapping region: direct (0..11), single indirect
+   (12..1035), double indirect (1036..). *)
+let probe_offsets =
+  [
+    0;
+    (* last direct block *) (11 * bs) + 17;
+    (* first indirect *) 12 * bs;
+    (* deep in indirect *) 800 * bs;
+    (* first double-indirect *) (12 + 1024) * bs;
+    (* second L1 page of the double-indirect tree *) (12 + 1024 + 1500) * bs;
+  ]
+
+let mk_base () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:8192 () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes:64 ()));
+  (dev, ok (Base.mount dev))
+
+let mk_shadow () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:8192 () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Rae_format.Mkfs.format dev ~ninodes:64 ()));
+  (dev, ok (Shadow.attach dev))
+
+(* Write a tagged chunk at each probe offset, then verify reads, stats and
+   hole semantics — through any Fs_intf-style exec function. *)
+let sparse_scenario exec fs =
+  let fd =
+    match exec fs (Op.Open (p "/sparse", Types.flags_create)) with
+    | Ok (Op.Fd fd) -> fd
+    | other -> Alcotest.failf "open: %s" (Format.asprintf "%a" Op.pp_outcome other)
+  in
+  List.iteri
+    (fun i off ->
+      let tag = Printf.sprintf "<chunk-%d>" i in
+      match exec fs (Op.Pwrite (fd, off, tag)) with
+      | Ok (Op.Len n) -> Alcotest.(check int) "full write" (String.length tag) n
+      | other -> Alcotest.failf "pwrite@%d: %s" off (Format.asprintf "%a" Op.pp_outcome other))
+    probe_offsets;
+  (* Size = end of the last chunk. *)
+  let last = List.nth probe_offsets (List.length probe_offsets - 1) in
+  let expect_size = last + String.length (Printf.sprintf "<chunk-%d>" (List.length probe_offsets - 1)) in
+  (match exec fs (Op.Fstat fd) with
+  | Ok (Op.St st) -> Alcotest.(check int) "sparse size" expect_size st.Types.st_size
+  | other -> Alcotest.failf "fstat: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  (* Every chunk reads back; holes read as zeros. *)
+  List.iteri
+    (fun i off ->
+      let tag = Printf.sprintf "<chunk-%d>" i in
+      match exec fs (Op.Pread (fd, off, String.length tag)) with
+      | Ok (Op.Data d) -> Alcotest.(check string) (Printf.sprintf "chunk %d" i) tag d
+      | other -> Alcotest.failf "pread@%d: %s" off (Format.asprintf "%a" Op.pp_outcome other))
+    probe_offsets;
+  (match exec fs (Op.Pread (fd, 5 * bs, 64)) with
+  | Ok (Op.Data d) -> Alcotest.(check string) "hole is zeros" (String.make 64 '\000') d
+  | other -> Alcotest.failf "hole read: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  (* Shrink under the double-indirect boundary, then under direct. *)
+  (match exec fs (Op.Truncate (p "/sparse", (12 + 1024) * bs)) with
+  | Ok Op.Unit -> ()
+  | other -> Alcotest.failf "truncate: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  (match exec fs (Op.Pread (fd, 12 * bs, 11)) with
+  | Ok (Op.Data d) -> Alcotest.(check string) "indirect chunk survives" "<chunk-2>\000\000" d
+  | other -> Alcotest.failf "post-truncate read: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  (match exec fs (Op.Truncate (p "/sparse", 100)) with
+  | Ok Op.Unit -> ()
+  | other -> Alcotest.failf "truncate2: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  (match exec fs (Op.Fstat fd) with
+  | Ok (Op.St st) -> Alcotest.(check int) "shrunk" 100 st.Types.st_size
+  | other -> Alcotest.failf "fstat2: %s" (Format.asprintf "%a" Op.pp_outcome other));
+  ignore (exec fs (Op.Close fd))
+
+let test_sparse_on_spec () = sparse_scenario Spec.exec (Spec.make ())
+
+let test_sparse_on_base () =
+  let dev, b = mk_base () in
+  sparse_scenario Base.exec b;
+  ignore (ok (Base.unmount b));
+  Alcotest.(check bool) "fsck clean (indirects freed)" true (Fsck.clean (Fsck.check_device dev))
+
+let test_sparse_on_shadow () =
+  let _dev, s = mk_shadow () in
+  sparse_scenario Shadow.exec s
+
+let test_three_way_agreement () =
+  (* The same sparse trace, op by op, on all three implementations. *)
+  let ops =
+    List.concat
+      [
+        [ Op.Open (p "/f", Types.flags_create) ];
+        List.concat_map
+          (fun off -> [ Op.Pwrite (0, off, "DATA"); Op.Pread (0, off, 4); Op.Fstat 0 ])
+          probe_offsets;
+        [ Op.Truncate (p "/f", 500 * bs); Op.Fstat 0; Op.Truncate (p "/f", 0); Op.Close 0 ];
+      ]
+  in
+  let sp = Spec.make () in
+  let _, b = mk_base () in
+  let _, s = mk_shadow () in
+  List.iteri
+    (fun i op ->
+      let a = Spec.exec sp op and bo = Base.exec b op and so = Shadow.exec s op in
+      if not (Op.outcome_equal a bo) then
+        Alcotest.failf "op %d %s: spec vs base" i (Op.to_string op);
+      if not (Op.outcome_equal a so) then
+        Alcotest.failf "op %d %s: spec vs shadow" i (Op.to_string op))
+    ops
+
+let test_base_enospc_and_aftermath () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:128 () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes:16 ~journal_len:16 ()));
+  let b = ok (Base.mount dev) in
+  let fd = ok (Base.openf b (p "/big") Types.flags_create) in
+  (match Base.pwrite b fd ~off:0 (String.make (200 * bs) 'x') with
+  | Error Errno.ENOSPC -> ()
+  | Error e -> Alcotest.failf "expected ENOSPC, got %s" (Errno.to_string e)
+  | Ok n -> Alcotest.failf "wrote %d on a full disk" n);
+  (* The filesystem keeps working and the image has no structural errors
+     (block leaks from the aborted write are warnings, not errors). *)
+  ignore (ok (Base.close b fd));
+  ignore (ok (Base.unlink b (p "/big")));
+  ignore (ok (Base.create b (p "/small") ~mode:0o644));
+  ignore (ok (Base.unmount b));
+  let report = Fsck.check_device dev in
+  Alcotest.(check (list string)) "no structural errors" []
+    (List.map (fun f -> Format.asprintf "%a" Fsck.pp_finding f) (Fsck.errors report))
+
+let test_tiny_journal_rejected () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:128 () in
+  let dev = Device.of_disk disk in
+  match Base.mkfs dev ~ninodes:16 ~journal_len:8 () with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted a journal too small for one transaction"
+
+let test_max_file_size_enforced () =
+  let sp = Spec.make () in
+  let fd = ok (Spec.openf sp (p "/f") Types.flags_create) in
+  (match Spec.pwrite sp fd ~off:Layout.max_file_size "x" with
+  | Error Errno.EFBIG -> ()
+  | _ -> Alcotest.fail "spec allowed write past max size");
+  let _, s = mk_shadow () in
+  let fd2 = ok (Shadow.openf s (p "/f") Types.flags_create) in
+  match Shadow.pwrite s fd2 ~off:Layout.max_file_size "x" with
+  | Error Errno.EFBIG -> ()
+  | _ -> Alcotest.fail "shadow allowed write past max size"
+
+let () =
+  Alcotest.run "rae_largefile"
+    [
+      ( "sparse+indirect",
+        [
+          Alcotest.test_case "spec" `Quick test_sparse_on_spec;
+          Alcotest.test_case "base" `Quick test_sparse_on_base;
+          Alcotest.test_case "shadow" `Quick test_sparse_on_shadow;
+          Alcotest.test_case "three-way agreement" `Quick test_three_way_agreement;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "base ENOSPC aftermath" `Quick test_base_enospc_and_aftermath;
+          Alcotest.test_case "tiny journal rejected" `Quick test_tiny_journal_rejected;
+          Alcotest.test_case "max file size" `Quick test_max_file_size_enforced;
+        ] );
+    ]

@@ -1,0 +1,108 @@
+(* Unit tests for the RAE oplog and report modules. *)
+
+open Rae_vfs
+module Oplog = Rae_core.Oplog
+module Report = Rae_core.Report
+
+let p = Path.parse_exn
+
+let test_record_and_entries () =
+  let log = Oplog.create () in
+  Alcotest.(check int) "empty" 0 (Oplog.length log);
+  Oplog.record log (Op.Create (p "/a", 0o644)) (Ok (Op.Ino 2));
+  Oplog.record log (Op.Unlink (p "/b")) (Error Errno.ENOENT);
+  Alcotest.(check int) "two entries" 2 (Oplog.length log);
+  match Oplog.entries log with
+  | [ e1; e2 ] ->
+      Alcotest.(check int) "seq 0" 0 e1.Op.seq;
+      Alcotest.(check int) "seq 1" 1 e2.Op.seq;
+      Alcotest.(check bool) "order oldest-first" true (Op.kind e1.Op.op = Op.K_create);
+      Alcotest.(check bool) "outcome kept" true (e2.Op.outcome = Error Errno.ENOENT)
+  | other -> Alcotest.failf "expected 2 entries, got %d" (List.length other)
+
+let test_checkpoint_discards_and_snapshots () =
+  let log = Oplog.create () in
+  Oplog.record log Op.Sync (Ok Op.Unit);
+  Oplog.record log Op.Sync (Ok Op.Unit);
+  let fds = [ (0, 5, Types.flags_rw); (3, 7, Types.flags_ro) ] in
+  Oplog.checkpoint log ~fds;
+  Alcotest.(check int) "window cleared" 0 (Oplog.length log);
+  Alcotest.(check bool) "fd snapshot stored" true (Oplog.fd_snapshot log = fds);
+  Alcotest.(check int) "discard counter" 2 (Oplog.total_discarded log);
+  Alcotest.(check int) "total recorded monotonic" 2 (Oplog.total_recorded log)
+
+let test_seq_monotonic_across_checkpoints () =
+  let log = Oplog.create () in
+  Oplog.record log Op.Sync (Ok Op.Unit);
+  Oplog.checkpoint log ~fds:[];
+  Oplog.record log Op.Sync (Ok Op.Unit);
+  match Oplog.entries log with
+  | [ e ] -> Alcotest.(check int) "seq continues" 1 e.Op.seq
+  | _ -> Alcotest.fail "expected one entry"
+
+let test_max_window_highwater () =
+  let log = Oplog.create () in
+  for _ = 1 to 5 do
+    Oplog.record log Op.Sync (Ok Op.Unit)
+  done;
+  Oplog.checkpoint log ~fds:[];
+  for _ = 1 to 3 do
+    Oplog.record log Op.Sync (Ok Op.Unit)
+  done;
+  Alcotest.(check int) "high water is 5" 5 (Oplog.max_window log)
+
+let test_report_rendering () =
+  let d =
+    {
+      Report.d_seq = 4;
+      d_op = Op.Stat (p "/f");
+      d_base = Ok (Op.Len 1);
+      d_shadow = Ok (Op.Len 2);
+    }
+  in
+  let r =
+    {
+      Report.r_trigger = Report.Panic { bug = "b"; msg = "m" };
+      r_window = 10;
+      r_replayed = 8;
+      r_skipped = 2;
+      r_discrepancies = [ d ];
+      r_handoff_blocks = 3;
+      r_delegated_sync = true;
+      r_wall_seconds = 0.012;
+      r_outcome = Report.Recovered;
+    }
+  in
+  let s = Format.asprintf "%a" Report.pp_recovery r in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions trigger" true (contains "panic(b)");
+  Alcotest.(check bool) "mentions window" true (contains "window=10");
+  Alcotest.(check bool) "mentions delegation" true (contains "delegated");
+  Alcotest.(check bool) "mentions discrepancy" true (contains "discrepancy");
+  List.iter
+    (fun trigger ->
+      Alcotest.(check bool) "trigger_to_string nonempty" true
+        (String.length (Report.trigger_to_string trigger) > 0))
+    [
+      Report.Panic { bug = "x"; msg = "" };
+      Report.Hang_detected { bug = "x"; msg = "" };
+      Report.Validation { context = "c"; msg = "" };
+      Report.Warning_storm { bug = "x"; msg = "" };
+    ]
+
+let () =
+  Alcotest.run "rae_oplog"
+    [
+      ( "oplog",
+        [
+          Alcotest.test_case "record/entries" `Quick test_record_and_entries;
+          Alcotest.test_case "checkpoint" `Quick test_checkpoint_discards_and_snapshots;
+          Alcotest.test_case "seq monotonic" `Quick test_seq_monotonic_across_checkpoints;
+          Alcotest.test_case "max window" `Quick test_max_window_highwater;
+        ] );
+      ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
+    ]

@@ -1,0 +1,218 @@
+(* Tests for fsck repair (preen): each repairable damage class is fixed
+   and verified; structural damage is refused. *)
+
+open Rae_format
+module Disk = Rae_block.Disk
+module Device = Rae_block.Device
+module Fsck = Rae_fsck.Fsck
+module Repair = Rae_fsck.Repair
+module Base = Rae_basefs.Base
+module Types = Rae_vfs.Types
+
+let p = Rae_vfs.Path.parse_exn
+let ok = Result.get_ok
+let bs = Layout.block_size
+
+(* A populated, clean image built through the base filesystem. *)
+let populated_image () =
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:1024 () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes:128 ()));
+  let b = ok (Base.mount dev) in
+  ignore (ok (Base.mkdir b (p "/d") ~mode:0o755));
+  let fd = ok (Base.openf b (p "/d/file") Types.flags_create) in
+  ignore (ok (Base.pwrite b fd ~off:0 (String.make 5000 'x')));
+  ignore (ok (Base.close b fd));
+  ignore (ok (Base.link b (p "/d/file") (p "/d/link")));
+  ignore (ok (Base.unmount b));
+  (disk, dev)
+
+let geometry dev =
+  (ok (Reader.attach (fun blk -> Device.read dev blk))).Reader.sb.Superblock.geometry
+
+let rewrite_inode dev ino f =
+  let g = geometry dev in
+  let blk, pos = Layout.inode_location g ino in
+  let b = Device.read dev blk in
+  let inode = ok (Inode.decode b ~pos ~ino) in
+  Inode.encode (f inode) ~ino b ~pos;
+  Device.write dev blk b
+
+let test_clean_image_no_actions () =
+  let _disk, dev = populated_image () in
+  match Repair.repair dev with
+  | Ok [] -> ()
+  | Ok actions ->
+      Alcotest.failf "unexpected actions on a clean image: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Repair.pp_action) actions))
+  | Error msg -> Alcotest.failf "repair failed: %s" msg
+
+let test_fix_free_counts () =
+  let _disk, dev = populated_image () in
+  let sb = ok (Superblock.decode (Device.read dev 0)) in
+  Device.write dev 0
+    (Superblock.encode { sb with Superblock.free_blocks = sb.Superblock.free_blocks - 3 });
+  Alcotest.(check bool) "broken before" false (Fsck.clean (Fsck.check_device dev));
+  (match Repair.repair dev with
+  | Ok actions ->
+      Alcotest.(check bool) "count fix reported" true
+        (List.exists (function Repair.Fixed_free_counts _ -> true | _ -> false) actions)
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after" true (Fsck.clean (Fsck.check_device dev))
+
+let test_release_orphan () =
+  let _disk, dev = populated_image () in
+  let g = geometry dev in
+  (* Fabricate an orphan: allocate inode 10 with nlink 0 + a data block. *)
+  let data_blk = g.Layout.data_start + 50 in
+  let inode =
+    {
+      (Inode.empty Types.Regular ~mode:0o644 ~time:1L) with
+      Inode.nlink = 0;
+      size = 100;
+      direct = Array.init 12 (fun i -> if i = 0 then data_blk else 0);
+    }
+  in
+  let blk, pos = Layout.inode_location g 10 in
+  let b = Device.read dev blk in
+  Inode.encode inode ~ino:10 b ~pos;
+  Device.write dev blk b;
+  (* Mark it allocated (inode bitmap + block bitmap + counts). *)
+  let ib = Device.read dev g.Layout.inode_bitmap_start in
+  Bytes.set ib (10 / 8) (Char.chr (Char.code (Bytes.get ib (10 / 8)) lor (1 lsl (10 mod 8))));
+  Device.write dev g.Layout.inode_bitmap_start ib;
+  let bb = Device.read dev g.Layout.block_bitmap_start in
+  Bytes.set bb (data_blk / 8)
+    (Char.chr (Char.code (Bytes.get bb (data_blk / 8)) lor (1 lsl (data_blk mod 8))));
+  Device.write dev g.Layout.block_bitmap_start bb;
+  let sb = ok (Superblock.decode (Device.read dev 0)) in
+  Device.write dev 0
+    (Superblock.encode
+       { sb with Superblock.free_inodes = sb.Superblock.free_inodes - 1;
+         free_blocks = sb.Superblock.free_blocks - 1 });
+  (match Repair.repair dev with
+  | Ok actions ->
+      Alcotest.(check bool) "orphan released" true
+        (List.exists
+           (function Repair.Released_orphan { ino = 10; blocks_freed = 1 } -> true | _ -> false)
+           actions)
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after" true (Fsck.clean (Fsck.check_device dev))
+
+let test_release_unreachable () =
+  let _disk, dev = populated_image () in
+  (* Remove the directory entries for /d/file and /d/link while keeping
+     the inode allocated: an unreachable inode with nlink 2. *)
+  let g = geometry dev in
+  (* Find /d's dir block: read root, find "d", read its inode. *)
+  let reader = ok (Reader.attach (fun blk -> Device.read dev blk)) in
+  let root = ok (Reader.read_inode reader 1) in
+  let root_blk = ok (Reader.read_file_block reader root 0) in
+  let d_ino =
+    match Dirent.find root_blk "d" with
+    | Some (Ok e) -> e.Dirent.ino
+    | _ -> Alcotest.fail "no /d"
+  in
+  let d_inode = ok (Reader.read_inode reader d_ino) in
+  let d_blk_phys = ok (Reader.file_block reader d_inode 0) in
+  let d_blk = Device.read dev d_blk_phys in
+  Alcotest.(check bool) "removed file" true (Dirent.remove d_blk "file");
+  Alcotest.(check bool) "removed link" true (Dirent.remove d_blk "link");
+  Device.write dev d_blk_phys d_blk;
+  ignore g;
+  Alcotest.(check bool) "broken before" false (Fsck.clean (Fsck.check_device dev));
+  (match Repair.repair dev with
+  | Ok actions ->
+      Alcotest.(check bool) "unreachable released" true
+        (List.exists
+           (function Repair.Released_unreachable { nlink = 2; _ } -> true | _ -> false)
+           actions)
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after" true (Fsck.clean (Fsck.check_device dev))
+
+let test_fix_nlink () =
+  let _disk, dev = populated_image () in
+  (* /d/file has nlink 2 (a hard link exists); forge nlink 5. *)
+  let reader = ok (Reader.attach (fun blk -> Device.read dev blk)) in
+  let root = ok (Reader.read_inode reader 1) in
+  let root_blk = ok (Reader.read_file_block reader root 0) in
+  let d_ino =
+    match Dirent.find root_blk "d" with Some (Ok e) -> e.Dirent.ino | _ -> Alcotest.fail "no /d"
+  in
+  let d_inode = ok (Reader.read_inode reader d_ino) in
+  let d_blk = ok (Reader.read_file_block reader d_inode 0) in
+  let file_ino =
+    match Dirent.find d_blk "file" with Some (Ok e) -> e.Dirent.ino | _ -> Alcotest.fail "no file"
+  in
+  rewrite_inode dev file_ino (fun i -> { i with Inode.nlink = 5 });
+  (match Repair.repair dev with
+  | Ok actions ->
+      Alcotest.(check bool) "nlink fixed to 2" true
+        (List.exists
+           (function Repair.Fixed_nlink { was = 5; now = 2; _ } -> true | _ -> false)
+           actions)
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after" true (Fsck.clean (Fsck.check_device dev))
+
+let test_free_leaked_block () =
+  let _disk, dev = populated_image () in
+  let g = geometry dev in
+  let leak = g.Layout.data_start + 70 in
+  let bb = Device.read dev g.Layout.block_bitmap_start in
+  Bytes.set bb (leak / 8) (Char.chr (Char.code (Bytes.get bb (leak / 8)) lor (1 lsl (leak mod 8))));
+  Device.write dev g.Layout.block_bitmap_start bb;
+  let sb = ok (Superblock.decode (Device.read dev 0)) in
+  Device.write dev 0
+    (Superblock.encode { sb with Superblock.free_blocks = sb.Superblock.free_blocks - 1 });
+  (match Repair.repair dev with
+  | Ok actions ->
+      Alcotest.(check bool) "leak freed" true
+        (List.exists (function Repair.Freed_leaked_block b -> b = leak | _ -> false) actions)
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after" true (Fsck.clean (Fsck.check_device dev))
+
+let test_refuses_structural_damage () =
+  let disk, dev = populated_image () in
+  let g = geometry dev in
+  (* Malform the root directory block: no unique safe fix. *)
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:4 (fun _ -> '\000');
+  Disk.corrupt_byte disk ~block:g.Layout.data_start ~offset:5 (fun _ -> '\000');
+  match Repair.repair dev with
+  | Error _ -> ()
+  | Ok actions ->
+      Alcotest.failf "repaired the unrepairable: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Repair.pp_action) actions))
+
+let test_repair_after_partial_crash () =
+  (* Crash-partial leftovers (orphans, leaks) must be preen-able. *)
+  let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:2048 () in
+  let raw = Device.of_disk disk in
+  ignore (ok (Base.mkfs raw ~ninodes:256 ()));
+  let sim, dev = Rae_block.Crashsim.create ~rng:(Rae_util.Rng.create 3L) raw in
+  let b = ok (Base.mount ~config:{ Base.default_config with Base.commit_interval = 8 } dev) in
+  let ops = Rae_workload.Workload.ops Rae_workload.Workload.Varmail (Rae_util.Rng.create 3L) ~count:200 in
+  List.iteri (fun i op -> if i < 150 then ignore (Base.exec b op)) ops;
+  Rae_block.Crashsim.crash_partial sim;
+  (* Journal replay via a fresh mount, then unmount cleanly. *)
+  let b2 = ok (Base.mount raw) in
+  ignore (ok (Base.unmount b2));
+  (match Repair.repair raw with
+  | Ok _actions -> ()
+  | Error msg -> Alcotest.failf "repair failed: %s" msg);
+  Alcotest.(check bool) "clean after preen" true (Fsck.clean (Fsck.check_device raw))
+
+let () =
+  Alcotest.run "rae_repair"
+    [
+      ( "repair",
+        [
+          Alcotest.test_case "clean image: no actions" `Quick test_clean_image_no_actions;
+          Alcotest.test_case "free counts" `Quick test_fix_free_counts;
+          Alcotest.test_case "orphan released" `Quick test_release_orphan;
+          Alcotest.test_case "unreachable released" `Quick test_release_unreachable;
+          Alcotest.test_case "nlink fixed" `Quick test_fix_nlink;
+          Alcotest.test_case "leaked block freed" `Quick test_free_leaked_block;
+          Alcotest.test_case "refuses structural damage" `Quick test_refuses_structural_damage;
+          Alcotest.test_case "preen after crash" `Quick test_repair_after_partial_crash;
+        ] );
+    ]

@@ -1,0 +1,528 @@
+(* Tests for rae_specfs: the executable specification's POSIX-subset
+   semantics.  These tests define the contract that the base and shadow
+   filesystems are later property-tested against. *)
+
+open Rae_vfs
+module Spec = Rae_specfs.Spec
+
+let p = Path.parse_exn
+
+let errno = Alcotest.testable Errno.pp Errno.equal
+let ino_r = Alcotest.(result int errno)
+let unit_r = Alcotest.(result unit errno)
+let fd_r = Alcotest.(result int errno)
+let str_r = Alcotest.(result string errno)
+let names_r = Alcotest.(result (list string) errno)
+
+let ok = Result.get_ok
+
+let fs () = Spec.make ()
+
+(* ---- create / mkdir ---- *)
+
+let test_create_basic () =
+  let t = fs () in
+  Alcotest.check ino_r "first file gets ino 2" (Ok 2) (Spec.create t (p "/a") ~mode:0o644);
+  Alcotest.check ino_r "second ino 3" (Ok 3) (Spec.create t (p "/b") ~mode:0o600);
+  Alcotest.check ino_r "duplicate" (Error Errno.EEXIST) (Spec.create t (p "/a") ~mode:0o644);
+  Alcotest.check ino_r "missing parent" (Error Errno.ENOENT) (Spec.create t (p "/no/x") ~mode:0o644);
+  Alcotest.check ino_r "root" (Error Errno.EEXIST) (Spec.create t (p "/") ~mode:0o644);
+  Alcotest.check ino_r "bad mode" (Error Errno.EINVAL) (Spec.create t (p "/c") ~mode:0o7777)
+
+let test_create_under_file () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.check ino_r "file as parent" (Error Errno.ENOTDIR) (Spec.create t (p "/f/x") ~mode:0o644)
+
+let test_mkdir_and_nlink () =
+  let t = fs () in
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  let root = ok (Spec.stat t (p "/")) in
+  Alcotest.(check int) "root nlink 3 after subdir" 3 root.Types.st_nlink;
+  let d = ok (Spec.stat t (p "/d")) in
+  Alcotest.(check int) "fresh dir nlink 2" 2 d.Types.st_nlink;
+  ignore (ok (Spec.mkdir t (p "/d/e") ~mode:0o755));
+  let d = ok (Spec.stat t (p "/d")) in
+  Alcotest.(check int) "dir nlink 3 with subdir" 3 d.Types.st_nlink
+
+(* ---- lowest-free allocation ---- *)
+
+let test_ino_reuse_lowest_free () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/a") ~mode:0o644)) (* ino 2 *);
+  ignore (ok (Spec.create t (p "/b") ~mode:0o644)) (* ino 3 *);
+  ignore (ok (Spec.create t (p "/c") ~mode:0o644)) (* ino 4 *);
+  ignore (ok (Spec.unlink t (p "/b")));
+  Alcotest.check ino_r "freed ino reused" (Ok 3) (Spec.create t (p "/d") ~mode:0o644)
+
+let test_fd_lowest_free () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  let fd0 = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  let fd1 = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  let fd2 = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  Alcotest.(check (list int)) "sequential" [ 0; 1; 2 ] [ fd0; fd1; fd2 ];
+  ignore (ok (Spec.close t fd1));
+  Alcotest.check fd_r "lowest free reused" (Ok 1) (Spec.openf t (p "/f") Types.flags_ro)
+
+(* ---- unlink / rmdir ---- *)
+
+let test_unlink () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.check unit_r "unlink" (Ok ()) (Spec.unlink t (p "/f"));
+  Alcotest.check ino_r "gone" (Error Errno.ENOENT) (Spec.lookup t (p "/f"));
+  Alcotest.check unit_r "again" (Error Errno.ENOENT) (Spec.unlink t (p "/f"));
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  Alcotest.check unit_r "unlink dir" (Error Errno.EISDIR) (Spec.unlink t (p "/d"));
+  Alcotest.check unit_r "unlink root" (Error Errno.EISDIR) (Spec.unlink t (p "/"))
+
+let test_rmdir () =
+  let t = fs () in
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  ignore (ok (Spec.create t (p "/d/f") ~mode:0o644));
+  Alcotest.check unit_r "not empty" (Error Errno.ENOTEMPTY) (Spec.rmdir t (p "/d"));
+  ignore (ok (Spec.unlink t (p "/d/f")));
+  Alcotest.check unit_r "now empty" (Ok ()) (Spec.rmdir t (p "/d"));
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.check unit_r "rmdir a file" (Error Errno.ENOTDIR) (Spec.rmdir t (p "/f"));
+  Alcotest.check unit_r "rmdir root" (Error Errno.EINVAL) (Spec.rmdir t (p "/"));
+  let root = ok (Spec.stat t (p "/")) in
+  Alcotest.(check int) "root nlink back to 2" 2 root.Types.st_nlink
+
+(* ---- orphan semantics ---- *)
+
+let test_unlink_while_open () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  let fd = ok (Spec.openf t (p "/f") Types.flags_rw) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "keepme"));
+  ignore (ok (Spec.unlink t (p "/f")));
+  Alcotest.check ino_r "name gone" (Error Errno.ENOENT) (Spec.lookup t (p "/f"));
+  Alcotest.check str_r "data still readable via fd" (Ok "keepme") (Spec.pread t fd ~off:0 ~len:10);
+  let st = ok (Spec.fstat t fd) in
+  Alcotest.(check int) "nlink 0" 0 st.Types.st_nlink;
+  Alcotest.check unit_r "close reclaims" (Ok ()) (Spec.close t fd);
+  (* The inode is free again: a new file gets it. *)
+  Alcotest.check ino_r "ino reused after reclaim" (Ok st.Types.st_ino)
+    (Spec.create t (p "/g") ~mode:0o644)
+
+let test_orphan_with_two_fds () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  let fd1 = ok (Spec.openf t (p "/f") Types.flags_rw) in
+  let fd2 = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  ignore (ok (Spec.pwrite t fd1 ~off:0 "x"));
+  ignore (ok (Spec.unlink t (p "/f")));
+  ignore (ok (Spec.close t fd1));
+  Alcotest.check str_r "still alive via fd2" (Ok "x") (Spec.pread t fd2 ~off:0 ~len:1);
+  ignore (ok (Spec.close t fd2))
+
+(* ---- open flags ---- *)
+
+let test_open_flags () =
+  let t = fs () in
+  Alcotest.check fd_r "no flags" (Error Errno.EINVAL)
+    (Spec.openf t (p "/f") { Types.rd = false; wr = false; creat = false; excl = false; trunc = false; append = false });
+  Alcotest.check fd_r "trunc without wr" (Error Errno.EINVAL)
+    (Spec.openf t (p "/f") { Types.flags_ro with trunc = true });
+  Alcotest.check fd_r "excl without creat" (Error Errno.EINVAL)
+    (Spec.openf t (p "/f") { Types.flags_ro with excl = true });
+  Alcotest.check fd_r "missing, no creat" (Error Errno.ENOENT) (Spec.openf t (p "/f") Types.flags_ro);
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "hello"));
+  ignore (ok (Spec.close t fd));
+  Alcotest.check fd_r "excl on existing" (Error Errno.EEXIST) (Spec.openf t (p "/f") Types.flags_excl);
+  let fd = ok (Spec.openf t (p "/f") Types.flags_trunc) in
+  Alcotest.(check int) "truncated" 0 (ok (Spec.fstat t fd)).Types.st_size;
+  ignore (ok (Spec.close t fd));
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  Alcotest.check fd_r "open dir" (Error Errno.EISDIR) (Spec.openf t (p "/d") Types.flags_ro)
+
+let test_open_append () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/log") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "aaa"));
+  ignore (ok (Spec.close t fd));
+  let fd = ok (Spec.openf t (p "/log") Types.flags_append) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "bbb")) (* offset ignored with append *);
+  ignore (ok (Spec.close t fd));
+  let fd = ok (Spec.openf t (p "/log") Types.flags_ro) in
+  Alcotest.check str_r "appended" (Ok "aaabbb") (Spec.pread t fd ~off:0 ~len:10);
+  ignore (ok (Spec.close t fd))
+
+let test_fd_limit () =
+  let t = Spec.make ~max_fds:2 () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  ignore (ok (Spec.openf t (p "/f") Types.flags_ro));
+  ignore (ok (Spec.openf t (p "/f") Types.flags_ro));
+  Alcotest.check fd_r "limit" (Error Errno.EMFILE) (Spec.openf t (p "/f") Types.flags_ro)
+
+(* ---- read / write ---- *)
+
+let test_pread_pwrite () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  Alcotest.check (Alcotest.result Alcotest.int errno) "write 5" (Ok 5) (Spec.pwrite t fd ~off:0 "hello");
+  Alcotest.check str_r "read back" (Ok "hello") (Spec.pread t fd ~off:0 ~len:5);
+  Alcotest.check str_r "short read at EOF" (Ok "llo") (Spec.pread t fd ~off:2 ~len:100);
+  Alcotest.check str_r "read past EOF" (Ok "") (Spec.pread t fd ~off:100 ~len:4);
+  (* Sparse write: hole filled with zeros. *)
+  ignore (ok (Spec.pwrite t fd ~off:8 "end"));
+  Alcotest.check str_r "hole zero-filled" (Ok "hello\000\000\000end") (Spec.pread t fd ~off:0 ~len:100);
+  Alcotest.check (Alcotest.result Alcotest.int errno) "zero-length write" (Ok 0)
+    (Spec.pwrite t fd ~off:0 "");
+  Alcotest.check str_r "negative offset" (Error Errno.EINVAL) (Spec.pread t fd ~off:(-1) ~len:1);
+  ignore (ok (Spec.close t fd));
+  Alcotest.check str_r "closed fd" (Error Errno.EBADF) (Spec.pread t fd ~off:0 ~len:1)
+
+let test_rw_permissions () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  let fd_ro = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  Alcotest.check (Alcotest.result Alcotest.int errno) "write on ro fd" (Error Errno.EBADF)
+    (Spec.pwrite t fd_ro ~off:0 "x");
+  ignore (ok (Spec.close t fd_ro));
+  let fd_wo =
+    ok (Spec.openf t (p "/f") { Types.flags_rw with rd = false })
+  in
+  Alcotest.check str_r "read on wo fd" (Error Errno.EBADF) (Spec.pread t fd_wo ~off:0 ~len:1);
+  ignore (ok (Spec.close t fd_wo))
+
+let test_efbig () =
+  let t = Spec.make ~max_file_size:100 () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  Alcotest.check (Alcotest.result Alcotest.int errno) "write past limit" (Error Errno.EFBIG)
+    (Spec.pwrite t fd ~off:90 (String.make 20 'x'));
+  Alcotest.check unit_r "truncate past limit" (Error Errno.EFBIG) (Spec.truncate t (p "/f") ~size:101)
+
+(* ---- rename ---- *)
+
+let test_rename_basic () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/a") ~mode:0o644));
+  Alcotest.check unit_r "rename" (Ok ()) (Spec.rename t (p "/a") (p "/b"));
+  Alcotest.check ino_r "old gone" (Error Errno.ENOENT) (Spec.lookup t (p "/a"));
+  Alcotest.check ino_r "new there" (Ok 2) (Spec.lookup t (p "/b"));
+  Alcotest.check unit_r "missing src" (Error Errno.ENOENT) (Spec.rename t (p "/zz") (p "/yy"))
+
+let test_rename_replace_file () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/a") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "AAA"));
+  ignore (ok (Spec.close t fd));
+  ignore (ok (Spec.create t (p "/b") ~mode:0o644));
+  Alcotest.check unit_r "replace" (Ok ()) (Spec.rename t (p "/a") (p "/b"));
+  let fd = ok (Spec.openf t (p "/b") Types.flags_ro) in
+  Alcotest.check str_r "content moved" (Ok "AAA") (Spec.pread t fd ~off:0 ~len:3);
+  ignore (ok (Spec.close t fd))
+
+let test_rename_dirs () =
+  let t = fs () in
+  ignore (ok (Spec.mkdir t (p "/d1") ~mode:0o755));
+  ignore (ok (Spec.mkdir t (p "/d2") ~mode:0o755));
+  ignore (ok (Spec.create t (p "/d1/f") ~mode:0o644));
+  (* dir onto non-empty dir *)
+  ignore (ok (Spec.mkdir t (p "/d2/sub") ~mode:0o755));
+  Alcotest.check unit_r "onto non-empty" (Error Errno.ENOTEMPTY) (Spec.rename t (p "/d1") (p "/d2"));
+  ignore (ok (Spec.rmdir t (p "/d2/sub")));
+  Alcotest.check unit_r "onto empty dir" (Ok ()) (Spec.rename t (p "/d1") (p "/d2"));
+  Alcotest.check names_r "moved content" (Ok [ "f" ]) (Spec.readdir t (p "/d2"));
+  (* into own subtree *)
+  ignore (ok (Spec.mkdir t (p "/d2/inner") ~mode:0o755));
+  Alcotest.check unit_r "into own subtree" (Error Errno.EINVAL)
+    (Spec.rename t (p "/d2") (p "/d2/inner/x"));
+  (* file onto dir / dir onto file *)
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.check unit_r "file onto dir" (Error Errno.EISDIR) (Spec.rename t (p "/f") (p "/d2"));
+  Alcotest.check unit_r "dir onto file" (Error Errno.ENOTDIR) (Spec.rename t (p "/d2") (p "/f"))
+
+let test_rename_nlink_accounting () =
+  let t = fs () in
+  ignore (ok (Spec.mkdir t (p "/src") ~mode:0o755));
+  ignore (ok (Spec.mkdir t (p "/dst") ~mode:0o755));
+  ignore (ok (Spec.mkdir t (p "/src/mover") ~mode:0o755));
+  ignore (ok (Spec.rename t (p "/src/mover") (p "/dst/mover")));
+  Alcotest.(check int) "src loses subdir" 2 (ok (Spec.stat t (p "/src"))).Types.st_nlink;
+  Alcotest.(check int) "dst gains subdir" 3 (ok (Spec.stat t (p "/dst"))).Types.st_nlink
+
+let test_rename_same_and_hardlink () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/a") ~mode:0o644));
+  Alcotest.check unit_r "same path no-op" (Ok ()) (Spec.rename t (p "/a") (p "/a"));
+  ignore (ok (Spec.link t (p "/a") (p "/b")));
+  Alcotest.check unit_r "onto own hard link no-op" (Ok ()) (Spec.rename t (p "/a") (p "/b"));
+  Alcotest.check ino_r "a still there (POSIX)" (Ok 2) (Spec.lookup t (p "/a"));
+  Alcotest.check ino_r "b still there" (Ok 2) (Spec.lookup t (p "/b"))
+
+(* ---- link / symlink ---- *)
+
+let test_hard_link () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/a") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "shared"));
+  ignore (ok (Spec.close t fd));
+  Alcotest.check unit_r "link" (Ok ()) (Spec.link t (p "/a") (p "/b"));
+  Alcotest.(check int) "nlink 2" 2 (ok (Spec.stat t (p "/a"))).Types.st_nlink;
+  Alcotest.(check int) "same ino" (ok (Spec.stat t (p "/a"))).Types.st_ino
+    (ok (Spec.stat t (p "/b"))).Types.st_ino;
+  ignore (ok (Spec.unlink t (p "/a")));
+  let fd = ok (Spec.openf t (p "/b") Types.flags_ro) in
+  Alcotest.check str_r "survives via other link" (Ok "shared") (Spec.pread t fd ~off:0 ~len:6);
+  ignore (ok (Spec.close t fd));
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  Alcotest.check unit_r "link dir" (Error Errno.EISDIR) (Spec.link t (p "/d") (p "/d2"));
+  Alcotest.check unit_r "existing dst" (Error Errno.EEXIST) (Spec.link t (p "/b") (p "/b"))
+
+let test_symlink_follow () =
+  let t = fs () in
+  ignore (ok (Spec.mkdir t (p "/dir") ~mode:0o755));
+  ignore (ok (Spec.create t (p "/dir/target") ~mode:0o644));
+  ignore (ok (Spec.symlink t ~target:"/dir" (p "/ln")));
+  Alcotest.check ino_r "lookup through symlink" (Spec.lookup t (p "/dir/target"))
+    (Spec.lookup t (p "/ln/target"));
+  Alcotest.check str_r "readlink" (Ok "/dir") (Spec.readlink t (p "/ln"));
+  Alcotest.check str_r "readlink on file" (Error Errno.EINVAL) (Spec.readlink t (p "/dir/target"));
+  (* stat follows *)
+  let st = ok (Spec.stat t (p "/ln")) in
+  Alcotest.(check bool) "stat follows to dir" true (st.Types.st_kind = Types.Directory)
+
+let test_symlink_loops () =
+  let t = fs () in
+  ignore (ok (Spec.symlink t ~target:"/b" (p "/a")));
+  ignore (ok (Spec.symlink t ~target:"/a" (p "/b")));
+  Alcotest.check ino_r "loop" (Error Errno.ELOOP) (Spec.lookup t (p "/a"));
+  ignore (ok (Spec.symlink t ~target:"relative" (p "/rel")));
+  Alcotest.check ino_r "non-absolute target" (Error Errno.ENOENT) (Spec.lookup t (p "/rel"))
+
+let test_symlink_dangling () =
+  let t = fs () in
+  ignore (ok (Spec.symlink t ~target:"/nowhere" (p "/dang")));
+  Alcotest.check ino_r "dangling" (Error Errno.ENOENT) (Spec.lookup t (p "/dang"));
+  (* unlink does not follow *)
+  Alcotest.check unit_r "unlink the link itself" (Ok ()) (Spec.unlink t (p "/dang"))
+
+let test_symlink_validation () =
+  let t = fs () in
+  Alcotest.check ino_r "empty target" (Error Errno.ENOENT) (Spec.symlink t ~target:"" (p "/l"));
+  Alcotest.check ino_r "overlong target" (Error Errno.ENAMETOOLONG)
+    (Spec.symlink t ~target:(String.make 5000 'x') (p "/l"))
+
+(* ---- stat / readdir / chmod / truncate ---- *)
+
+let test_stat_fields () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "12345"));
+  ignore (ok (Spec.close t fd));
+  let st = ok (Spec.stat t (p "/f")) in
+  Alcotest.(check int) "size" 5 st.Types.st_size;
+  Alcotest.(check int) "mode (open creat default)" 0o644 st.Types.st_mode;
+  Alcotest.(check bool) "regular" true (st.Types.st_kind = Types.Regular);
+  let dst = ok (Spec.stat t (p "/")) in
+  Alcotest.(check int) "dir size 0 by convention" 0 dst.Types.st_size
+
+let test_readdir_sorted () =
+  let t = fs () in
+  List.iter (fun n -> ignore (ok (Spec.create t (p ("/" ^ n)) ~mode:0o644))) [ "zeta"; "alpha"; "mid" ];
+  Alcotest.check names_r "sorted" (Ok [ "alpha"; "mid"; "zeta" ]) (Spec.readdir t (p "/"));
+  Alcotest.check names_r "on file" (Error Errno.ENOTDIR) (Spec.readdir t (p "/alpha"))
+
+let test_chmod () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.check unit_r "chmod" (Ok ()) (Spec.chmod t (p "/f") ~mode:0o400);
+  Alcotest.(check int) "mode applied" 0o400 (ok (Spec.stat t (p "/f"))).Types.st_mode;
+  Alcotest.check unit_r "bad mode" (Error Errno.EINVAL) (Spec.chmod t (p "/f") ~mode:0o1777)
+
+let test_truncate () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  ignore (ok (Spec.pwrite t fd ~off:0 "abcdef"));
+  Alcotest.check unit_r "shrink" (Ok ()) (Spec.truncate t (p "/f") ~size:3);
+  Alcotest.check str_r "shrunk" (Ok "abc") (Spec.pread t fd ~off:0 ~len:10);
+  Alcotest.check unit_r "grow" (Ok ()) (Spec.truncate t (p "/f") ~size:5);
+  Alcotest.check str_r "zero-extended" (Ok "abc\000\000") (Spec.pread t fd ~off:0 ~len:10);
+  Alcotest.check unit_r "negative" (Error Errno.EINVAL) (Spec.truncate t (p "/f") ~size:(-1));
+  ignore (ok (Spec.close t fd));
+  ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+  Alcotest.check unit_r "truncate dir" (Error Errno.EISDIR) (Spec.truncate t (p "/d") ~size:0)
+
+(* ---- logical time ---- *)
+
+let test_time_ticks_on_mutations_only () =
+  let t = fs () in
+  Alcotest.(check int64) "starts 0" 0L (Spec.time t);
+  ignore (ok (Spec.create t (p "/f") ~mode:0o644));
+  Alcotest.(check int64) "create ticks" 1L (Spec.time t);
+  ignore (ok (Spec.stat t (p "/f")));
+  ignore (ok (Spec.lookup t (p "/f")));
+  ignore (ok (Spec.readdir t (p "/")));
+  Alcotest.(check int64) "reads do not tick" 1L (Spec.time t);
+  ignore (Spec.create t (p "/f") ~mode:0o644) (* EEXIST *);
+  Alcotest.(check int64) "failed ops do not tick" 1L (Spec.time t);
+  let fd = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  Alcotest.(check int64) "plain open does not tick" 1L (Spec.time t);
+  ignore (ok (Spec.close t fd));
+  Alcotest.(check int64) "close does not tick" 1L (Spec.time t);
+  let fd = ok (Spec.openf t (p "/f2") Types.flags_create) in
+  Alcotest.(check int64) "creating open ticks" 2L (Spec.time t);
+  ignore (ok (Spec.pwrite t fd ~off:0 "x"));
+  Alcotest.(check int64) "write ticks" 3L (Spec.time t);
+  ignore (ok (Spec.pwrite t fd ~off:0 ""));
+  Alcotest.(check int64) "empty write does not tick" 3L (Spec.time t);
+  ignore (ok (Spec.close t fd))
+
+let test_mtime_stamps () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/a") ~mode:0o644)) (* t=1 *);
+  ignore (ok (Spec.create t (p "/b") ~mode:0o644)) (* t=2 *);
+  Alcotest.(check int64) "a stamped 1" 1L (ok (Spec.stat t (p "/a"))).Types.st_mtime;
+  Alcotest.(check int64) "b stamped 2" 2L (ok (Spec.stat t (p "/b"))).Types.st_mtime;
+  Alcotest.(check int64) "root mtime = latest child mutation" 2L
+    (ok (Spec.stat t (p "/"))).Types.st_mtime
+
+(* ---- snapshots ---- *)
+
+let test_snapshot_equal_diff () =
+  let build () =
+    let t = fs () in
+    ignore (ok (Spec.mkdir t (p "/d") ~mode:0o755));
+    let fd = ok (Spec.openf t (p "/d/f") Types.flags_create) in
+    ignore (ok (Spec.pwrite t fd ~off:0 "data"));
+    t
+  in
+  let a = build () and b = build () in
+  Alcotest.(check bool) "identical histories equal" true
+    (Spec.State.equal (Spec.snapshot a) (Spec.snapshot b));
+  Alcotest.(check (list string)) "no diff" [] (Spec.State.diff (Spec.snapshot a) (Spec.snapshot b));
+  ignore (ok (Spec.create b (p "/extra") ~mode:0o644));
+  Alcotest.(check bool) "divergence detected" false
+    (Spec.State.equal (Spec.snapshot a) (Spec.snapshot b));
+  Alcotest.(check bool) "diff names the path" true
+    (List.exists (fun s -> String.length s > 0) (Spec.State.diff (Spec.snapshot a) (Spec.snapshot b)))
+
+let test_snapshot_orphans_and_fds () =
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  ignore (ok (Spec.unlink t (p "/f")));
+  let snap = Spec.snapshot t in
+  Alcotest.(check bool) "orphan listed" true
+    (List.exists (fun e -> String.length e.Spec.State.e_path > 7 && String.sub e.Spec.State.e_path 0 7 = "!orphan") snap.Spec.State.entries);
+  Alcotest.(check int) "fd listed" 1 (List.length snap.Spec.State.fds);
+  ignore (ok (Spec.close t fd))
+
+let test_copy_independent () =
+  let t = fs () in
+  ignore (ok (Spec.create t (p "/a") ~mode:0o644));
+  let t2 = Spec.copy t in
+  ignore (ok (Spec.create t2 (p "/b") ~mode:0o644));
+  Alcotest.check ino_r "original unaffected" (Error Errno.ENOENT) (Spec.lookup t (p "/b"));
+  Alcotest.check ino_r "copy has it" (Ok 3) (Spec.lookup t2 (p "/b"))
+
+(* ---- failed operations leave no trace ---- *)
+
+let prop_failed_ops_pure =
+  (* Any op that returns Error must leave the snapshot unchanged. *)
+  let open QCheck2.Gen in
+  let gen_op =
+    oneof
+      [
+        return (Op.Create (p "/exists", 0o644));
+        return (Op.Mkdir (p "/exists", 0o755));
+        return (Op.Unlink (p "/missing"));
+        return (Op.Rmdir (p "/nonempty"));
+        return (Op.Rename (p "/missing", p "/x"));
+        return (Op.Truncate (p "/missing", 3));
+        return (Op.Pwrite (99, 0, "x"));
+        return (Op.Close 99);
+        return (Op.Chmod (p "/missing", 0o600));
+        return (Op.Link (p "/nonempty", p "/y"));
+        return (Op.Readlink (p "/exists"));
+      ]
+  in
+  QCheck2.Test.make ~name:"failed ops leave state unchanged" ~count:100
+    (list_size (int_range 1 10) gen_op)
+    (fun ops ->
+      let t = fs () in
+      ignore (ok (Spec.create t (p "/exists") ~mode:0o644));
+      ignore (ok (Spec.mkdir t (p "/nonempty") ~mode:0o755));
+      ignore (ok (Spec.create t (p "/nonempty/f") ~mode:0o644));
+      let before = Spec.snapshot t in
+      List.for_all
+        (fun op ->
+          match Spec.exec t op with
+          | Error _ -> Spec.State.equal before (Spec.snapshot t)
+          | Ok _ -> true)
+        ops)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_specfs"
+    [
+      ( "namespace",
+        [
+          Alcotest.test_case "create basics" `Quick test_create_basic;
+          Alcotest.test_case "create under file" `Quick test_create_under_file;
+          Alcotest.test_case "mkdir and nlink" `Quick test_mkdir_and_nlink;
+          Alcotest.test_case "unlink" `Quick test_unlink;
+          Alcotest.test_case "rmdir" `Quick test_rmdir;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "ino lowest-free" `Quick test_ino_reuse_lowest_free;
+          Alcotest.test_case "fd lowest-free" `Quick test_fd_lowest_free;
+        ] );
+      ( "orphans",
+        [
+          Alcotest.test_case "unlink while open" `Quick test_unlink_while_open;
+          Alcotest.test_case "two descriptors" `Quick test_orphan_with_two_fds;
+        ] );
+      ( "open",
+        [
+          Alcotest.test_case "flag combinations" `Quick test_open_flags;
+          Alcotest.test_case "append" `Quick test_open_append;
+          Alcotest.test_case "fd limit" `Quick test_fd_limit;
+        ] );
+      ( "io",
+        [
+          Alcotest.test_case "pread/pwrite" `Quick test_pread_pwrite;
+          Alcotest.test_case "permissions" `Quick test_rw_permissions;
+          Alcotest.test_case "EFBIG" `Quick test_efbig;
+          Alcotest.test_case "truncate" `Quick test_truncate;
+        ] );
+      ( "rename",
+        [
+          Alcotest.test_case "basic" `Quick test_rename_basic;
+          Alcotest.test_case "replace file" `Quick test_rename_replace_file;
+          Alcotest.test_case "directories" `Quick test_rename_dirs;
+          Alcotest.test_case "nlink accounting" `Quick test_rename_nlink_accounting;
+          Alcotest.test_case "same path / hardlink" `Quick test_rename_same_and_hardlink;
+        ] );
+      ( "links",
+        [
+          Alcotest.test_case "hard links" `Quick test_hard_link;
+          Alcotest.test_case "symlink follow" `Quick test_symlink_follow;
+          Alcotest.test_case "symlink loops" `Quick test_symlink_loops;
+          Alcotest.test_case "dangling symlink" `Quick test_symlink_dangling;
+          Alcotest.test_case "symlink validation" `Quick test_symlink_validation;
+        ] );
+      ( "attrs",
+        [
+          Alcotest.test_case "stat fields" `Quick test_stat_fields;
+          Alcotest.test_case "readdir sorted" `Quick test_readdir_sorted;
+          Alcotest.test_case "chmod" `Quick test_chmod;
+        ] );
+      ( "time",
+        [
+          Alcotest.test_case "ticks on mutations only" `Quick test_time_ticks_on_mutations_only;
+          Alcotest.test_case "mtime stamps" `Quick test_mtime_stamps;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "snapshot equal/diff" `Quick test_snapshot_equal_diff;
+          Alcotest.test_case "orphans and fds in snapshot" `Quick test_snapshot_orphans_and_fds;
+          Alcotest.test_case "copy independent" `Quick test_copy_independent;
+          q prop_failed_ops_pure;
+        ] );
+    ]

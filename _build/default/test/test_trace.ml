@@ -1,0 +1,123 @@
+(* Tests for rae_workload's Trace module: serialization roundtrips, parse
+   robustness, replay determinism. *)
+
+open Rae_vfs
+module Trace = Rae_workload.Trace
+module W = Rae_workload.Workload
+module Spec = Rae_specfs.Spec
+
+let p = Path.parse_exn
+
+let sample_ops =
+  [
+    Op.Create (p "/file with space", 0o644);
+    Op.Mkdir (p "/d", 0o755);
+    Op.Unlink (p "/file with space");
+    Op.Rmdir (p "/d");
+    Op.Open (p "/f", Types.flags_excl);
+    Op.Close 3;
+    Op.Pread (3, 100, 4096);
+    Op.Pwrite (3, 0, "binary\000data\nwith \"quotes\" and \xffbytes");
+    Op.Lookup (p "/f");
+    Op.Stat (p "/");
+    Op.Fstat 0;
+    Op.Readdir (p "/d");
+    Op.Rename (p "/a", p "/b");
+    Op.Truncate (p "/f", 12345);
+    Op.Link (p "/f", p "/g");
+    Op.Symlink ("/target path", p "/ln");
+    Op.Readlink (p "/ln");
+    Op.Chmod (p "/f", 0o600);
+    Op.Fsync 7;
+    Op.Sync;
+  ]
+
+let test_line_roundtrip () =
+  List.iter
+    (fun op ->
+      let line = Trace.op_to_line op in
+      match Trace.op_of_line line with
+      | Ok op' ->
+          if op <> op' then
+            Alcotest.failf "roundtrip changed %s -> %s via %S" (Op.to_string op) (Op.to_string op')
+              line
+      | Error msg -> Alcotest.failf "cannot reparse %S: %s" line msg)
+    sample_ops
+
+let test_bulk_roundtrip () =
+  match Trace.of_string (Trace.to_string sample_ops) with
+  | Ok ops -> Alcotest.(check bool) "equal" true (ops = sample_ops)
+  | Error msg -> Alcotest.failf "bulk parse: %s" msg
+
+let test_comments_and_blanks () =
+  let text = "# a comment\n\ncreate \"/x\" 644\n   \nsync\n# trailing\n" in
+  match Trace.of_string text with
+  | Ok [ Op.Create (path, 0o644); Op.Sync ] ->
+      Alcotest.(check string) "path" "/x" (Path.to_string path)
+  | Ok ops -> Alcotest.failf "parsed %d ops" (List.length ops)
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let test_bad_lines_reported_with_number () =
+  let text = "create \"/x\" 644\nnot-an-op 42\n" in
+  match Trace.of_string text with
+  | Error msg -> Alcotest.(check bool) "names line 2" true (String.length msg > 0 && String.sub msg 0 7 = "line 2:")
+  | Ok _ -> Alcotest.fail "accepted garbage"
+
+let test_bad_flags_rejected () =
+  match Trace.op_of_line "open \"/f\" rz" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bad flags"
+
+let test_bad_path_rejected () =
+  match Trace.op_of_line "create \"relative\" 644" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted a relative path"
+
+let test_file_roundtrip () =
+  let path = Filename.temp_file "rae_trace" ".txt" in
+  (match Trace.save path sample_ops with Ok () -> () | Error m -> Alcotest.fail m);
+  (match Trace.load path with
+  | Ok ops -> Alcotest.(check bool) "file roundtrip" true (ops = sample_ops)
+  | Error msg -> Alcotest.failf "load: %s" msg);
+  Sys.remove path
+
+let prop_generated_traces_roundtrip =
+  QCheck2.Test.make ~name:"generated workloads roundtrip through text" ~count:50
+    QCheck2.Gen.(pair ui64 (int_range 10 150))
+    (fun (seed, count) ->
+      let ops = W.uniform (Rae_util.Rng.create seed) ~count in
+      match Trace.of_string (Trace.to_string ops) with
+      | Ok ops' -> ops = ops'
+      | Error _ -> false)
+
+let test_replay_matches_direct_execution () =
+  let ops = W.ops W.Metadata (Rae_util.Rng.create 4L) ~count:200 in
+  (* Execute directly... *)
+  let sp1 = Spec.make () in
+  let direct = List.map (fun op -> Spec.exec sp1 op) ops in
+  (* ...and via save/load/replay. *)
+  let text = Trace.to_string ops in
+  let reloaded = Result.get_ok (Trace.of_string text) in
+  let sp2 = Spec.make () in
+  let replayed = Trace.replay ~exec:Spec.exec sp2 reloaded in
+  Alcotest.(check bool) "same outcomes" true
+    (List.for_all2 (fun a (_, b) -> Op.outcome_equal a b) direct replayed)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_trace"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "per-line roundtrip" `Quick test_line_roundtrip;
+          Alcotest.test_case "bulk roundtrip" `Quick test_bulk_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_comments_and_blanks;
+          Alcotest.test_case "bad line numbers" `Quick test_bad_lines_reported_with_number;
+          Alcotest.test_case "bad flags" `Quick test_bad_flags_rejected;
+          Alcotest.test_case "bad path" `Quick test_bad_path_rejected;
+          Alcotest.test_case "file roundtrip" `Quick test_file_roundtrip;
+          q prop_generated_traces_roundtrip;
+        ] );
+      ( "replay",
+        [ Alcotest.test_case "replay == direct" `Quick test_replay_matches_direct_execution ] );
+    ]

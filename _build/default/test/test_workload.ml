@@ -1,0 +1,104 @@
+(* Tests for rae_workload: determinism, shape, and that profile workloads
+   mostly succeed against the specification. *)
+
+open Rae_vfs
+module W = Rae_workload.Workload
+module Spec = Rae_specfs.Spec
+module Rng = Rae_util.Rng
+
+let test_deterministic () =
+  List.iter
+    (fun profile ->
+      let a = W.ops profile (Rng.create 5L) ~count:150 in
+      let b = W.ops profile (Rng.create 5L) ~count:150 in
+      Alcotest.(check bool)
+        (W.profile_name profile ^ " deterministic")
+        true (a = b))
+    W.all_profiles;
+  let a = W.uniform (Rng.create 5L) ~count:150 and b = W.uniform (Rng.create 5L) ~count:150 in
+  Alcotest.(check bool) "uniform deterministic" true (a = b)
+
+let test_seed_sensitivity () =
+  let a = W.uniform (Rng.create 1L) ~count:100 and b = W.uniform (Rng.create 2L) ~count:100 in
+  Alcotest.(check bool) "different seeds differ" false (a = b)
+
+let test_profile_names_roundtrip () =
+  List.iter
+    (fun profile ->
+      Alcotest.(check bool)
+        (W.profile_name profile)
+        true
+        (W.profile_of_name (W.profile_name profile) = Some profile))
+    W.all_profiles;
+  Alcotest.(check bool) "unknown name" true (W.profile_of_name "nope" = None)
+
+let test_uniform_covers_kinds () =
+  let ops = W.uniform (Rng.create 3L) ~count:2000 in
+  let kinds = List.sort_uniq compare (List.map Op.kind ops) in
+  Alcotest.(check int) "all 20 kinds appear" (List.length Op.all_kinds) (List.length kinds)
+
+let test_uniform_mutations_no_sync () =
+  let ops = W.uniform_mutations (Rng.create 3L) ~count:2000 in
+  Alcotest.(check bool) "no sync ops" true (List.for_all (fun op -> not (Op.is_sync op)) ops)
+
+let success_rate ops =
+  let sp = Spec.make () in
+  let okc = List.fold_left (fun acc op -> match Spec.exec sp op with Ok _ -> acc + 1 | Error _ -> acc) 0 ops in
+  float_of_int okc /. float_of_int (List.length ops)
+
+let test_profiles_mostly_succeed () =
+  List.iter
+    (fun profile ->
+      let ops = W.ops profile (Rng.create 11L) ~count:400 in
+      let rate = success_rate ops in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s success rate %.2f >= 0.95" (W.profile_name profile) rate)
+        true (rate >= 0.95))
+    W.all_profiles
+
+let test_profile_shapes () =
+  let count_kind ops k = List.length (List.filter (fun o -> Op.kind o = k) ops) in
+  let varmail = W.ops W.Varmail (Rng.create 9L) ~count:400 in
+  Alcotest.(check bool) "varmail is fsync-heavy" true (count_kind varmail Op.K_fsync > 20);
+  let web = W.ops W.Webserver (Rng.create 9L) ~count:400 in
+  Alcotest.(check bool) "webserver is read-heavy" true
+    (count_kind web Op.K_pread > count_kind web Op.K_pwrite);
+  let meta = W.ops W.Metadata (Rng.create 9L) ~count:400 in
+  Alcotest.(check bool) "metadata has few writes" true
+    (count_kind meta Op.K_pwrite = 0);
+  let seq = W.ops W.Sequential_write (Rng.create 9L) ~count:100 in
+  Alcotest.(check bool) "seqwrite is writes" true (count_kind seq Op.K_pwrite >= 98)
+
+let test_requested_counts () =
+  List.iter
+    (fun profile ->
+      let ops = W.ops profile (Rng.create 1L) ~count:300 in
+      let n = List.length ops in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s count %d within [300, 320]" (W.profile_name profile) n)
+        true
+        (n >= 300 && n <= 320))
+    W.all_profiles
+
+let test_pp_summary () =
+  let ops = W.uniform (Rng.create 1L) ~count:50 in
+  let s = Format.asprintf "%a" W.pp_summary ops in
+  Alcotest.(check bool) "summary mentions total" true
+    (String.length s > 0 && String.sub s 0 2 = "50")
+
+let () =
+  Alcotest.run "rae_workload"
+    [
+      ( "generators",
+        [
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "profile names" `Quick test_profile_names_roundtrip;
+          Alcotest.test_case "uniform covers all kinds" `Quick test_uniform_covers_kinds;
+          Alcotest.test_case "mutations exclude sync" `Quick test_uniform_mutations_no_sync;
+          Alcotest.test_case "profiles mostly succeed" `Quick test_profiles_mostly_succeed;
+          Alcotest.test_case "profile shapes" `Quick test_profile_shapes;
+          Alcotest.test_case "requested counts" `Quick test_requested_counts;
+          Alcotest.test_case "summary pp" `Quick test_pp_summary;
+        ] );
+    ]
