@@ -2,6 +2,7 @@ open Rae_vfs
 
 type t = {
   mutable entries : Op.recorded list;  (* newest first *)
+  mutable window : int;  (* List.length entries, maintained *)
   mutable next_seq : int;
   mutable fds : (Types.fd * Types.ino * Types.open_flags) list;
   mutable total : int;
@@ -10,21 +11,22 @@ type t = {
 }
 
 let create () =
-  { entries = []; next_seq = 0; fds = []; total = 0; discarded = 0; max_window = 0 }
+  { entries = []; window = 0; next_seq = 0; fds = []; total = 0; discarded = 0; max_window = 0 }
 
 let record t op outcome =
   t.entries <- { Op.op; outcome; seq = t.next_seq } :: t.entries;
   t.next_seq <- t.next_seq + 1;
   t.total <- t.total + 1;
-  let len = List.length t.entries in
-  if len > t.max_window then t.max_window <- len
+  t.window <- t.window + 1;
+  if t.window > t.max_window then t.max_window <- t.window
 
 let entries t = List.rev t.entries
-let length t = List.length t.entries
+let length t = t.window
 
 let checkpoint t ~fds =
-  t.discarded <- t.discarded + List.length t.entries;
+  t.discarded <- t.discarded + t.window;
   t.entries <- [];
+  t.window <- 0;
   t.fds <- fds
 
 let fd_snapshot t = t.fds
