@@ -343,9 +343,14 @@ let free_ino t ino =
   clear_inode_slot t ino;
   flush_bitmap_bit t `Inode ino
 
-(* [purpose] decides the dirty route for the freshly zeroed block. *)
+(* [purpose] decides the dirty route for the freshly zeroed block.  Block
+   allocation is next-fit: the bitmap's rotor resumes where the last
+   allocation succeeded and wraps once, so an append-heavy workload stops
+   re-scanning the allocated prefix.  Inode allocation above stays
+   first-fit — inode numbers are application-visible and the spec model
+   (and constrained-mode replay) expect lowest-free reuse. *)
 let alloc_block t ~purpose =
-  match Bitmap.find_free t.bbm ~from:t.geo.Layout.data_start with
+  match Bitmap.find_free_next t.bbm ~lo:t.geo.Layout.data_start with
   | None -> Error Errno.ENOSPC
   | Some blk ->
       Bitmap.set t.bbm blk;

@@ -1,11 +1,20 @@
-type t = { bits : Bytes.t; nbits : int }
+type t = {
+  bits : Bytes.t;
+  nbits : int;
+  (* Maintained population count: [count_set]/[count_free] are O(1) and the
+     superblock cross-checks stop re-counting the whole bitmap. *)
+  mutable nset : int;
+  (* Next-fit rotor: one past the most recent [find_free_next] hit.  Purely
+     an in-memory search accelerator — never serialized. *)
+  mutable cursor : int;
+}
 
 let create ~nbits =
   if nbits <= 0 then invalid_arg "Bitmap.create: nbits must be positive";
-  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits }
+  { bits = Bytes.make ((nbits + 7) / 8) '\000'; nbits; nset = 0; cursor = 0 }
 
 let nbits t = t.nbits
-let copy t = { bits = Bytes.copy t.bits; nbits = t.nbits }
+let copy t = { t with bits = Bytes.copy t.bits }
 
 let check t i what =
   if i < 0 || i >= t.nbits then
@@ -18,13 +27,22 @@ let test t i =
 let set t i =
   check t i "set";
   let byte = i / 8 in
-  Bytes.set t.bits byte (Char.chr (Char.code (Bytes.get t.bits byte) lor (1 lsl (i mod 8))))
+  let v = Char.code (Bytes.get t.bits byte) in
+  let mask = 1 lsl (i mod 8) in
+  if v land mask = 0 then begin
+    Bytes.set t.bits byte (Char.chr (v lor mask));
+    t.nset <- t.nset + 1
+  end
 
 let clear t i =
   check t i "clear";
   let byte = i / 8 in
-  Bytes.set t.bits byte
-    (Char.chr (Char.code (Bytes.get t.bits byte) land lnot (1 lsl (i mod 8)) land 0xFF))
+  let v = Char.code (Bytes.get t.bits byte) in
+  let mask = 1 lsl (i mod 8) in
+  if v land mask <> 0 then begin
+    Bytes.set t.bits byte (Char.chr (v land lnot mask land 0xFF));
+    t.nset <- t.nset - 1
+  end
 
 let set_result t i =
   if i < 0 || i >= t.nbits then Error (Printf.sprintf "bit %d out of range" i)
@@ -42,23 +60,83 @@ let clear_result t i =
     Ok ()
   end
 
-let find_free t ~from =
-  let rec go i = if i >= t.nbits then None else if not (test t i) then Some i else go (i + 1) in
-  if from < 0 || from >= t.nbits then None else go from
+(* First clear bit in [a, b), or -1.  Word-level scan: bytes that read 0xFF
+   are skipped with one compare, and interior runs of full bytes are skipped
+   eight at a time through 64-bit loads.  Padding bits past [nbits] are kept
+   zero in memory, so a byte straddling the boundary can never read 0xFF by
+   accident; the [b] bound still guards the bit-level pick. *)
+let scan_range t a b =
+  if a >= b then -1
+  else begin
+    let bits = t.bits in
+    let len = Bytes.length bits in
+    let first_byte = a lsr 3 and last_byte = (b - 1) lsr 3 in
+    let rec pick v base j hi =
+      if j >= hi then -1
+      else if v land (1 lsl j) = 0 then base + j
+      else pick v base (j + 1) hi
+    in
+    let rec go bi =
+      if bi > last_byte then -1
+      else
+        let v = Char.code (Bytes.unsafe_get bits bi) in
+        if v = 0xFF then begin
+          let bi = ref (bi + 1) in
+          while
+            !bi + 8 <= len && !bi + 7 <= last_byte && Int64.equal (Bytes.get_int64_le bits !bi) (-1L)
+          do
+            bi := !bi + 8
+          done;
+          go !bi
+        end
+        else
+          let lo = if bi = first_byte then a land 7 else 0 in
+          let hi = if bi = last_byte then ((b - 1) land 7) + 1 else 8 in
+          let r = pick v (bi lsl 3) lo hi in
+          if r >= 0 then r else go (bi + 1)
+    in
+    go first_byte
+  end
 
-let count_set t =
+let find_free t ~from =
+  if from < 0 || from >= t.nbits then None
+  else match scan_range t from t.nbits with -1 -> None | i -> Some i
+
+(* Next-fit: resume at the rotor, wrap once back to [lo].  Finds a free bit
+   iff one exists in [lo, nbits); amortized O(1) for append-dominated
+   allocation patterns where first-fit re-scans the allocated prefix. *)
+let find_free_next t ~lo =
+  if lo < 0 || lo >= t.nbits then None
+  else begin
+    let start = if t.cursor < lo || t.cursor >= t.nbits then lo else t.cursor in
+    let i =
+      match scan_range t start t.nbits with
+      | -1 -> scan_range t lo start
+      | i -> i
+    in
+    if i < 0 then None
+    else begin
+      t.cursor <- i + 1;
+      Some i
+    end
+  end
+
+let cursor t = t.cursor
+let reset_cursor t = t.cursor <- 0
+
+let count_set t = t.nset
+let count_free t = t.nbits - t.nset
+
+let popcount_bytes bits =
   let popcount_byte c =
     let rec go n acc = if n = 0 then acc else go (n lsr 1) (acc + (n land 1)) in
     go (Char.code c) 0
   in
   let total = ref 0 in
-  for byte = 0 to Bytes.length t.bits - 1 do
-    total := !total + popcount_byte (Bytes.get t.bits byte)
+  for byte = 0 to Bytes.length bits - 1 do
+    total := !total + popcount_byte (Bytes.get bits byte)
   done;
-  (* Padding bits in the final byte are always zero in memory. *)
   !total
-
-let count_free t = t.nbits - count_set t
 
 let to_blocks t ~block_size =
   let nblocks = (Bytes.length t.bits + block_size - 1) / block_size in
@@ -98,16 +176,17 @@ let parse blocks ~nbits ~strict =
           Bytes.blit b 0 flat !off (Bytes.length b);
           off := !off + Bytes.length b)
         blocks;
-      let t = { bits = Bytes.sub flat 0 needed_bytes; nbits } in
+      let bits = Bytes.sub flat 0 needed_bytes in
       (* Clear the in-memory padding bits of the final byte. *)
       let used_bits = ((nbits - 1) mod 8) + 1 in
       let padding_ok = ref true in
       if used_bits < 8 then begin
-        let v = Char.code (Bytes.get t.bits (needed_bytes - 1)) in
+        let v = Char.code (Bytes.get bits (needed_bytes - 1)) in
         let mask_high = lnot ((1 lsl used_bits) - 1) land 0xFF in
         if v land mask_high <> mask_high then padding_ok := false;
-        Bytes.set t.bits (needed_bytes - 1) (Char.chr (v land ((1 lsl used_bits) - 1)))
+        Bytes.set bits (needed_bytes - 1) (Char.chr (v land ((1 lsl used_bits) - 1)))
       end;
+      let t = { bits; nbits; nset = popcount_bytes bits; cursor = 0 } in
       (* Bytes past needed_bytes must be all-ones in strict mode. *)
       if strict then begin
         for i = needed_bytes to total_bytes - 1 do

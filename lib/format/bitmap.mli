@@ -24,10 +24,28 @@ val set_result : t -> int -> (unit, string) result
 val clear_result : t -> int -> (unit, string) result
 
 val find_free : t -> from:int -> int option
-(** First clear bit at index >= [from] (wrapping is the caller's policy). *)
+(** First clear bit at index >= [from] (wrapping is the caller's policy).
+    Word-level scan: full bytes/words are skipped without touching
+    individual bits. *)
+
+val find_free_next : t -> lo:int -> int option
+(** Next-fit allocation probe: scan from the bitmap's rotor (where the last
+    successful [find_free_next] left off), wrapping once back to [lo].
+    Returns a free bit iff one exists in [[lo], [nbits]) and advances the
+    rotor past it.  The rotor is in-memory only — it never affects the
+    serialised form, and a freshly created or parsed bitmap starts at 0,
+    making allocation sequences deterministic from any mount. *)
+
+val cursor : t -> int
+(** The rotor's current position (for tests and introspection). *)
+
+val reset_cursor : t -> unit
 
 val count_set : t -> int
+(** O(1): the population count is maintained across {!set}/{!clear}. *)
+
 val count_free : t -> int
+(** O(1); see {!count_set}. *)
 
 val to_blocks : t -> block_size:int -> bytes list
 (** Serialise; the tail of the last block (bits beyond [nbits]) is all-ones,

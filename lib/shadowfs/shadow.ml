@@ -177,8 +177,13 @@ let free_ino t ino =
   clear_inode_slot t ino;
   flush_bitmap t `Inode
 
+(* Next-fit, mirroring the base's allocator discipline (the rotor starts
+   at zero on attach, so a fresh shadow is deterministic).  Constrained-
+   mode replay compares operation outcomes, which never expose physical
+   block numbers, so the shadow is free to place data wherever its own
+   bitmap permits. *)
 let alloc_block t =
-  match Bitmap.find_free t.bbm ~from:t.geo.Layout.data_start with
+  match Bitmap.find_free_next t.bbm ~lo:t.geo.Layout.data_start with
   | None -> Error Errno.ENOSPC
   | Some blk ->
       (match Bitmap.set_result t.bbm blk with

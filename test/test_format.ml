@@ -130,6 +130,113 @@ let test_bitmap_find_free () =
   for i = 0 to 7 do Bitmap.set bm i done;
   Alcotest.(check (option int)) "full" None (Bitmap.find_free bm ~from:0)
 
+(* The seed's bit-at-a-time scan, kept as the reference the word-level
+   implementation must agree with. *)
+let naive_find_free bm ~from =
+  let n = Bitmap.nbits bm in
+  let rec go i = if i >= n then None else if not (Bitmap.test bm i) then Some i else go (i + 1) in
+  if from < 0 || from >= n then None else go from
+
+let prop_find_free_matches_naive =
+  (* Sizes straddle byte and 64-bit-word boundaries so the fast paths
+     (0xFF byte skip, int64 word skip, partial first/last byte) all get
+     exercised, including the fully-set and fully-clear extremes. *)
+  QCheck2.Test.make ~name:"word-scan find_free == naive scan" ~count:300
+    QCheck2.Gen.(
+      int_range 1 700 >>= fun nbits ->
+      oneof
+        [
+          return [];  (* empty *)
+          return (List.init nbits Fun.id);  (* full *)
+          list_size (int_range 0 300) (int_bound (nbits - 1));
+        ]
+      >>= fun sets ->
+      int_range 0 (nbits - 1) >>= fun from -> return (nbits, sets, from))
+    (fun (nbits, sets, from) ->
+      let bm = Bitmap.create ~nbits in
+      List.iter (Bitmap.set bm) sets;
+      Bitmap.find_free bm ~from = naive_find_free bm ~from)
+
+let prop_cursor_allocates_every_free_bit =
+  (* Next-fit must find a free bit iff one exists in [lo, nbits): draining
+     the rotor yields each free bit exactly once, wrap-around included. *)
+  QCheck2.Test.make ~name:"rotor drains each free bit >= lo exactly once" ~count:300
+    QCheck2.Gen.(
+      int_range 1 300 >>= fun nbits ->
+      list_size (int_bound 120) (int_bound (nbits - 1)) >>= fun sets ->
+      int_range 0 (nbits - 1) >>= fun lo ->
+      (* Pre-advance the rotor a random amount so draining starts mid-bitmap. *)
+      int_bound 40 >>= fun spins -> return (nbits, sets, lo, spins))
+    (fun (nbits, sets, lo, spins) ->
+      let bm = Bitmap.create ~nbits in
+      List.iter (Bitmap.set bm) sets;
+      let expected =
+        List.filter (fun i -> i >= lo && not (Bitmap.test bm i)) (List.init nbits Fun.id)
+      in
+      for _ = 1 to spins do
+        match Bitmap.find_free_next bm ~lo with
+        | Some i -> Bitmap.set bm i; Bitmap.clear bm i
+        | None -> ()
+      done;
+      let got = ref [] in
+      let rec drain () =
+        match Bitmap.find_free_next bm ~lo with
+        | None -> ()
+        | Some i ->
+            Bitmap.set bm i;
+            got := i :: !got;
+            drain ()
+      in
+      drain ();
+      List.sort compare !got = expected)
+
+let prop_counts_maintained =
+  (* count_free is now a maintained field; it must stay equal to an honest
+     recount through arbitrary set/clear (including redundant) sequences. *)
+  QCheck2.Test.make ~name:"maintained count_free == recount" ~count:300
+    QCheck2.Gen.(
+      int_range 1 200 >>= fun nbits ->
+      list_size (int_bound 150) (pair bool (int_bound (nbits - 1))) >>= fun ops ->
+      return (nbits, ops))
+    (fun (nbits, ops) ->
+      let bm = Bitmap.create ~nbits in
+      List.iter (fun (set, i) -> if set then Bitmap.set bm i else Bitmap.clear bm i) ops;
+      let recount = ref 0 in
+      for i = 0 to nbits - 1 do
+        if not (Bitmap.test bm i) then incr recount
+      done;
+      Bitmap.count_free bm = !recount)
+
+let test_bitmap_cursor_next_fit () =
+  let bm = Bitmap.create ~nbits:100 in
+  (* A fresh rotor behaves first-fit. *)
+  Alcotest.(check (option int)) "first" (Some 10) (Bitmap.find_free_next bm ~lo:10);
+  Bitmap.set bm 10;
+  Alcotest.(check (option int)) "resumes" (Some 11) (Bitmap.find_free_next bm ~lo:10);
+  Bitmap.set bm 11;
+  (* A bit freed behind the rotor is not reused until the wrap. *)
+  Bitmap.clear bm 10;
+  Alcotest.(check (option int)) "next-fit skips freed prefix" (Some 12)
+    (Bitmap.find_free_next bm ~lo:10);
+  Bitmap.set bm 12;
+  for i = 13 to 99 do
+    Bitmap.set bm i
+  done;
+  Alcotest.(check (option int)) "wraps to the freed bit" (Some 10) (Bitmap.find_free_next bm ~lo:10);
+  Bitmap.set bm 10;
+  Alcotest.(check (option int)) "full above lo" None (Bitmap.find_free_next bm ~lo:10);
+  Alcotest.(check (option int)) "still free below lo" (Some 0) (Bitmap.find_free_next bm ~lo:0)
+
+let test_bitmap_parse_restores_count () =
+  let bm = Bitmap.create ~nbits:1000 in
+  List.iter (Bitmap.set bm) [ 0; 7; 8; 63; 64; 512; 999 ];
+  let blocks = Bitmap.to_blocks bm ~block_size:bs in
+  match Bitmap.of_blocks blocks ~nbits:1000 with
+  | Ok bm' ->
+      Alcotest.(check int) "count survives parse" (Bitmap.count_set bm) (Bitmap.count_set bm');
+      Alcotest.(check int) "free count" (1000 - 7) (Bitmap.count_free bm')
+  | Error e -> Alcotest.failf "of_blocks: %s" e
+
 let test_bitmap_block_roundtrip () =
   let bm = Bitmap.create ~nbits:1000 in
   List.iter (Bitmap.set bm) [ 0; 1; 17; 999; 512 ];
@@ -537,10 +644,15 @@ let () =
           Alcotest.test_case "basic ops" `Quick test_bitmap_basic;
           Alcotest.test_case "checked set/clear" `Quick test_bitmap_result_ops;
           Alcotest.test_case "find_free" `Quick test_bitmap_find_free;
+          Alcotest.test_case "next-fit rotor" `Quick test_bitmap_cursor_next_fit;
+          Alcotest.test_case "parse restores count" `Quick test_bitmap_parse_restores_count;
           Alcotest.test_case "block roundtrip" `Quick test_bitmap_block_roundtrip;
           Alcotest.test_case "padding strictness" `Quick test_bitmap_padding_strictness;
           Alcotest.test_case "undersized rejected" `Quick test_bitmap_too_few_blocks;
           q prop_bitmap_roundtrip;
+          q prop_find_free_matches_naive;
+          q prop_cursor_allocates_every_free_bit;
+          q prop_counts_maintained;
         ] );
       ( "inode",
         [
