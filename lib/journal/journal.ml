@@ -34,11 +34,39 @@ type t = {
   mutable s_tail_resets : int;
 }
 
+(* A transaction buffers writes in first-write order with a Hashtbl index
+   from home block to slot, so the supersede-on-rewrite rule and revoke
+   dedup are O(1) instead of the O(n) list filter/membership walks the
+   write path used to pay per buffered block. *)
 type txn = {
   owner : t;
-  mutable writes : (int * bytes) list;  (* oldest first, deduplicated on add *)
-  mutable revoked : int list;
+  mutable w_slots : (int * bytes) array;  (* (home, image), first-write order *)
+  mutable w_len : int;
+  w_index : (int, int) Hashtbl.t;  (* home block -> slot in w_slots *)
+  r_index : (int, unit) Hashtbl.t;  (* revoked homes, for O(1) dedup *)
+  mutable r_rev : int list;  (* revoked homes, newest first *)
 }
+
+let txn_slot txn i = txn.w_slots.(i)
+
+let txn_push txn home data =
+  if txn.w_len = Array.length txn.w_slots then begin
+    let grown = Array.make (max 8 (2 * txn.w_len)) (home, data) in
+    Array.blit txn.w_slots 0 grown 0 txn.w_len;
+    txn.w_slots <- grown
+  end;
+  txn.w_slots.(txn.w_len) <- (home, data);
+  Hashtbl.replace txn.w_index home txn.w_len;
+  txn.w_len <- txn.w_len + 1
+
+let txn_reset txn =
+  txn.w_len <- 0;
+  txn.w_slots <- [||];
+  Hashtbl.reset txn.w_index;
+  Hashtbl.reset txn.r_index;
+  txn.r_rev <- []
+
+let txn_revoked txn = List.rev txn.r_rev
 
 let region_start g = g.Layout.journal_start
 let region_end g = g.Layout.journal_start + g.Layout.journal_len
@@ -138,18 +166,34 @@ let attach dev geo =
           }
   | None -> Error "journal superblock unreadable (not formatted or corrupt)"
 
-let begin_txn t = { owner = t; writes = []; revoked = [] }
+let begin_txn t =
+  {
+    owner = t;
+    w_slots = [||];
+    w_len = 0;
+    w_index = Hashtbl.create 32;
+    r_index = Hashtbl.create 8;
+    r_rev = [];
+  }
 
 let txn_write txn blk data =
   if Bytes.length data <> Layout.block_size then invalid_arg "Journal.txn_write: not a full block";
-  (* Supersede an earlier buffered write to the same block. *)
-  txn.writes <- List.filter (fun (b, _) -> b <> blk) txn.writes @ [ (blk, Bytes.copy data) ]
+  (* Supersede an earlier buffered write to the same block: overwrite the
+     slot in place, preserving first-write order. *)
+  match Hashtbl.find_opt txn.w_index blk with
+  | Some slot -> txn.w_slots.(slot) <- (blk, Bytes.copy data)
+  | None -> txn_push txn blk (Bytes.copy data)
 
 let txn_revoke txn blk =
-  if not (List.mem blk txn.revoked) then txn.revoked <- txn.revoked @ [ blk ]
+  if not (Hashtbl.mem txn.r_index blk) then begin
+    Hashtbl.replace txn.r_index blk ();
+    txn.r_rev <- blk :: txn.r_rev
+  end
 
-let txn_block_count txn = List.length txn.writes
-let txn_writes txn = List.map (fun (blk, data) -> (blk, Bytes.copy data)) txn.writes
+let txn_block_count txn = txn.w_len
+let txn_writes txn = List.init txn.w_len (fun i ->
+    let blk, data = txn_slot txn i in
+    (blk, Bytes.copy data))
 
 let escape_if_needed t data =
   if Int64.equal (Codec.get_u32 data 0) jmagic then begin
@@ -164,9 +208,9 @@ let write_jsb t =
   Device.write t.dev (region_start t.geo) (encode_jsb ~tail_seq:t.tail_seq ~tail_ptr:t.tail_ptr)
 
 let commit t txn =
-  if txn.writes = [] && txn.revoked = [] then ()
+  if txn.w_len = 0 && txn.r_rev = [] then ()
   else begin
-    let n = List.length txn.writes in
+    let n = txn.w_len in
     if n > max_tags then raise (Journal_full { needed = n; capacity = max_tags });
     let needed = n + 2 in
     let capacity = region_end t.geo - (region_start t.geo + 1) in
@@ -189,13 +233,12 @@ let commit t txn =
        replays.  (The descriptor keeps as many as fit for the benefit of
        pathological-tail recovery.) *)
     let max_revokes = (Layout.block_size - 20 - (8 * n) - 4) / 4 in
-    let revokes = List.filteri (fun i _ -> i < max_revokes) txn.revoked in
+    let revokes = List.filteri (fun i _ -> i < max_revokes) (txn_revoked txn) in
     let escaped =
-      List.map
-        (fun (home, data) ->
+      List.init n (fun i ->
+          let home, data = txn_slot txn i in
           let journal_copy, flags = escape_if_needed t data in
           (home, flags, data, journal_copy))
-        txn.writes
     in
     let tags = List.map (fun (home, flags, _, _) -> (home, flags)) escaped in
     (* Checksum over the journal copies, in tag order. *)
@@ -220,13 +263,10 @@ let commit t txn =
     t.s_commits <- t.s_commits + 1;
     t.s_blocks_logged <- t.s_blocks_logged + n;
     t.s_revokes <- t.s_revokes + List.length revokes;
-    txn.writes <- [];
-    txn.revoked <- []
+    txn_reset txn
   end
 
-let abort _t txn =
-  txn.writes <- [];
-  txn.revoked <- []
+let abort _t txn = txn_reset txn
 
 (* ---- replay ---- *)
 

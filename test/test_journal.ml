@@ -64,6 +64,40 @@ let test_txn_write_supersedes () =
   Alcotest.(check bool) "later write wins" true
     (Bytes.equal (Disk.read disk (data_blk g 0)) (block_of_char 'b'))
 
+let test_txn_overwrite_keeps_first_write_order () =
+  (* Rewriting a buffered block must overwrite its slot in place: the
+     transaction's write order (and hence descriptor tag order) stays the
+     order of *first* writes, with the latest image. *)
+  let _disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'a');
+  Journal.txn_write txn (data_blk g 1) (block_of_char 'b');
+  Journal.txn_write txn (data_blk g 2) (block_of_char 'c');
+  Journal.txn_write txn (data_blk g 0) (block_of_char 'A');
+  Journal.txn_write txn (data_blk g 1) (block_of_char 'B');
+  Alcotest.(check int) "three blocks buffered" 3 (Journal.txn_block_count txn);
+  let order = List.map fst (Journal.txn_writes txn) in
+  Alcotest.(check (list int)) "first-write order preserved"
+    [ data_blk g 0; data_blk g 1; data_blk g 2 ]
+    order;
+  let images = List.map (fun (_, d) -> Bytes.get d 0) (Journal.txn_writes txn) in
+  Alcotest.(check (list char)) "latest images win" [ 'A'; 'B'; 'c' ] images
+
+let test_revoke_dedup () =
+  (* Revoking the same block repeatedly records it once. *)
+  let _disk, dev, g = setup () in
+  let j = attach_exn dev g in
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn (data_blk g 1) (block_of_char 'm');
+  for _ = 1 to 5 do
+    Journal.txn_revoke txn (data_blk g 0)
+  done;
+  Journal.txn_revoke txn (data_blk g 2);
+  Journal.txn_revoke txn (data_blk g 0);
+  Journal.commit j txn;
+  Alcotest.(check int) "duplicate revokes collapsed" 2 (Journal.stats j).Journal.revokes
+
 let test_abort_discards () =
   let disk, dev, g = setup () in
   let j = attach_exn dev g in
@@ -321,6 +355,9 @@ let () =
           Alcotest.test_case "commit checkpoints" `Quick test_commit_checkpoints;
           Alcotest.test_case "empty commit no-op" `Quick test_empty_commit_noop;
           Alcotest.test_case "intra-txn supersede" `Quick test_txn_write_supersedes;
+          Alcotest.test_case "overwrite keeps first-write order" `Quick
+            test_txn_overwrite_keeps_first_write_order;
+          Alcotest.test_case "revoke dedup" `Quick test_revoke_dedup;
           Alcotest.test_case "abort discards" `Quick test_abort_discards;
           Alcotest.test_case "journal full" `Quick test_journal_full;
           Alcotest.test_case "wraparound" `Quick test_many_commits_wrap;
