@@ -1,8 +1,11 @@
 open Rae_vfs
 
+(* The window is a growable array in record order, so [record], [length]
+   and [checkpoint] are O(1) (amortised for the occasional doubling) and
+   [entries] is a single oldest-first copy-out with no List.rev. *)
 type t = {
-  mutable entries : Op.recorded list;  (* newest first *)
-  mutable window : int;  (* List.length entries, maintained *)
+  mutable buf : Op.recorded array;  (* slots [0, window) are live, oldest first *)
+  mutable window : int;
   mutable next_seq : int;
   mutable fds : (Types.fd * Types.ino * Types.open_flags) list;
   mutable total : int;
@@ -11,22 +14,28 @@ type t = {
 }
 
 let create () =
-  { entries = []; window = 0; next_seq = 0; fds = []; total = 0; discarded = 0; max_window = 0 }
+  { buf = [||]; window = 0; next_seq = 0; fds = []; total = 0; discarded = 0; max_window = 0 }
 
 let record t op outcome =
-  t.entries <- { Op.op; outcome; seq = t.next_seq } :: t.entries;
+  let r = { Op.op; outcome; seq = t.next_seq } in
+  if t.window = Array.length t.buf then begin
+    let grown = Array.make (max 16 (2 * t.window)) r in
+    Array.blit t.buf 0 grown 0 t.window;
+    t.buf <- grown
+  end;
+  t.buf.(t.window) <- r;
+  t.window <- t.window + 1;
   t.next_seq <- t.next_seq + 1;
   t.total <- t.total + 1;
-  t.window <- t.window + 1;
   if t.window > t.max_window then t.max_window <- t.window
 
-let entries t = List.rev t.entries
+let entries t = Array.to_list (Array.sub t.buf 0 t.window)
 let length t = t.window
 
 let checkpoint t ~fds =
   t.discarded <- t.discarded + t.window;
-  t.entries <- [];
   t.window <- 0;
+  t.buf <- [||] (* drop references so discarded records can be collected *);
   t.fds <- fds
 
 let fd_snapshot t = t.fds
