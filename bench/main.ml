@@ -99,8 +99,10 @@ let time_runs ~reps f =
   List.nth sorted (reps / 2)
 
 (* Like [time_runs], but the measured function reports the simulated
-   device time its run accrued; the result combines CPU + device time —
-   the elapsed time of a synchronous single-threaded execution. *)
+   device time its run accrued.  Returns the median (combined, device)
+   pair: combined = CPU + device time, the elapsed time of a synchronous
+   single-threaded execution; device = the virtual-clock share alone, so
+   --json can report simulated time separately from wall time. *)
 let time_runs_with_device ~reps f =
   ignore (f ());
   Gc.compact ();
@@ -109,7 +111,8 @@ let time_runs_with_device ~reps f =
         Gc.major ();
         let t0 = Sys.time () in
         let device_ns = f () in
-        Sys.time () -. t0 +. (Int64.to_float device_ns /. 1e9))
+        let device = Int64.to_float device_ns /. 1e9 in
+        (Sys.time () -. t0 +. device, device))
   in
   let sorted = List.sort compare samples in
   List.nth sorted (reps / 2)
@@ -175,7 +178,7 @@ let e3_base_vs_shadow () =
     (fun profile ->
       let ops = W.ops profile (Rae_util.Rng.create 42L) ~count:(sc 2000) in
       let n = float_of_int (List.length ops) in
-      let base_t =
+      let base_t, base_sim =
         time_runs_with_device ~reps:(reps 2) (fun () ->
             let disk = Disk.create ~block_size:bs ~nblocks:8192 () in
             let dev = Device.of_disk disk in
@@ -184,7 +187,7 @@ let e3_base_vs_shadow () =
             run_ops Base.exec b ops;
             Rae_util.Vclock.now (Disk.clock disk))
       in
-      let shadow_t =
+      let shadow_t, shadow_sim =
         time_runs_with_device ~reps:(reps 2) (fun () ->
             let disk = Disk.create ~block_size:bs ~nblocks:8192 () in
             let dev = Device.of_disk disk in
@@ -196,6 +199,8 @@ let e3_base_vs_shadow () =
       json_note ~sec:"E3" ~name:(W.profile_name profile ^ "/base") ~unit:"ops_per_s" (n /. base_t);
       json_note ~sec:"E3" ~name:(W.profile_name profile ^ "/shadow") ~unit:"ops_per_s"
         (n /. shadow_t);
+      json_note ~sec:"E3" ~name:(W.profile_name profile ^ "/base-sim") ~unit:"s" base_sim;
+      json_note ~sec:"E3" ~name:(W.profile_name profile ^ "/shadow-sim") ~unit:"s" shadow_sim;
       Printf.printf "%-12s %14.0f %14.0f %9.1fx\n" (W.profile_name profile) (n /. base_t)
         (n /. shadow_t) (shadow_t /. base_t))
     profiles;
@@ -291,7 +296,8 @@ let e4_record_overhead () =
 
 let e5_recovery_latency () =
   section "E5 | Recovery latency vs in-flight window (paper 4.3: time to recover)";
-  Printf.printf "%-8s %12s %10s %10s %14s\n" "window" "recovery" "replayed" "handoff" "device reads";
+  Printf.printf "%-8s %12s %12s %10s %10s %14s\n" "window" "recovery" "simulated" "replayed"
+    "handoff" "device reads";
   List.iter
     (fun window ->
       let bugs =
@@ -306,7 +312,9 @@ let e5_recovery_latency () =
             };
           ]
       in
-      let disk = mk_disk () in
+      (* Simulated device latency on, so recovery has a virtual-clock cost
+         (journal replay + shadow reads) alongside the CPU cost. *)
+      let disk = Disk.create ~latency:Disk.default_latency ~block_size:bs ~nblocks:8192 () in
       let dev, counts = Device.counting (Device.of_disk disk) in
       ignore (ok (Base.mkfs dev ~ninodes:1024 ~journal_len:1024 ()));
       let b =
@@ -317,13 +325,23 @@ let e5_recovery_latency () =
       let ops = List.filter (fun op -> not (Op.is_sync op)) ops in
       run_ops Controller.exec ctl ops;
       let reads_before, _ = counts () in
+      let sim_before = Rae_util.Vclock.now (Disk.clock disk) in
       ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
+      let sim_ms =
+        Int64.to_float (Int64.sub (Rae_util.Vclock.now (Disk.clock disk)) sim_before) /. 1e6
+      in
       let reads_after, _ = counts () in
       match Controller.last_recovery ctl with
       | Some r ->
-          Printf.printf "%-8d %10.2fms %10d %10d %14d\n" (List.length ops)
+          Printf.printf "%-8d %10.2fms %10.2fms %10d %10d %14d\n" (List.length ops)
             (r.Report.r_wall_seconds *. 1000.)
-            r.Report.r_replayed r.Report.r_handoff_blocks (reads_after - reads_before)
+            sim_ms r.Report.r_replayed r.Report.r_handoff_blocks (reads_after - reads_before);
+          let w = string_of_int window in
+          json_note ~sec:"E5" ~name:("window-" ^ w ^ "/wall") ~unit:"ms"
+            (r.Report.r_wall_seconds *. 1000.);
+          json_note ~sec:"E5" ~name:("window-" ^ w ^ "/sim") ~unit:"ms" sim_ms;
+          json_note ~sec:"E5" ~name:("window-" ^ w ^ "/replayed") ~unit:"ops"
+            (float_of_int r.Report.r_replayed)
       | None -> Printf.printf "%-8d (no recovery?)\n" window)
     (if !quick then [ 8; 32; 128 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ]);
   Printf.printf
@@ -768,6 +786,127 @@ let e_oplog () =
      O(window) per record — quadratic across a commit interval; the counter makes\n\
      recording flat regardless of window length.\n"
 
+(* ---------------------------------------------------------------- *)
+(* E-obs: observability — instrumentation cost and trace validity    *)
+(* ---------------------------------------------------------------- *)
+
+let e_obs () =
+  section "E-obs | Observability: instrumentation overhead and trace well-formedness";
+  subsection "E-obs/a | common-path throughput: obs off / registered / traced";
+  (* The claim is "within noise", so the noise floor has to sit well under
+     the couple-percent acceptance band.  Machine speed drifts over seconds,
+     which would bias three back-to-back [time_runs] calls; instead the three
+     configurations are interleaved within each repetition so drift hits all
+     of them equally, and the per-config median is taken across rounds. *)
+  let ops = W.ops W.Varmail (Rae_util.Rng.create 11L) ~count:(sc 16_000) in
+  let n = float_of_int (List.length ops) in
+  let run_off () =
+    let _, dev, b = fresh_base () in
+    let ctl = Controller.make ~device:dev b in
+    run_ops Controller.exec ctl ops
+  in
+  (* The common case: metrics registered (pull-based, sampled once at the
+     end) and a tracer attached but with no sink enabled. *)
+  let run_cfg ~traced () =
+    let _, dev, b = fresh_base () in
+    let tracer = Rae_obs.Tracer.create () in
+    if traced then Rae_obs.Tracer.enable tracer;
+    let ctl = Controller.make ~tracer ~device:dev b in
+    let reg = Rae_obs.Metrics.create () in
+    Controller.register_obs reg ctl;
+    run_ops Controller.exec ctl ops;
+    ignore (Rae_obs.Metrics.snapshot reg)
+  in
+  let configs = [| run_off; run_cfg ~traced:false; run_cfg ~traced:true |] in
+  Array.iter (fun f -> f ()) configs;
+  Gc.compact ();
+  let rounds = reps 5 in
+  let samples = Array.map (fun _ -> ref []) configs in
+  for _ = 1 to rounds do
+    Array.iteri
+      (fun i f ->
+        Gc.major ();
+        let t0 = Sys.time () in
+        f ();
+        samples.(i) := (Sys.time () -. t0) :: !(samples.(i)))
+      configs
+  done;
+  let median i =
+    let sorted = List.sort compare !(samples.(i)) in
+    List.nth sorted (rounds / 2)
+  in
+  let t_off = median 0 and t_reg = median 1 and t_trace = median 2 in
+  let pct t = (t -. t_off) /. t_off *. 100. in
+  Printf.printf "%-28s %12.0f ops/s\n" "obs off" (n /. t_off);
+  Printf.printf "%-28s %12.0f ops/s  (%+.1f%%)\n" "registry + disabled tracer" (n /. t_reg)
+    (pct t_reg);
+  Printf.printf "%-28s %12.0f ops/s  (%+.1f%%)\n" "tracing enabled" (n /. t_trace) (pct t_trace);
+  json_note ~sec:"E-obs" ~name:"off" ~unit:"ops_per_s" (n /. t_off);
+  json_note ~sec:"E-obs" ~name:"registered" ~unit:"ops_per_s" (n /. t_reg);
+  json_note ~sec:"E-obs" ~name:"traced" ~unit:"ops_per_s" (n /. t_trace);
+  json_note ~sec:"E-obs" ~name:"registered-overhead" ~unit:"pct" (pct t_reg);
+  json_note ~sec:"E-obs" ~name:"traced-overhead" ~unit:"pct" (pct t_trace);
+  subsection "E-obs/b | recovery trace: emit, validate, check phase coverage";
+  let bugs =
+    Bug_registry.arm
+      [
+        {
+          Bug_registry.id = "bench-panic";
+          determinism = Bug_registry.Deterministic;
+          trigger = Bug_registry.Path_component "trigger";
+          consequence = Bug_registry.Panic;
+          modeled_after = "bench";
+        };
+      ]
+  in
+  let disk = mk_disk () in
+  let dev = Device.of_disk disk in
+  ignore (ok (Base.mkfs dev ~ninodes:1024 ()));
+  let b = ok (Base.mount ~bugs dev) in
+  let clock () =
+    Int64.add
+      (Rae_util.Vclock.now (Disk.clock disk))
+      (Int64.of_float (Sys.time () *. 1e9))
+  in
+  let tracer = Rae_obs.Tracer.create ~clock () in
+  Rae_obs.Tracer.enable tracer;
+  let ctl = Controller.make ~tracer ~device:dev b in
+  run_ops Controller.exec ctl (W.ops W.Metadata (Rae_util.Rng.create 3L) ~count:(sc 400));
+  ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
+  let trace = Rae_obs.Tracer.to_chrome tracer in
+  (match Rae_obs.Tracer.validate_chrome trace with
+  | Ok nev ->
+      Printf.printf "trace: %d events, balanced and monotone\n" nev;
+      json_note ~sec:"E-obs" ~name:"trace-events" ~unit:"count" (float_of_int nev)
+  | Error msg ->
+      Printf.eprintf "E-obs: malformed trace: %s\n" msg;
+      exit 1);
+  let begun = Rae_obs.Tracer.events tracer in
+  let has_span name =
+    List.exists
+      (function Rae_obs.Tracer.Begin { name = n; _ } -> n = name | _ -> false)
+      begun
+  in
+  (* The in-flight op is a create, so delegated-sync legitimately never runs. *)
+  let expected =
+    "recovery" :: List.filter (fun nm -> nm <> "delegated-sync") Controller.phase_names
+  in
+  let missing = List.filter (fun nm -> not (has_span nm)) expected in
+  if missing <> [] then begin
+    Printf.eprintf "E-obs: missing recovery spans: %s\n" (String.concat ", " missing);
+    exit 1
+  end;
+  (match Controller.last_recovery ctl with
+  | Some r when r.Report.r_phases <> [] -> ()
+  | _ ->
+      prerr_endline "E-obs: recovery report carries no phase timings";
+      exit 1);
+  Printf.printf "all %d expected recovery spans present; report carries %d phase timings\n"
+    (List.length expected)
+    (match Controller.last_recovery ctl with
+    | Some r -> List.length r.Report.r_phases
+    | None -> 0)
+
 let () =
   Printf.printf "RAE / Shadow Filesystems — benchmark harness\n";
   Printf.printf "(HotStorage '24 reproduction; see EXPERIMENTS.md for the experiment index)\n";
@@ -802,6 +941,7 @@ let () =
   if want "e-alloc" then e_alloc ();
   if want "e-txn" then e_txn ();
   if want "e-oplog" then e_oplog ();
+  if want "e-obs" then e_obs ();
   Printf.printf "\nAll requested benches complete.\n";
   Option.iter
     (fun path ->

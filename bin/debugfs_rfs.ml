@@ -6,6 +6,9 @@
      stat IMAGE PATH     print file attributes
      cat IMAGE PATH      print file contents
      journal IMAGE       print journal statistics (tail position)
+     stats IMAGE         walk the image and dump metrics (prometheus text)
+     timeline FILE.json  validate and pretty-print a Chrome trace from
+                         `rae_demo --trace-out`
 
    All access goes through the shadow filesystem with full runtime checks:
    debugfs doubles as a structure validator. *)
@@ -91,6 +94,102 @@ let cmd_journal image =
           | Ok n -> Printf.printf "journal had %d unreplayed transaction(s) (image NOT modified)\n" n
           | Error msg -> Printf.printf "journal unreadable: %s\n" msg))
 
+let cmd_stats image =
+  with_image image (fun _disk dev ->
+      let sb =
+        match Rae_format.Superblock.decode (Rae_block.Device.read dev 0) with
+        | Ok sb -> sb
+        | Error e ->
+            Printf.eprintf "superblock: %s\n" (Rae_format.Superblock.error_to_string e);
+            exit 1
+      in
+      let sh =
+        match Shadow.attach dev with
+        | Ok sh -> sh
+        | Error msg ->
+            Printf.eprintf "not a valid rfs image: %s\n" msg;
+            exit 1
+      in
+      (* Walk the whole tree through the checked shadow reader, counting
+         what lives in the image. *)
+      let files = ref 0 and dirs = ref 0 and symlinks = ref 0 and bytes = ref 0 in
+      let rec walk dir =
+        List.iter
+          (fun name ->
+            let p = Rae_vfs.Path.append dir name in
+            let st = or_errno (Shadow.stat sh p) in
+            match st.Types.st_kind with
+            | Types.Directory ->
+                incr dirs;
+                walk p
+            | Types.Regular ->
+                incr files;
+                bytes := !bytes + st.Types.st_size
+            | Types.Symlink -> incr symlinks)
+          (or_errno (Shadow.readdir sh dir))
+      in
+      (try walk []
+       with Shadow.Violation msg ->
+         Printf.eprintf "structure violation: %s\n" msg;
+         exit 1);
+      let reg = Rae_obs.Metrics.create () in
+      let g name help v = Rae_obs.Metrics.register_gauge reg ~help name (fun () -> v) in
+      g "image_files" "regular files in the image" (float_of_int !files);
+      g "image_directories" "directories in the image (root excluded)" (float_of_int !dirs);
+      g "image_symlinks" "symlinks in the image" (float_of_int !symlinks);
+      g "image_bytes_used" "bytes held by regular files" (float_of_int !bytes);
+      g "image_free_blocks" "free data blocks" (float_of_int sb.Rae_format.Superblock.free_blocks);
+      g "image_free_inodes" "free inodes" (float_of_int sb.Rae_format.Superblock.free_inodes);
+      g "image_mount_count" "recorded mounts" (float_of_int sb.Rae_format.Superblock.mount_count);
+      g "image_generation" "superblock generation"
+        (Int64.to_float sb.Rae_format.Superblock.generation);
+      g "shadow_checks_performed" "runtime checks executed during the walk"
+        (float_of_int (Shadow.checks_performed sh));
+      g "shadow_device_reads" "device blocks read during the walk"
+        (float_of_int (Shadow.device_reads sh));
+      print_string (Rae_obs.Metrics.to_prometheus reg))
+
+let cmd_timeline file =
+  let contents =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg ->
+      Printf.eprintf "cannot read %s: %s\n" file msg;
+      exit 2
+  in
+  match Rae_obs.Tracer.validate_chrome contents with
+  | Error msg ->
+      Printf.eprintf "invalid trace: %s\n" msg;
+      exit 1
+  | Ok n -> (
+      match Rae_obs.Tracer.parse_chrome contents with
+      | Error msg ->
+          Printf.eprintf "invalid trace: %s\n" msg;
+          exit 1
+      | Ok evs ->
+          Printf.printf "%s: %d events, valid\n" file n;
+          (* Re-pair B/E events into an indented span tree with durations. *)
+          let stack = ref [] in
+          List.iter
+            (fun { Rae_obs.Tracer.ph; ev_name; ts_us } ->
+              match ph with
+              | 'B' -> stack := (ev_name, ts_us) :: !stack
+              | 'E' -> (
+                  match !stack with
+                  | (name, t0) :: rest ->
+                      stack := rest;
+                      Printf.printf "%s%-24s %10.1f us\n"
+                        (String.make (2 * List.length rest) ' ')
+                        name (ts_us -. t0)
+                  | [] -> ())
+              | 'i' ->
+                  Printf.printf "%s* %s\n" (String.make (2 * List.length !stack) ' ') ev_name
+              | _ -> ())
+            evs)
+
 let image_arg idx = Arg.(required & pos idx (some file) None & info [] ~docv:"IMAGE")
 let path_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"PATH")
 
@@ -101,6 +200,14 @@ let cmds =
     Cmd.v (Cmd.info "stat" ~doc:"Print file attributes") Term.(const cmd_stat $ image_arg 0 $ path_arg 1);
     Cmd.v (Cmd.info "cat" ~doc:"Print file contents") Term.(const cmd_cat $ image_arg 0 $ path_arg 1);
     Cmd.v (Cmd.info "journal" ~doc:"Inspect journal state") Term.(const cmd_journal $ image_arg 0);
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Walk the image and dump metrics in prometheus text format")
+      Term.(const cmd_stats $ image_arg 0);
+    Cmd.v
+      (Cmd.info "timeline" ~doc:"Validate and pretty-print a Chrome trace from rae_demo --trace-out")
+      Term.(
+        const cmd_timeline
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"));
   ]
 
 let () =

@@ -11,7 +11,7 @@ module Controller = Rae_core.Controller
 module Report = Rae_core.Report
 module W = Rae_workload.Workload
 
-let run bug_ids profile_name count seed =
+let run bug_ids profile_name count seed trace_out metrics_dump =
   let profile =
     match W.profile_of_name profile_name with
     | Some p -> p
@@ -32,14 +32,29 @@ let run bug_ids profile_name count seed =
       bug_ids
   in
   let bugs = Bug_registry.arm ~rng:(Rae_util.Rng.create seed) specs in
+  (* With a trace sink attached, run against the simulated device latency so
+     span durations reflect device time rather than collapsing to ~0. *)
+  let latency =
+    if trace_out <> None then Rae_block.Disk.default_latency else Rae_block.Disk.zero_latency
+  in
   let disk =
-    Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
-      ~block_size:Rae_format.Layout.block_size ~nblocks:8192 ()
+    Rae_block.Disk.create ~latency ~block_size:Rae_format.Layout.block_size ~nblocks:8192 ()
   in
   let dev = Rae_block.Device.of_disk disk in
+  (* Timeline clock: simulated device time plus CPU time, so spans order
+     correctly and CPU-only phases still have extent. *)
+  let clock () =
+    Int64.add
+      (Rae_util.Vclock.now (Rae_block.Disk.clock disk))
+      (Int64.of_float (Sys.time () *. 1e9))
+  in
+  let tracer = Rae_obs.Tracer.create ~clock () in
+  if trace_out <> None then Rae_obs.Tracer.enable tracer;
   (match Base.mkfs dev ~ninodes:1024 () with Ok () -> () | Error m -> failwith m);
   let base = Result.get_ok (Base.mount ~bugs dev) in
-  let ctl = Controller.make ~device:dev base in
+  let ctl = Controller.make ~tracer ~device:dev base in
+  let registry = Rae_obs.Metrics.create () in
+  Controller.register_obs registry ctl;
   Printf.printf "Mounted an rfs image with %d bug(s) armed: %s\n" (List.length specs)
     (String.concat ", " bug_ids);
   Printf.printf "Running %d '%s' operations through the RAE controller...\n\n" count profile_name;
@@ -70,7 +85,15 @@ let run bug_ids profile_name count seed =
       Printf.printf "Final image: %s\n"
         (if Rae_fsck.Fsck.clean report then "fsck clean" else "fsck FOUND ERRORS"));
   Printf.printf "Base filesystem executed %d ops, %d commits; window high-water %d ops.\n"
-    (Base.stats base).Base.ops_executed (Base.stats base).Base.commits s.Controller.max_window
+    (Base.stats base).Base.ops_executed (Base.stats base).Base.commits s.Controller.max_window;
+  (match trace_out with
+  | Some path ->
+      Rae_obs.Tracer.write_chrome tracer path;
+      let n = List.length (Rae_obs.Tracer.events tracer) in
+      Printf.printf "Wrote %d trace events to %s (open in chrome://tracing or ui.perfetto.dev).\n" n
+        path
+  | None -> ());
+  if metrics_dump then print_string (Rae_obs.Metrics.to_prometheus registry)
 
 let bugs_arg =
   Arg.(
@@ -82,10 +105,24 @@ let profile = Arg.(value & opt string "varmail" & info [ "profile" ] ~docv:"NAME
 let count = Arg.(value & opt int 2000 & info [ "n" ] ~docv:"N" ~doc:"Operation count.")
 let seed = Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Workload seed.")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace_event JSON timeline of the run (recovery phases, commits, \
+           destages) to $(docv), viewable in chrome://tracing or Perfetto.")
+
+let metrics_dump =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Dump the metrics registry in prometheus text format at exit.")
+
 let cmd =
   Cmd.v
     (Cmd.info "rae_demo"
        ~doc:"Demonstrate transparent recovery from injected filesystem bugs")
-    Term.(const run $ bugs_arg $ profile $ count $ seed)
+    Term.(const run $ bugs_arg $ profile $ count $ seed $ trace_out $ metrics_dump)
 
 let () = exit (Cmd.eval cmd)

@@ -51,6 +51,7 @@ let bc_pin c k = match c with Lru_c c -> BL.pin c k | Twoq_c c -> BQ.pin c k
 let bc_unpin c k = match c with Lru_c c -> BL.unpin c k | Twoq_c c -> BQ.unpin c k
 let bc_clear c = match c with Lru_c c -> BL.clear c | Twoq_c c -> BQ.clear c
 let bc_stats c = match c with Lru_c c -> BL.stats c | Twoq_c c -> BQ.stats c
+let bc_reset_stats c = match c with Lru_c c -> BL.reset_stats c | Twoq_c c -> BQ.reset_stats c
 
 type meta_kind = K_sb | K_bitmap | K_itable | K_dir | K_indirect
 
@@ -88,6 +89,7 @@ type t = {
   mutable s_commits : int;
   mutable s_validations : int;
   mutable commit_hooks : (unit -> unit) list;
+  mutable tracer : Rae_obs.Tracer.t option;
 }
 
 let dir_kind_code = Types.kind_code Types.Directory
@@ -165,6 +167,7 @@ let mount ?(config = default_config) ?(bugs = Bug_registry.none) dev =
                           s_commits = 0;
                           s_validations = 0;
                           commit_hooks = [];
+                          tracer = None;
                         }
                       in
                       Ok t))))
@@ -267,8 +270,8 @@ let validate_txn t =
       | Some K_bitmap -> ())
     (Journal.txn_writes t.txn)
 
-let commit t =
-  if Journal.txn_block_count t.txn > 0 || Hashtbl.length t.dirty_data > 0 then begin
+let commit_work t =
+  begin
     if t.cfg.validate_on_commit then validate_txn t;
     (* Ordered mode: data reaches the medium before the metadata that
        references it commits. *)
@@ -289,6 +292,12 @@ let commit t =
     t.s_commits <- t.s_commits + 1;
     List.iter (fun hook -> hook ()) t.commit_hooks
   end
+
+let commit t =
+  if Journal.txn_block_count t.txn > 0 || Hashtbl.length t.dirty_data > 0 then
+    match t.tracer with
+    | Some tr -> Rae_obs.Tracer.with_span tr ~cat:"commit" "base.commit" (fun () -> commit_work t)
+    | None -> commit_work t
 
 let on_commit t hook = t.commit_hooks <- t.commit_hooks @ [ hook ]
 let ops_since_commit t = t.ops_since_commit
@@ -1307,8 +1316,16 @@ let contained_reboot t =
   Hashtbl.reset t.orphans;
   Detector.clear t.det;
   t.mq <- Blkmq.create t.dev;
+  (match t.tracer with Some tr -> Blkmq.set_tracer t.mq tr | None -> ());
   (* Recover the trusted on-disk state S0. *)
-  match Journal.replay t.dev t.geo with
+  let replay () =
+    match t.tracer with
+    | Some tr ->
+        Rae_obs.Tracer.with_span tr ~cat:"recovery" "journal.replay" (fun () ->
+            Journal.replay t.dev t.geo)
+    | None -> Journal.replay t.dev t.geo
+  in
+  match replay () with
   | Error msg -> Error ("journal replay: " ^ msg)
   | Ok _ -> (
       match Superblock.decode (Device.read t.dev 0) with
@@ -1470,3 +1487,47 @@ let dcache_stats t = Rae_cache.Dentry.stats t.dcache
 let icache_stats t = IC.stats t.icache
 let journal_stats t = Journal.stats t.journal
 let mq_stats t = Blkmq.stats t.mq
+
+let set_tracer t tr =
+  t.tracer <- Some tr;
+  Blkmq.set_tracer t.mq tr
+
+let register_obs reg t =
+  let module M = Rae_obs.Metrics in
+  M.register_counter reg ~help:"VFS operations executed by the base"
+    ~reset:(fun () -> t.s_ops <- 0)
+    "base_ops_total"
+    (fun () -> t.s_ops);
+  M.register_counter reg ~help:"group commits"
+    ~reset:(fun () -> t.s_commits <- 0)
+    "base_commits_total"
+    (fun () -> t.s_commits);
+  M.register_counter reg ~help:"commit-time validation passes"
+    ~reset:(fun () -> t.s_validations <- 0)
+    "base_validations_total"
+    (fun () -> t.s_validations);
+  M.register_counter reg ~help:"injected bugs fired" "base_bugs_fired_total" (fun () ->
+      Bug_registry.fired_count t.bug_reg);
+  M.register_counter reg ~help:"detector warnings (non-fatal)" "detector_warnings_total" (fun () ->
+      Detector.warn_count t.det);
+  M.register_gauge reg ~help:"operations since the last commit" "base_ops_since_commit" (fun () ->
+      float_of_int t.ops_since_commit);
+  M.register_gauge reg ~help:"open file descriptors" "base_open_fds" (fun () ->
+      float_of_int (Hashtbl.length t.fds));
+  M.register_gauge reg ~help:"orphaned inodes awaiting reap" "base_orphans" (fun () ->
+      float_of_int (Hashtbl.length t.orphans));
+  (* Caches: the containers live for the mount, so closing over [t] and
+     sampling through the accessors stays correct across contained reboots. *)
+  Rae_cache.Lru.register_stats reg ~prefix:"bcache"
+    ~reset:(fun () -> bc_reset_stats t.bcache)
+    (fun () -> bc_stats t.bcache);
+  Rae_cache.Lru.register_stats reg ~prefix:"icache"
+    ~reset:(fun () -> IC.reset_stats t.icache)
+    (fun () -> IC.stats t.icache);
+  Rae_cache.Lru.register_stats reg ~prefix:"dcache"
+    ~reset:(fun () -> Rae_cache.Dentry.reset_stats t.dcache)
+    (fun () -> Rae_cache.Dentry.stats t.dcache);
+  (* Journal and queue layer are replaced by contained reboot: register
+     through getters so samples always read the live instance. *)
+  Journal.register_obs reg (fun () -> t.journal);
+  Blkmq.register_obs reg (fun () -> t.mq)

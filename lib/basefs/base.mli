@@ -108,3 +108,14 @@ val dcache_stats : t -> Rae_cache.Lru.stats
 val icache_stats : t -> Rae_cache.Lru.stats
 val journal_stats : t -> Rae_journal.Journal.stats
 val mq_stats : t -> Rae_block.Blkmq.stats
+
+val set_tracer : t -> Rae_obs.Tracer.t -> unit
+(** Attach a tracer: group commits emit a [base.commit] span, journal
+    replay during contained reboot a [journal.replay] span, and the queue
+    layer (re-attached across contained reboots) its destage spans. *)
+
+val register_obs : Rae_obs.Metrics.t -> t -> unit
+(** Register the base's counters and gauges — op/commit/validation counts,
+    detector warnings, all three caches, the journal, and the blk-mq layer
+    — with a metrics registry.  Samplers read the live instances, so they
+    stay accurate across contained reboots. *)

@@ -26,6 +26,7 @@ type t = {
   mutable s_merged : int;
   mutable s_kicks : int;
   mutable s_maxdepth : int;
+  mutable tracer : Rae_obs.Tracer.t option;
 }
 
 let create ?(nr_queues = 4) ?(batch = 32) dev =
@@ -41,7 +42,10 @@ let create ?(nr_queues = 4) ?(batch = 32) dev =
     s_merged = 0;
     s_kicks = 0;
     s_maxdepth = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- Some tr
 
 let depth t = Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.queues
 
@@ -122,10 +126,15 @@ let rec wait t req =
 let failed req = match req.state with `Failed _ -> true | `Queued | `Done _ | `Merged -> false
 
 let drain t =
-  while depth t > 0 do
-    kick t
-  done;
-  Device.flush t.dev
+  let flush_all () =
+    while depth t > 0 do
+      kick t
+    done;
+    Device.flush t.dev
+  in
+  match t.tracer with
+  | Some tr when depth t > 0 -> Rae_obs.Tracer.with_span tr ~cat:"io" "blkmq.destage" flush_all
+  | _ -> flush_all ()
 
 let in_flight t = depth t
 
@@ -144,3 +153,23 @@ let reset_stats t =
   t.s_merged <- 0;
   t.s_kicks <- 0;
   t.s_maxdepth <- 0
+
+(* Registration goes through a getter so the sampled instance can change
+   underneath the registry (a contained reboot replaces the queue layer). *)
+let register_obs reg ?(prefix = "blkmq") get =
+  let c name help sample =
+    Rae_obs.Metrics.register_counter reg ~help
+      ~reset:(fun () -> reset_stats (get ()))
+      (prefix ^ "_" ^ name)
+      (fun () -> sample (get ()))
+  in
+  c "submitted_total" "block requests submitted" (fun t -> t.s_submitted);
+  c "completed_total" "block requests completed" (fun t -> t.s_completed);
+  c "merged_total" "same-block writes merged in the software queues" (fun t -> t.s_merged);
+  c "kicks_total" "dispatch kicks" (fun t -> t.s_kicks);
+  Rae_obs.Metrics.register_gauge reg ~help:"high-water software queue depth"
+    (prefix ^ "_max_queue_depth")
+    (fun () -> float_of_int (get ()).s_maxdepth);
+  Rae_obs.Metrics.register_gauge reg ~help:"requests currently queued"
+    (prefix ^ "_in_flight")
+    (fun () -> float_of_int (depth (get ())))

@@ -130,3 +130,14 @@ module Make (K : KEY) = struct
     t.evictions <- 0;
     t.inserts <- 0
 end
+
+(* Shared by every cache exposing this [stats] shape (LRU, 2Q, dentry). *)
+let register_stats reg ~prefix ?(reset = fun () -> ()) get =
+  let c name help sample =
+    Rae_obs.Metrics.register_counter reg ~help ~reset (prefix ^ "_" ^ name)
+      (fun () -> sample (get ()))
+  in
+  c "hits_total" "cache hits" (fun s -> s.hits);
+  c "misses_total" "cache misses" (fun s -> s.misses);
+  c "evictions_total" "cache evictions" (fun s -> s.evictions);
+  c "inserts_total" "cache inserts" (fun s -> s.inserts)

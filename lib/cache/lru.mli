@@ -50,3 +50,9 @@ module Make (K : KEY) : sig
   val stats : 'v t -> stats
   val reset_stats : 'v t -> unit
 end
+
+val register_stats :
+  Rae_obs.Metrics.t -> prefix:string -> ?reset:(unit -> unit) -> (unit -> stats) -> unit
+(** Register a [stats] sampler as [<prefix>_{hits,misses,evictions,inserts}_total]
+    counters.  Shared by every cache exposing this record (LRU, 2Q, dentry);
+    [reset] is wired into the registry's reset hook. *)

@@ -33,34 +33,65 @@ type stats = {
   total_discarded : int;
 }
 
+(* §3.2 pipeline steps, in order; each gets a span, a [Report.phase] entry
+   and a latency histogram.  [delegated-sync] runs after the report is
+   built, so it appears in spans and histograms but not in [r_phases]. *)
+let phase_names =
+  [
+    "contained-reboot";
+    "shadow-attach";
+    "fd-reinstate";
+    "constrained-replay";
+    "inflight-autonomous";
+    "metadata-download";
+    "resume";
+    "delegated-sync";
+  ]
+
 type t = {
   base : Base.t;
   device : Rae_block.Device.t;
   policy : policy;
   oplog : Oplog.t;
+  tracer : Rae_obs.Tracer.t option;
+  now : unit -> int64;
+  recovery_hist : Rae_obs.Metrics.histogram;
+  ph_hists : (string * Rae_obs.Metrics.histogram) list;
   mutable committed_during_op : bool;
   mutable degraded : string option;
   mutable recovery_log : Report.recovery list;  (* newest first *)
   mutable s_ops : int;
   mutable s_recoveries : int;
   mutable s_failed : int;
+  mutable s_discrepancies : int;
 }
 
-let make ?(policy = default_policy) ~device base =
+let make ?(policy = default_policy) ?tracer ~device base =
+  let now =
+    match tracer with
+    | Some tr -> fun () -> Rae_obs.Tracer.now tr
+    | None -> fun () -> Int64.of_float (Sys.time () *. 1e9)
+  in
   let t =
     {
       base;
       device;
       policy;
       oplog = Oplog.create ();
+      tracer;
+      now;
+      recovery_hist = Rae_obs.Metrics.histogram ();
+      ph_hists = List.map (fun n -> (n, Rae_obs.Metrics.histogram ())) phase_names;
       committed_during_op = false;
       degraded = None;
       recovery_log = [];
       s_ops = 0;
       s_recoveries = 0;
       s_failed = 0;
+      s_discrepancies = 0;
     }
   in
+  (match tracer with Some tr -> Base.set_tracer base tr | None -> ());
   Base.on_commit base (fun () -> t.committed_during_op <- true);
   t
 
@@ -73,9 +104,18 @@ exception Recovery_error of string
 
 let run_constrained t shadow entries =
   let replayed = ref 0 and skipped = ref 0 and discrepancies = ref [] in
+  let step recorded =
+    (* Per-op replay spans (cheap static names from the op kind). *)
+    match t.tracer with
+    | Some tr ->
+        Rae_obs.Tracer.with_span tr ~cat:"replay"
+          (Op.kind_to_string (Op.kind recorded.Op.op))
+          (fun () -> Shadow.exec_constrained shadow recorded)
+    | None -> Shadow.exec_constrained shadow recorded
+  in
   List.iter
     (fun ({ Op.op; outcome; seq } as recorded) ->
-      match Shadow.exec_constrained shadow recorded with
+      match step recorded with
       | Shadow.Skipped_error | Shadow.Skipped_sync -> incr skipped
       | Shadow.Matches -> incr replayed
       | Shadow.Divergence shadow_outcome ->
@@ -96,10 +136,29 @@ let run_constrained t shadow entries =
 (* The full §3.2 protocol.  Returns the in-flight operation's outcome. *)
 let recover t ~trigger ~inflight ~attempt =
   let started = Sys.time () in
+  let t0 = t.now () in
   t.s_recoveries <- t.s_recoveries + 1;
   let entries = Oplog.entries t.oplog in
   let window = List.length entries in
+  let phases = ref [] in
+  (* Time one pipeline step: span on the tracer, duration into the phase
+     histogram and the [phases] accumulator (closed on exception too, so a
+     failed recovery's report still shows where time went). *)
+  let phase name f =
+    let p0 = t.now () in
+    (match t.tracer with Some tr -> Rae_obs.Tracer.span_begin tr ~cat:"recovery" name | None -> ());
+    Fun.protect
+      ~finally:(fun () ->
+        (match t.tracer with Some tr -> Rae_obs.Tracer.span_end tr | None -> ());
+        let d = Int64.sub (t.now ()) p0 in
+        phases := { Report.ph_name = name; ph_ns = d } :: !phases;
+        match List.assoc_opt name t.ph_hists with
+        | Some h -> Rae_obs.Metrics.observe h d
+        | None -> ())
+      f
+  in
   let fail_report msg ~replayed ~skipped ~discrepancies ~handoff ~delegated =
+    Rae_obs.Metrics.observe t.recovery_hist (Int64.sub (t.now ()) t0);
     {
       Report.r_trigger = trigger;
       r_window = window;
@@ -109,83 +168,103 @@ let recover t ~trigger ~inflight ~attempt =
       r_handoff_blocks = handoff;
       r_delegated_sync = delegated;
       r_wall_seconds = Sys.time () -. started;
+      r_phases = List.rev !phases;
       r_outcome = (match msg with None -> Report.Recovered | Some m -> Report.Recovery_failed m);
     }
   in
-  try
-    (* 1. Contained reboot: discard the base's untrusted memory, recover
-       the trusted on-disk state S0 via journal replay. *)
-    (match Base.contained_reboot t.base with
-    | Ok () -> ()
-    | Error msg -> raise (Recovery_error ("contained reboot: " ^ msg)));
-    (* 2. Launch the shadow on S0 (read-only, full checks, optional fsck —
-       the liveness precondition). *)
-    let config =
-      {
-        Shadow.checks = t.policy.shadow_checks;
-        fsck_on_attach = t.policy.fsck_before_recovery;
-        max_fds = 1024;
-      }
-    in
-    let shadow =
-      match Shadow.attach ~config t.device with
-      | Ok s -> s
-      | Error msg -> raise (Recovery_error ("shadow attach: " ^ msg))
-    in
-    (* 3. Reinstate the descriptors that were open at S0. *)
-    List.iter
-      (fun (fd, ino, flags) ->
-        match Shadow.install_fd shadow ~fd ~ino flags with
-        | Ok () -> ()
-        | Error msg -> raise (Recovery_error ("fd reinstatement: " ^ msg)))
-      (Oplog.fd_snapshot t.oplog);
-    (* 4. Constrained mode: replay the recorded window, cross-checking. *)
-    let replayed, skipped, discrepancies =
-      try run_constrained t shadow entries
-      with Shadow.Violation msg -> raise (Recovery_error ("shadow violation in replay: " ^ msg))
-    in
-    (* 5. Autonomous mode: the in-flight operation, whose result the
-       application has not seen.  Sync operations are not handled by the
-       shadow — they are delegated to the rebooted base after hand-off. *)
-    let delegated = Op.is_sync inflight in
-    let inflight_outcome =
-      if delegated then Ok Op.Unit
-      else
-        try Shadow.exec shadow inflight
-        with Shadow.Violation msg ->
-          raise (Recovery_error ("shadow violation on in-flight op: " ^ msg))
-    in
-    (* 6. Hand-off: the base absorbs the shadow's overlay and descriptor
-       table through its own well-tested interfaces, then commits. *)
-    let dirty = Shadow.dirty_blocks shadow in
-    (match
-       Base.download_metadata t.base ~blocks:dirty ~fd_table:(Shadow.fd_table shadow)
-         ~time:(Shadow.time shadow)
-     with
-    | Ok () -> ()
-    | Error msg -> raise (Recovery_error ("metadata download: " ^ msg)));
-    (* 7. Resume: prune the log to the recovered state. *)
-    Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
-    t.committed_during_op <- false;
-    let report =
-      fail_report None ~replayed ~skipped ~discrepancies ~handoff:(List.length dirty) ~delegated
-    in
+  let append report =
     t.recovery_log <- report :: t.recovery_log;
-    (* 8. Delegated sync: re-issue on the recovered base. *)
-    if delegated then begin
-      ignore attempt;
-      let outcome = try Base.exec t.base inflight with _ -> Error Errno.EIO in
-      outcome
-    end
-    else inflight_outcome
-  with Recovery_error msg ->
-    t.s_failed <- t.s_failed + 1;
-    t.degraded <- Some msg;
-    let report =
-      fail_report (Some msg) ~replayed:0 ~skipped:0 ~discrepancies:[] ~handoff:0 ~delegated:false
-    in
-    t.recovery_log <- report :: t.recovery_log;
-    Error Errno.EIO
+    t.s_discrepancies <- t.s_discrepancies + List.length report.Report.r_discrepancies
+  in
+  let go () =
+    try
+      (* 1. Contained reboot: discard the base's untrusted memory, recover
+         the trusted on-disk state S0 via journal replay. *)
+      phase "contained-reboot" (fun () ->
+          match Base.contained_reboot t.base with
+          | Ok () -> ()
+          | Error msg -> raise (Recovery_error ("contained reboot: " ^ msg)));
+      (* 2. Launch the shadow on S0 (read-only, full checks, optional fsck —
+         the liveness precondition). *)
+      let config =
+        {
+          Shadow.checks = t.policy.shadow_checks;
+          fsck_on_attach = t.policy.fsck_before_recovery;
+          max_fds = 1024;
+        }
+      in
+      let shadow =
+        phase "shadow-attach" (fun () ->
+            match Shadow.attach ~config ?tracer:t.tracer t.device with
+            | Ok s -> s
+            | Error msg -> raise (Recovery_error ("shadow attach: " ^ msg)))
+      in
+      (* 3. Reinstate the descriptors that were open at S0. *)
+      phase "fd-reinstate" (fun () ->
+          List.iter
+            (fun (fd, ino, flags) ->
+              match Shadow.install_fd shadow ~fd ~ino flags with
+              | Ok () -> ()
+              | Error msg -> raise (Recovery_error ("fd reinstatement: " ^ msg)))
+            (Oplog.fd_snapshot t.oplog));
+      (* 4. Constrained mode: replay the recorded window, cross-checking. *)
+      let replayed, skipped, discrepancies =
+        phase "constrained-replay" (fun () ->
+            try run_constrained t shadow entries
+            with Shadow.Violation msg ->
+              raise (Recovery_error ("shadow violation in replay: " ^ msg)))
+      in
+      (* 5. Autonomous mode: the in-flight operation, whose result the
+         application has not seen.  Sync operations are not handled by the
+         shadow — they are delegated to the rebooted base after hand-off. *)
+      let delegated = Op.is_sync inflight in
+      let inflight_outcome =
+        phase "inflight-autonomous" (fun () ->
+            if delegated then Ok Op.Unit
+            else
+              try Shadow.exec shadow inflight
+              with Shadow.Violation msg ->
+                raise (Recovery_error ("shadow violation on in-flight op: " ^ msg)))
+      in
+      (* 6. Hand-off: the base absorbs the shadow's overlay and descriptor
+         table through its own well-tested interfaces, then commits. *)
+      let dirty = Shadow.dirty_blocks shadow in
+      phase "metadata-download" (fun () ->
+          match
+            Base.download_metadata t.base ~blocks:dirty ~fd_table:(Shadow.fd_table shadow)
+              ~time:(Shadow.time shadow)
+          with
+          | Ok () -> ()
+          | Error msg -> raise (Recovery_error ("metadata download: " ^ msg)));
+      (* 7. Resume: prune the log to the recovered state. *)
+      phase "resume" (fun () ->
+          Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+          t.committed_during_op <- false);
+      let report =
+        fail_report None ~replayed ~skipped ~discrepancies ~handoff:(List.length dirty) ~delegated
+      in
+      append report;
+      (* 8. Delegated sync: re-issue on the recovered base. *)
+      if delegated then begin
+        ignore attempt;
+        phase "delegated-sync" (fun () ->
+            try Base.exec t.base inflight with _ -> Error Errno.EIO)
+      end
+      else inflight_outcome
+    with Recovery_error msg ->
+      t.s_failed <- t.s_failed + 1;
+      t.degraded <- Some msg;
+      let report =
+        fail_report (Some msg) ~replayed:0 ~skipped:0 ~discrepancies:[] ~handoff:0 ~delegated:false
+      in
+      append report;
+      Error Errno.EIO
+  in
+  match t.tracer with
+  | Some tr ->
+      Rae_obs.Tracer.instant tr ~cat:"recovery" ("detect:" ^ Report.trigger_to_string trigger);
+      Rae_obs.Tracer.with_span tr ~cat:"recovery" "recovery" go
+  | None -> go ()
 
 (* ---- the execution wrapper ---- *)
 
@@ -272,13 +351,21 @@ let stats t =
     ops = t.s_ops;
     recoveries = t.s_recoveries;
     recoveries_failed = t.s_failed;
-    discrepancies =
-      List.fold_left (fun acc r -> acc + List.length r.Report.r_discrepancies) 0 t.recovery_log;
+    discrepancies = t.s_discrepancies;
     window = Oplog.length t.oplog;
     max_window = Oplog.max_window t.oplog;
     total_recorded = Oplog.total_recorded t.oplog;
     total_discarded = Oplog.total_discarded t.oplog;
   }
+
+let reset_stats t =
+  t.s_ops <- 0;
+  t.s_recoveries <- 0;
+  t.s_failed <- 0;
+  t.s_discrepancies <- 0;
+  Oplog.reset_stats t.oplog;
+  Rae_obs.Metrics.h_reset t.recovery_hist;
+  List.iter (fun (_, h) -> Rae_obs.Metrics.h_reset h) t.ph_hists
 
 let recoveries t = List.rev t.recovery_log
 
@@ -286,3 +373,44 @@ let discrepancies t =
   List.concat_map (fun r -> r.Report.r_discrepancies) (List.rev t.recovery_log)
 
 let last_recovery t = match t.recovery_log with [] -> None | r :: _ -> Some r
+
+let register_obs reg t =
+  let module M = Rae_obs.Metrics in
+  M.register_counter reg ~help:"operations executed through the controller"
+    ~reset:(fun () -> t.s_ops <- 0)
+    "rae_ops_total"
+    (fun () -> t.s_ops);
+  M.register_counter reg ~help:"recoveries attempted"
+    ~reset:(fun () -> t.s_recoveries <- 0)
+    "rae_recoveries_total"
+    (fun () -> t.s_recoveries);
+  M.register_counter reg ~help:"recoveries that degraded to fail-stop"
+    ~reset:(fun () -> t.s_failed <- 0)
+    "rae_recoveries_failed_total"
+    (fun () -> t.s_failed);
+  M.register_counter reg ~help:"base/shadow cross-check mismatches"
+    ~reset:(fun () -> t.s_discrepancies <- 0)
+    "rae_discrepancies_total"
+    (fun () -> t.s_discrepancies);
+  M.register_counter reg ~help:"operations ever recorded in the oplog"
+    ~reset:(fun () -> Oplog.reset_stats t.oplog)
+    "rae_oplog_recorded_total"
+    (fun () -> Oplog.total_recorded t.oplog);
+  M.register_counter reg ~help:"oplog operations discarded at checkpoints" "rae_oplog_discarded_total"
+    (fun () -> Oplog.total_discarded t.oplog);
+  M.register_gauge reg ~help:"currently recorded (volatile) operations" "rae_oplog_window" (fun () ->
+      float_of_int (Oplog.length t.oplog));
+  M.register_gauge reg ~help:"largest oplog window observed" "rae_oplog_max_window" (fun () ->
+      float_of_int (Oplog.max_window t.oplog));
+  M.register_gauge reg ~help:"1 once the controller is in fail-stop mode" "rae_degraded" (fun () ->
+      match t.degraded with Some _ -> 1. | None -> 0.);
+  M.register_histogram reg ~help:"end-to-end recovery latency (ns)" "rae_recovery_ns"
+    t.recovery_hist;
+  List.iter
+    (fun (name, h) ->
+      M.register_histogram reg
+        ~help:(Printf.sprintf "recovery phase %s latency (ns)" name)
+        (Printf.sprintf "rae_phase_%s_ns" (String.map (fun c -> if c = '-' then '_' else c) name))
+        h)
+    t.ph_hists;
+  Base.register_obs reg t.base

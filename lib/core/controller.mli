@@ -63,9 +63,13 @@ type stats = {
 
 type t
 
-val make : ?policy:policy -> device:Rae_block.Device.t -> Rae_basefs.Base.t -> t
+val make :
+  ?policy:policy -> ?tracer:Rae_obs.Tracer.t -> device:Rae_block.Device.t -> Rae_basefs.Base.t -> t
 (** Wrap a mounted base.  The controller registers itself on the base's
-    commit hook to prune the oplog. *)
+    commit hook to prune the oplog.  When [tracer] is given it is also
+    attached to the base (commit/destage/replay spans), and every recovery
+    emits one [recovery] span containing one child span per §3.2 phase
+    plus per-op replay spans. *)
 
 val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
 (** Execute one operation with transparent recovery.  Never raises the
@@ -86,3 +90,18 @@ val discrepancies : t -> Report.discrepancy list
 (** All cross-check mismatches ever observed (the §4.3 testing signal). *)
 
 val last_recovery : t -> Report.recovery option
+
+val reset_stats : t -> unit
+(** Zero the controller's counters and oplog/latency statistics so
+    before/after windows can be compared (parity with
+    {!Rae_block.Blkmq.reset_stats} and the cache stats API).  The recovery
+    log itself — {!recoveries}, {!discrepancies} — is retained. *)
+
+val phase_names : string list
+(** The §3.2 pipeline step names, in order, as they appear in spans,
+    [Report.phase] entries and phase-histogram metric names. *)
+
+val register_obs : Rae_obs.Metrics.t -> t -> unit
+(** Register the whole stack's metrics: the controller's counters and
+    recovery/phase latency histograms ([rae_*]), plus everything
+    {!Rae_basefs.Base.register_obs} registers for the wrapped base. *)

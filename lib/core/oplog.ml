@@ -42,3 +42,8 @@ let fd_snapshot t = t.fds
 let total_recorded t = t.total
 let total_discarded t = t.discarded
 let max_window t = t.max_window
+
+let reset_stats t =
+  t.total <- 0;
+  t.discarded <- 0;
+  t.max_window <- t.window

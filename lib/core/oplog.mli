@@ -39,3 +39,7 @@ val total_discarded : t -> int
 
 val max_window : t -> int
 (** Largest window length observed — bounds worst-case recovery work. *)
+
+val reset_stats : t -> unit
+(** Zero the monotonic counters and re-seat [max_window] at the current
+    window length.  The window itself is untouched. *)

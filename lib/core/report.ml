@@ -13,6 +13,8 @@ type trigger =
 
 type outcome = Recovered | Recovery_failed of string
 
+type phase = { ph_name : string; ph_ns : int64 }
+
 type recovery = {
   r_trigger : trigger;
   r_window : int;
@@ -22,6 +24,7 @@ type recovery = {
   r_handoff_blocks : int;
   r_delegated_sync : bool;
   r_wall_seconds : float;
+  r_phases : phase list;
   r_outcome : outcome;
 }
 
@@ -43,5 +46,11 @@ let pp_recovery ppf r =
     r.r_window r.r_replayed r.r_skipped r.r_handoff_blocks
     (if r.r_delegated_sync then " +delegated fsync" else "")
     r.r_wall_seconds;
+  if r.r_phases <> [] then begin
+    Format.fprintf ppf "@,phases:";
+    List.iter
+      (fun p -> Format.fprintf ppf " %s=%a" p.ph_name Rae_util.Vclock.pp_duration p.ph_ns)
+      r.r_phases
+  end;
   List.iter (fun d -> Format.fprintf ppf "@,discrepancy %a" pp_discrepancy d) r.r_discrepancies;
   Format.fprintf ppf "@]"

@@ -23,6 +23,10 @@ type trigger =
 
 type outcome = Recovered | Recovery_failed of string
 
+type phase = { ph_name : string; ph_ns : int64 }
+(** One timed step of the §3.2 recovery pipeline (combined virtual-clock +
+    CPU nanoseconds). *)
+
 type recovery = {
   r_trigger : trigger;
   r_window : int;  (** recorded operations at the time of the error *)
@@ -32,6 +36,7 @@ type recovery = {
   r_handoff_blocks : int;  (** dirty blocks downloaded into the base *)
   r_delegated_sync : bool;  (** an in-flight fsync was handed back to the base *)
   r_wall_seconds : float;
+  r_phases : phase list;  (** per-phase durations, pipeline order *)
   r_outcome : outcome;
 }
 

@@ -365,3 +365,13 @@ let stats t =
 let pp_stats ppf s =
   Format.fprintf ppf "journal { commits=%d; blocks=%d; escapes=%d; revokes=%d; tail_resets=%d }"
     s.commits s.blocks_logged s.escapes s.revokes s.tail_resets
+
+let register_obs reg ?(prefix = "journal") get =
+  let c name help sample =
+    Rae_obs.Metrics.register_counter reg ~help (prefix ^ "_" ^ name) (fun () -> sample (get ()))
+  in
+  c "commits_total" "transactions committed" (fun t -> t.s_commits);
+  c "blocks_logged_total" "metadata blocks written to the log" (fun t -> t.s_blocks_logged);
+  c "escapes_total" "magic-collision blocks escaped" (fun t -> t.s_escapes);
+  c "revokes_total" "revoke records written" (fun t -> t.s_revokes);
+  c "tail_resets_total" "checkpoints advancing the log tail" (fun t -> t.s_tail_resets)

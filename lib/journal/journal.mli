@@ -73,3 +73,8 @@ val replay : Rae_block.Device.t -> Rae_format.Layout.geometry -> (int, string) r
 
 val stats : t -> stats
 val pp_stats : Format.formatter -> stats -> unit
+
+val register_obs : Rae_obs.Metrics.t -> ?prefix:string -> (unit -> t) -> unit
+(** Register the journal's counters with a metrics registry; the instance is
+    re-read through the getter at each sample.  [prefix] defaults to
+    ["journal"]. *)

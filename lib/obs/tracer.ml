@@ -1,0 +1,218 @@
+type event =
+  | Begin of { name : string; cat : string; ts : int64 }
+  | End of { name : string; ts : int64 }
+  | Instant of { name : string; cat : string; ts : int64 }
+
+type t = {
+  mutable clock : unit -> int64;
+  mutable on : bool;
+  mutable buf : event array;
+  mutable len : int;
+  (* (name, was_recorded): the stack stays balanced across enable/disable
+     toggles — a span opened while disabled must not emit an E on close. *)
+  mutable stack : (string * bool) list;
+  mutable last_ts : int64;
+}
+
+let default_clock () = Int64.of_float (Sys.time () *. 1e9)
+
+let create ?(clock = default_clock) () =
+  { clock; on = false; buf = [||]; len = 0; stack = []; last_ts = 0L }
+
+let set_clock t clock = t.clock <- clock
+let enable t = t.on <- true
+let disable t = t.on <- false
+let enabled t = t.on
+
+(* Timestamps are clamped monotone: combined virtual+CPU clocks can wobble
+   backwards across clock swaps, and trace viewers reject that. *)
+let now t =
+  let ts = t.clock () in
+  if Int64.compare ts t.last_ts > 0 then t.last_ts <- ts;
+  t.last_ts
+
+let push t ev =
+  if t.len = Array.length t.buf then begin
+    let cap = max 64 (2 * t.len) in
+    let buf = Array.make cap ev in
+    Array.blit t.buf 0 buf 0 t.len;
+    t.buf <- buf
+  end;
+  t.buf.(t.len) <- ev;
+  t.len <- t.len + 1
+
+let span_begin t ?(cat = "rae") name =
+  if t.on then begin
+    push t (Begin { name; cat; ts = now t });
+    t.stack <- (name, true) :: t.stack
+  end
+  else t.stack <- (name, false) :: t.stack
+
+let span_end t =
+  match t.stack with
+  | [] -> ()
+  | (name, recorded) :: rest ->
+      t.stack <- rest;
+      if recorded then push t (End { name; ts = now t })
+
+let with_span t ?cat name f =
+  span_begin t ?cat name;
+  Fun.protect ~finally:(fun () -> span_end t) f
+
+let instant t ?(cat = "rae") name = if t.on then push t (Instant { name; cat; ts = now t })
+let depth t = List.length t.stack
+let events t = Array.to_list (Array.sub t.buf 0 t.len)
+
+let clear t =
+  t.buf <- [||];
+  t.len <- 0
+
+(* ---- Chrome trace_event export ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let us_of_ns ns = Int64.to_float ns /. 1000.
+
+let event_line ~ph ~name ~cat ~ts =
+  Printf.sprintf "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":1,\"tid\":1%s}"
+    (json_escape name) (json_escape cat) ph (us_of_ns ts)
+    (if ph = 'i' then ",\"s\":\"t\"" else "")
+
+let to_chrome t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[\n";
+  let first = ref true in
+  let emit line =
+    if !first then first := false else Buffer.add_string b ",\n";
+    Buffer.add_string b line
+  in
+  for i = 0 to t.len - 1 do
+    match t.buf.(i) with
+    | Begin { name; cat; ts } -> emit (event_line ~ph:'B' ~name ~cat ~ts)
+    | End { name; ts } -> emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts)
+    | Instant { name; cat; ts } -> emit (event_line ~ph:'i' ~name ~cat ~ts)
+  done;
+  (* Close anything still open so the trace always balances. *)
+  let ts = now t in
+  List.iter
+    (fun (name, recorded) -> if recorded then emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts))
+    t.stack;
+  Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents b
+
+let write_chrome t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_chrome t))
+
+(* ---- minimal parser / validator ---- *)
+
+type chrome_event = { ph : char; ev_name : string; ts_us : float }
+
+(* Pull the value of a ["key":...] field out of one event line.  Values we
+   care about are either quoted strings or bare numbers; this is only ever
+   pointed at our own writer's output. *)
+let field line key =
+  let pat = "\"" ^ key ^ "\":" in
+  let plen = String.length pat in
+  let llen = String.length line in
+  let rec find i =
+    if i + plen > llen then None
+    else if String.sub line i plen = pat then Some (i + plen)
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> None
+  | Some start ->
+      if start < llen && line.[start] = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec scan j =
+          if j >= llen then None
+          else
+            match line.[j] with
+            | '"' -> Some (Buffer.contents buf)
+            | '\\' when j + 1 < llen ->
+                (match line.[j + 1] with
+                | '"' -> Buffer.add_char buf '"'
+                | '\\' -> Buffer.add_char buf '\\'
+                | 'n' -> Buffer.add_char buf '\n'
+                | c ->
+                    Buffer.add_char buf '\\';
+                    Buffer.add_char buf c);
+                scan (j + 2)
+            | c ->
+                Buffer.add_char buf c;
+                scan (j + 1)
+        in
+        scan (start + 1)
+      end
+      else begin
+        let rec stop j =
+          if j >= llen then j
+          else match line.[j] with ',' | '}' | ']' -> j | _ -> stop (j + 1)
+        in
+        let j = stop start in
+        if j = start then None else Some (String.sub line start (j - start))
+      end
+
+let parse_chrome s =
+  if String.trim s = "" then Error "empty trace file"
+  else
+    let lines = String.split_on_char '\n' s in
+    let rec go acc seen_header = function
+      | [] -> if seen_header then Ok (List.rev acc) else Error "missing traceEvents header"
+      | line :: rest ->
+          let line = String.trim line in
+          let line =
+            (* strip the inter-event separator *)
+            if String.length line > 0 && line.[String.length line - 1] = ',' then
+              String.sub line 0 (String.length line - 1)
+            else line
+          in
+          if line = "" then go acc seen_header rest
+          else if String.length line >= 15 && String.sub line 0 15 = "{\"traceEvents\":" then
+            go acc true rest
+          else if String.length line > 0 && line.[0] = '{' then (
+            match (field line "ph", field line "name", field line "ts") with
+            | Some ph, Some name, Some ts when String.length ph = 1 -> (
+                match float_of_string_opt ts with
+                | Some ts_us -> go ({ ph = ph.[0]; ev_name = name; ts_us } :: acc) seen_header rest
+                | None -> Error (Printf.sprintf "bad ts in event %S" line))
+            | _ -> Error (Printf.sprintf "malformed event %S" line))
+          else if line = "],\"displayTimeUnit\":\"ms\"}" || line = "]}" then
+            go acc seen_header rest
+          else Error (Printf.sprintf "unexpected line %S" line)
+    in
+    go [] false lines
+
+let validate_chrome s =
+  match parse_chrome s with
+  | Error _ as e -> e
+  | Ok evs ->
+      let rec check stack last = function
+        | [] -> if stack = [] then Ok (List.length evs) else Error "unclosed B events"
+        | { ph; ev_name; ts_us } :: rest ->
+            if ts_us < last then Error (Printf.sprintf "non-monotone ts at %S" ev_name)
+            else (
+              match ph with
+              | 'B' -> check (ev_name :: stack) ts_us rest
+              | 'E' -> (
+                  match stack with
+                  | top :: stack' ->
+                      if top = ev_name then check stack' ts_us rest
+                      else Error (Printf.sprintf "E %S does not match open span %S" ev_name top)
+                  | [] -> Error (Printf.sprintf "E %S with no open span" ev_name))
+              | 'i' -> check stack ts_us rest
+              | c -> Error (Printf.sprintf "unknown phase %C" c))
+      in
+      check [] neg_infinity evs

@@ -1,0 +1,76 @@
+(** Span-based tracing for the recovery pipeline.
+
+    A tracer records [B]egin/[E]nd span events and [i]nstant markers against
+    a caller-supplied nanosecond clock (typically the virtual device clock
+    plus CPU time, so spans have both ordering and non-zero extent).  The
+    buffer is a growable array; a disabled tracer records nothing and the
+    instrumentation sites cost one option check — safe to leave compiled
+    into hot paths.
+
+    Events export to the Chrome [trace_event] JSON format, viewable in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+
+type t
+
+type event =
+  | Begin of { name : string; cat : string; ts : int64 }
+  | End of { name : string; ts : int64 }
+  | Instant of { name : string; cat : string; ts : int64 }
+
+val create : ?clock:(unit -> int64) -> unit -> t
+(** [clock] supplies nanosecond timestamps; defaults to CPU time
+    ([Sys.time]).  The tracer starts {e disabled}. *)
+
+val set_clock : t -> (unit -> int64) -> unit
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val now : t -> int64
+(** Read the tracer's clock (works even when disabled). *)
+
+val span_begin : t -> ?cat:string -> string -> unit
+(** Open a span.  Balanced against {!span_end} even across enable/disable
+    toggles: a span opened while disabled records nothing when closed. *)
+
+val span_end : t -> unit
+(** Close the innermost open span.  No-op if none is open. *)
+
+val with_span : t -> ?cat:string -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a span; the span is closed on exception too. *)
+
+val instant : t -> ?cat:string -> string -> unit
+
+val depth : t -> int
+(** Number of currently open spans. *)
+
+val events : t -> event list
+(** Recorded events, oldest first. *)
+
+val clear : t -> unit
+(** Drop recorded events (open-span bookkeeping is kept). *)
+
+(** {1 Chrome trace_event export} *)
+
+val to_chrome : t -> string
+(** Serialise to Chrome [trace_event] JSON ([{"traceEvents":[...]}], one
+    event per line, timestamps in microseconds).  Spans still open at
+    export time are closed at the current clock so the output is always
+    balanced. *)
+
+val write_chrome : t -> string -> unit
+(** [write_chrome t path] writes {!to_chrome} output to [path]. *)
+
+(** {1 Minimal parser / validator} *)
+
+type chrome_event = { ph : char; ev_name : string; ts_us : float }
+
+val parse_chrome : string -> (chrome_event list, string) result
+(** Line-oriented parse of the writer's own output format (not a general
+    JSON parser). *)
+
+val validate_chrome : string -> (int, string) result
+(** Check a Chrome trace for well-formedness: parses, [B]/[E] events
+    balance like brackets, and timestamps are monotone non-decreasing.
+    Returns the event count. *)

@@ -40,11 +40,16 @@ let dir_kind_code = Types.kind_code Types.Directory
 
 (* ---- attach ---- *)
 
-let attach ?(config = default_config) dev =
+let attach ?(config = default_config) ?tracer dev =
   let ov = Overlay.create dev in
   let read blk = Overlay.read ov blk in
   if config.fsck_on_attach then begin
-    let report = Rae_fsck.Fsck.check read in
+    let report =
+      match tracer with
+      | Some tr ->
+          Rae_obs.Tracer.with_span tr ~cat:"recovery" "fsck" (fun () -> Rae_fsck.Fsck.check read)
+      | None -> Rae_fsck.Fsck.check read
+    in
     if not (Rae_fsck.Fsck.clean report) then
       Error
         (Format.asprintf "fsck rejected the image: %a" Rae_fsck.Fsck.pp_finding

@@ -38,10 +38,10 @@ val default_config : config
 
 type t
 
-val attach : ?config:config -> Rae_block.Device.t -> (t, string) result
+val attach : ?config:config -> ?tracer:Rae_obs.Tracer.t -> Rae_block.Device.t -> (t, string) result
 (** Bind to an rfs image.  The device is wrapped read-only.  Validates the
     superblock and both bitmaps (strict); with [fsck_on_attach] the whole
-    image. *)
+    image (emitting an [fsck] span on [tracer] when one is supplied). *)
 
 include Rae_vfs.Fs_intf.S with type t := t
 

@@ -1,0 +1,365 @@
+(* Unit and property tests for rae_obs: histogram quantiles, the metrics
+   registry, span nesting, Chrome-trace export/validation, and the whole
+   stack producing phase-timed recovery reports. *)
+
+open Rae_vfs
+module Metrics = Rae_obs.Metrics
+module Tracer = Rae_obs.Tracer
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Report = Rae_core.Report
+
+let p = Path.parse_exn
+
+(* ---- histograms ---- *)
+
+let samples_gen = QCheck2.Gen.(list_size (int_range 1 400) (int_range 0 1_000_000))
+
+let prop_counts_conserved =
+  QCheck2.Test.make ~name:"histogram conserves sample count" ~count:200 samples_gen (fun xs ->
+      let h = Metrics.histogram () in
+      List.iter (fun x -> Metrics.observe h (Int64.of_int x)) xs;
+      Metrics.h_count h = List.length xs)
+
+let prop_quantiles_ordered =
+  QCheck2.Test.make ~name:"p50 <= p90 <= p99 <= max" ~count:200 samples_gen (fun xs ->
+      let h = Metrics.histogram () in
+      List.iter (fun x -> Metrics.observe h (Int64.of_int x)) xs;
+      let q50 = Metrics.quantile h 0.5
+      and q90 = Metrics.quantile h 0.9
+      and q99 = Metrics.quantile h 0.99 in
+      q50 <= q90 && q90 <= q99 && Metrics.quantile h 0.0 <= q50)
+
+let prop_quantile_monotone_in_q =
+  QCheck2.Test.make ~name:"quantile monotone in q" ~count:200
+    QCheck2.Gen.(pair samples_gen (list_size (int_range 2 20) (float_range 0. 1.)))
+    (fun (xs, qs) ->
+      let h = Metrics.histogram () in
+      List.iter (fun x -> Metrics.observe h (Int64.of_int x)) xs;
+      let qs = List.sort compare qs in
+      let vs = List.map (Metrics.quantile h) qs in
+      let rec mono = function a :: (b :: _ as rest) -> a <= b && mono rest | _ -> true in
+      mono vs)
+
+let prop_quantile_bracketed =
+  QCheck2.Test.make ~name:"quantile stays within [min-bucket, 2*max]" ~count:200 samples_gen
+    (fun xs ->
+      let h = Metrics.histogram () in
+      List.iter (fun x -> Metrics.observe h (Int64.of_int x)) xs;
+      let q = Metrics.quantile h 0.99 in
+      q >= 0. && q <= Float.max 2. (2. *. Metrics.h_max h))
+
+let test_histogram_basics () =
+  let h = Metrics.histogram () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Metrics.quantile h 0.5);
+  Metrics.observe h 100L;
+  Metrics.observe h (-5L) (* clamped to 0 *);
+  Alcotest.(check int) "count" 2 (Metrics.h_count h);
+  Alcotest.(check (float 0.)) "sum counts clamped negative as 0" 100. (Metrics.h_sum h);
+  Alcotest.(check (float 0.)) "max" 100. (Metrics.h_max h);
+  Metrics.h_reset h;
+  Alcotest.(check int) "reset count" 0 (Metrics.h_count h);
+  Alcotest.(check (float 0.)) "reset max" 0. (Metrics.h_max h)
+
+(* ---- registry ---- *)
+
+let test_registry_snapshot_reset () =
+  let reg = Metrics.create () in
+  let n = ref 7 in
+  Metrics.register_counter reg ~help:"test" ~reset:(fun () -> n := 0) "acme_ops" (fun () -> !n);
+  Metrics.register_gauge reg "acme_depth" (fun () -> 2.5);
+  let h = Metrics.histogram () in
+  Metrics.observe h 1000L;
+  Metrics.register_histogram reg "acme_lat" h;
+  (match Metrics.find reg "acme_ops" with
+  | Some (Metrics.Counter 7) -> ()
+  | _ -> Alcotest.fail "counter sample");
+  Alcotest.(check (list string)) "names sorted"
+    [ "acme_depth"; "acme_lat"; "acme_ops" ]
+    (Metrics.names reg);
+  Alcotest.(check int) "snapshot size" 3 (List.length (Metrics.snapshot reg));
+  (* Re-registering a name replaces the metric. *)
+  Metrics.register_gauge reg "acme_depth" (fun () -> 9.);
+  (match Metrics.find reg "acme_depth" with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.)) "replaced" 9. g
+  | _ -> Alcotest.fail "gauge sample");
+  Metrics.reset reg;
+  (match Metrics.find reg "acme_ops" with
+  | Some (Metrics.Counter 0) -> ()
+  | _ -> Alcotest.fail "reset hook ran");
+  match Metrics.find reg "acme_lat" with
+  | Some (Metrics.Histo { count = 0; _ }) -> ()
+  | _ -> Alcotest.fail "histogram cleared by registry reset"
+
+let test_prometheus_export () =
+  let reg = Metrics.create () in
+  Metrics.register_counter reg ~help:"ops so far" "x_total" (fun () -> 3);
+  let h = Metrics.histogram () in
+  Metrics.observe h 512L;
+  Metrics.register_histogram reg "lat.ns" h;
+  let text = Metrics.to_prometheus reg in
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter line" true (contains "x_total 3");
+  Alcotest.(check bool) "TYPE line" true (contains "# TYPE x_total counter");
+  Alcotest.(check bool) "HELP line" true (contains "# HELP x_total ops so far");
+  Alcotest.(check bool) "name sanitised" true (contains "lat_ns");
+  Alcotest.(check bool) "summary count" true (contains "lat_ns_count 1");
+  Alcotest.(check bool) "quantile label" true (contains "{quantile=\"0.5\"}")
+
+(* ---- span nesting ---- *)
+
+(* Random begin/end sequences, with enable/disable toggles thrown in: the
+   recorded event stream must stay balanced regardless. *)
+let prop_span_nesting =
+  QCheck2.Test.make ~name:"random begin/end/toggle keeps trace balanced" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 200) (int_range 0 3))
+    (fun actions ->
+      let t = Tracer.create () in
+      Tracer.enable t;
+      List.iter
+        (fun a ->
+          match a with
+          | 0 -> Tracer.span_begin t "s"
+          | 1 -> Tracer.span_end t
+          | 2 -> Tracer.instant t "i"
+          | _ -> if Tracer.enabled t then Tracer.disable t else Tracer.enable t)
+        actions;
+      Tracer.depth t >= 0
+      &&
+      match Tracer.validate_chrome (Tracer.to_chrome t) with Ok _ -> true | Error _ -> false)
+
+let test_span_basics () =
+  let now = ref 0L in
+  let t = Tracer.create ~clock:(fun () -> !now) () in
+  Tracer.enable t;
+  Tracer.span_begin t "outer";
+  now := 10L;
+  Tracer.span_begin t ~cat:"x" "inner";
+  now := 20L;
+  Alcotest.(check int) "depth" 2 (Tracer.depth t);
+  Tracer.span_end t;
+  Tracer.span_end t;
+  Tracer.span_end t (* unbalanced end: no-op *);
+  Alcotest.(check int) "depth back to 0" 0 (Tracer.depth t);
+  match Tracer.events t with
+  | [ Tracer.Begin { name = "outer"; _ }; Tracer.Begin { name = "inner"; cat = "x"; _ };
+      Tracer.End { name = "inner"; _ }; Tracer.End { name = "outer"; _ } ] ->
+      ()
+  | evs -> Alcotest.failf "unexpected event stream (%d events)" (List.length evs)
+
+let test_disabled_tracer_records_nothing () =
+  let t = Tracer.create () in
+  Tracer.span_begin t "quiet";
+  Tracer.instant t "never";
+  Tracer.span_end t;
+  Alcotest.(check int) "no events" 0 (List.length (Tracer.events t));
+  (* A span opened while disabled must not emit a dangling E once enabled. *)
+  Tracer.span_begin t "pre";
+  Tracer.enable t;
+  Tracer.span_end t;
+  Alcotest.(check int) "still no events" 0 (List.length (Tracer.events t))
+
+let test_monotone_clamp () =
+  let now = ref 100L in
+  let t = Tracer.create ~clock:(fun () -> !now) () in
+  Tracer.enable t;
+  Tracer.instant t "a";
+  now := 50L (* clock goes backwards *);
+  Tracer.instant t "b";
+  match Tracer.events t with
+  | [ Tracer.Instant { ts = a; _ }; Tracer.Instant { ts = b; _ } ] ->
+      Alcotest.(check bool) "clamped monotone" true (Int64.compare b a >= 0)
+  | _ -> Alcotest.fail "expected two instants"
+
+(* ---- Chrome trace round-trip ---- *)
+
+let test_chrome_roundtrip () =
+  let now = ref 0L in
+  let t = Tracer.create ~clock:(fun () -> !now) () in
+  Tracer.enable t;
+  Tracer.instant t "start";
+  Tracer.span_begin t "a";
+  now := 1500L;
+  Tracer.span_begin t "b \"quoted\"";
+  now := 2000L;
+  Tracer.span_end t;
+  Tracer.span_end t;
+  let s = Tracer.to_chrome t in
+  (match Tracer.validate_chrome s with
+  | Ok n -> Alcotest.(check int) "event count" 5 n
+  | Error msg -> Alcotest.failf "expected valid trace: %s" msg);
+  match Tracer.parse_chrome s with
+  | Ok evs ->
+      Alcotest.(check int) "parsed all" 5 (List.length evs);
+      let names = List.map (fun e -> e.Tracer.ev_name) evs in
+      Alcotest.(check bool) "escaped name round-trips" true (List.mem "b \"quoted\"" names)
+  | Error msg -> Alcotest.failf "parse: %s" msg
+
+let test_chrome_open_spans_closed_at_export () =
+  let t = Tracer.create () in
+  Tracer.enable t;
+  Tracer.span_begin t "left-open";
+  match Tracer.validate_chrome (Tracer.to_chrome t) with
+  | Ok 2 -> ()
+  | Ok n -> Alcotest.failf "expected synthetic close (2 events), got %d" n
+  | Error msg -> Alcotest.failf "expected valid trace: %s" msg
+
+let test_chrome_rejects_malformed () =
+  let bad input =
+    match Tracer.validate_chrome input with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "garbage" true (bad "hello\nworld");
+  (* Unbalanced: an E with no matching B. *)
+  let unbalanced =
+    "{\"traceEvents\":[\n{\"name\":\"x\",\"cat\":\"c\",\"ph\":\"E\",\"ts\":1.0,\"pid\":1,\"tid\":1}\n\
+     ],\"displayTimeUnit\":\"ms\"}\n"
+  in
+  Alcotest.(check bool) "unbalanced" true (bad unbalanced);
+  (* Non-monotone timestamps. *)
+  let backwards =
+    "{\"traceEvents\":[\n\
+     {\"name\":\"x\",\"cat\":\"c\",\"ph\":\"B\",\"ts\":5.0,\"pid\":1,\"tid\":1},\n\
+     {\"name\":\"x\",\"cat\":\"c\",\"ph\":\"E\",\"ts\":1.0,\"pid\":1,\"tid\":1}\n\
+     ],\"displayTimeUnit\":\"ms\"}\n"
+  in
+  Alcotest.(check bool) "non-monotone" true (bad backwards)
+
+(* ---- the full stack: recovery emits spans and phase timings ---- *)
+
+let armed_panic () =
+  Bug_registry.arm
+    [
+      {
+        Bug_registry.id = "test-panic";
+        determinism = Bug_registry.Deterministic;
+        trigger = Bug_registry.Path_component "boom";
+        consequence = Bug_registry.Panic;
+        modeled_after = "test";
+      };
+    ]
+
+let mk_stack () =
+  let disk =
+    Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
+      ~block_size:Rae_format.Layout.block_size ~nblocks:4096 ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  Result.get_ok (Base.mkfs dev ~ninodes:256 ());
+  let base = Result.get_ok (Base.mount ~bugs:(armed_panic ()) dev) in
+  let tracer = Tracer.create () in
+  Tracer.enable tracer;
+  let ctl = Controller.make ~tracer ~device:dev base in
+  (ctl, tracer)
+
+let test_recovery_phases_and_spans () =
+  let ctl, tracer = mk_stack () in
+  ignore (Controller.create ctl (p "/a") ~mode:0o644);
+  ignore (Controller.mkdir ctl (p "/d") ~mode:0o755);
+  ignore (Controller.create ctl (p "/boom") ~mode:0o644);
+  let r =
+    match Controller.last_recovery ctl with
+    | Some r -> r
+    | None -> Alcotest.fail "expected a recovery"
+  in
+  Alcotest.(check bool) "recovered" true (r.Report.r_outcome = Report.Recovered);
+  let phase_names = List.map (fun ph -> ph.Report.ph_name) r.Report.r_phases in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " timed") true (List.mem expected phase_names))
+    [
+      "contained-reboot"; "shadow-attach"; "fd-reinstate"; "constrained-replay";
+      "inflight-autonomous"; "metadata-download"; "resume";
+    ];
+  List.iter
+    (fun ph ->
+      Alcotest.(check bool) (ph.Report.ph_name ^ " non-negative") true (ph.Report.ph_ns >= 0L))
+    r.Report.r_phases;
+  (* The rendered report mentions the phases. *)
+  let s = Format.asprintf "%a" Report.pp_recovery r in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "report prints phases" true (contains "constrained-replay");
+  (* And the trace exports balanced with the recovery span present. *)
+  (match Tracer.validate_chrome (Tracer.to_chrome tracer) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "trace invalid after recovery: %s" msg);
+  Alcotest.(check bool) "recovery span" true
+    (List.exists
+       (function Tracer.Begin { name = "recovery"; _ } -> true | _ -> false)
+       (Tracer.events tracer))
+
+let test_register_obs_and_reset () =
+  let ctl, _ = mk_stack () in
+  let reg = Metrics.create () in
+  Controller.register_obs reg ctl;
+  ignore (Controller.create ctl (p "/a") ~mode:0o644);
+  ignore (Controller.create ctl (p "/boom") ~mode:0o644);
+  (match Metrics.find reg "rae_recoveries_total" with
+  | Some (Metrics.Counter 1) -> ()
+  | Some (Metrics.Counter n) -> Alcotest.failf "expected 1 recovery, sampled %d" n
+  | _ -> Alcotest.fail "rae_recoveries_total missing");
+  (match Metrics.find reg "rae_recovery_ns" with
+  | Some (Metrics.Histo { count = 1; _ }) -> ()
+  | _ -> Alcotest.fail "recovery latency histogram not fed");
+  (match Metrics.find reg "base_ops_total" with
+  | Some (Metrics.Counter n) when n > 0 -> ()
+  | _ -> Alcotest.fail "base metrics not registered");
+  (* Controller.reset_stats zeroes counters but keeps the recovery log. *)
+  Controller.reset_stats ctl;
+  let s = Controller.stats ctl in
+  Alcotest.(check int) "ops reset" 0 s.Controller.ops;
+  Alcotest.(check int) "recoveries reset" 0 s.Controller.recoveries;
+  Alcotest.(check int) "recorded reset" 0 s.Controller.total_recorded;
+  Alcotest.(check int) "log kept" 1 (List.length (Controller.recoveries ctl));
+  (* Metrics.reset drives the same hooks through the registry. *)
+  ignore (Controller.create ctl (p "/b") ~mode:0o644);
+  Metrics.reset reg;
+  match Metrics.find reg "rae_ops_total" with
+  | Some (Metrics.Counter 0) -> ()
+  | _ -> Alcotest.fail "registry reset did not zero controller counters"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "rae_obs"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          q prop_counts_conserved;
+          q prop_quantiles_ordered;
+          q prop_quantile_monotone_in_q;
+          q prop_quantile_bracketed;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "snapshot/reset/replace" `Quick test_registry_snapshot_reset;
+          Alcotest.test_case "prometheus" `Quick test_prometheus_export;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "span basics" `Quick test_span_basics;
+          Alcotest.test_case "disabled records nothing" `Quick test_disabled_tracer_records_nothing;
+          Alcotest.test_case "monotone clamp" `Quick test_monotone_clamp;
+          q prop_span_nesting;
+        ] );
+      ( "chrome",
+        [
+          Alcotest.test_case "round-trip" `Quick test_chrome_roundtrip;
+          Alcotest.test_case "open spans closed" `Quick test_chrome_open_spans_closed_at_export;
+          Alcotest.test_case "rejects malformed" `Quick test_chrome_rejects_malformed;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "recovery phases + spans" `Quick test_recovery_phases_and_spans;
+          Alcotest.test_case "register_obs + reset_stats" `Quick test_register_obs_and_reset;
+        ] );
+    ]

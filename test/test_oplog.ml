@@ -70,6 +70,7 @@ let test_report_rendering () =
       r_handoff_blocks = 3;
       r_delegated_sync = true;
       r_wall_seconds = 0.012;
+      r_phases = [ { Report.ph_name = "contained-reboot"; ph_ns = 1_500_000L } ];
       r_outcome = Report.Recovered;
     }
   in
@@ -83,6 +84,7 @@ let test_report_rendering () =
   Alcotest.(check bool) "mentions window" true (contains "window=10");
   Alcotest.(check bool) "mentions delegation" true (contains "delegated");
   Alcotest.(check bool) "mentions discrepancy" true (contains "discrepancy");
+  Alcotest.(check bool) "mentions phase" true (contains "contained-reboot");
   List.iter
     (fun trigger ->
       Alcotest.(check bool) "trigger_to_string nonempty" true
