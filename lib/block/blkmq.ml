@@ -1,9 +1,8 @@
 type rkind = Read | Write of bytes
 
 type req = {
-  id : int;
   block : int;
-  mutable kind : rkind;
+  kind : rkind;
   mutable state : [ `Queued | `Done of bytes option | `Failed of string | `Merged ];
 }
 
@@ -19,7 +18,6 @@ type t = {
   dev : Device.t;
   queues : req Queue.t array;
   batch : int;
-  mutable next_id : int;
   mutable next_queue : int;
   mutable s_submitted : int;
   mutable s_completed : int;
@@ -35,7 +33,6 @@ let create ?(nr_queues = 4) ?(batch = 32) dev =
     dev;
     queues = Array.init nr_queues (fun _ -> Queue.create ());
     batch;
-    next_id = 0;
     next_queue = 0;
     s_submitted = 0;
     s_completed = 0;
@@ -70,14 +67,12 @@ let enqueue t req =
   t.s_maxdepth <- max t.s_maxdepth (depth t)
 
 let submit_read t block =
-  let req = { id = t.next_id; block; kind = Read; state = `Queued } in
-  t.next_id <- t.next_id + 1;
+  let req = { block; kind = Read; state = `Queued } in
   enqueue t req;
   req
 
 let submit_write t block data =
-  let req = { id = t.next_id; block; kind = Write (Bytes.copy data); state = `Queued } in
-  t.next_id <- t.next_id + 1;
+  let req = { block; kind = Write (Bytes.copy data); state = `Queued } in
   enqueue t req;
   req
 

@@ -1,7 +1,7 @@
 module Make (K : Lru.KEY) = struct
   module H = Hashtbl.Make (K)
 
-  type 'v entry = { mutable value : 'v; mutable pinned : bool; mutable where : [ `A1in | `Am ] }
+  type 'v entry = { mutable value : 'v; mutable pinned : bool; where : [ `A1in | `Am ] }
 
   type 'v t = {
     table : 'v entry H.t;

@@ -247,8 +247,12 @@ let recover t ~trigger ~inflight ~attempt =
       (* 8. Delegated sync: re-issue on the recovered base. *)
       if delegated then begin
         ignore attempt;
+        (* Catch only genuine device failures; detector signals (Base_bug,
+           Hang, Validation_failed) must propagate so a second fault during
+           the delegated replay is not silently degraded to EIO. *)
         phase "delegated-sync" (fun () ->
-            try Base.exec t.base inflight with _ -> Error Errno.EIO)
+            try Base.exec t.base inflight
+            with Rae_block.Device.Io_error _ -> Error Errno.EIO)
       end
       else inflight_outcome
     with Recovery_error msg ->

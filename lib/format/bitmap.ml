@@ -154,10 +154,12 @@ let to_blocks t ~block_size =
   let used_bits = ((t.nbits - 1) mod 8) + 1 in
   if used_bits < 8 then begin
     let bi = last_byte / block_size and off = last_byte mod block_size in
-    let block = List.nth out bi in
-    let v = Char.code (Bytes.get block off) in
-    let mask_high = lnot ((1 lsl used_bits) - 1) land 0xFF in
-    Bytes.set block off (Char.chr (v lor mask_high))
+    match List.nth_opt out bi with
+    | None -> ()
+    | Some block ->
+        let v = Char.code (Bytes.get block off) in
+        let mask_high = lnot ((1 lsl used_bits) - 1) land 0xFF in
+        Bytes.set block off (Char.chr (v lor mask_high))
   end;
   out
 

@@ -152,8 +152,8 @@ let repair dev =
               (* 2. nlink corrections for surviving non-directories. *)
               Hashtbl.iter
                 (fun ino inode ->
-                  if inode.Inode.kind <> Types.Directory && Hashtbl.mem c.refs ino then begin
-                    let observed = Hashtbl.find c.refs ino in
+                  match Hashtbl.find_opt c.refs ino with
+                  | Some observed when inode.Inode.kind <> Types.Directory ->
                     if observed > 0 && observed <> inode.Inode.nlink then begin
                       let blk, pos = Layout.inode_location g ino in
                       let b = Device.read dev blk in
@@ -161,7 +161,7 @@ let repair dev =
                       Device.write dev blk b;
                       note (Fixed_nlink { ino; was = inode.Inode.nlink; now = observed })
                     end
-                  end)
+                  | _ -> ())
                 c.table;
               (* 3. Leaked blocks: recompute references post-release. *)
               let referenced = Hashtbl.create 256 in
@@ -206,5 +206,7 @@ let repair dev =
               if Fsck.clean post then Ok (List.rev !actions)
               else
                 Error
-                  (Format.asprintf "repairs applied but errors remain: %a" Fsck.pp_finding
-                     (List.hd (Fsck.errors post)))))
+                  (match Fsck.errors post with
+                  | [] -> "repairs applied but errors remain"
+                  | f :: _ ->
+                      Format.asprintf "repairs applied but errors remain: %a" Fsck.pp_finding f)))

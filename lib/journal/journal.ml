@@ -39,7 +39,6 @@ type t = {
    dedup are O(1) instead of the O(n) list filter/membership walks the
    write path used to pay per buffered block. *)
 type txn = {
-  owner : t;
   mutable w_slots : (int * bytes) array;  (* (home, image), first-write order *)
   mutable w_len : int;
   w_index : (int, int) Hashtbl.t;  (* home block -> slot in w_slots *)
@@ -167,8 +166,8 @@ let attach dev geo =
   | None -> Error "journal superblock unreadable (not formatted or corrupt)"
 
 let begin_txn t =
+  ignore t;
   {
-    owner = t;
     w_slots = [||];
     w_len = 0;
     w_index = Hashtbl.create 32;
@@ -342,8 +341,8 @@ let replay dev geo =
         Device.flush dev;
         (match txns with
         | [] -> ()
-        | _ ->
-            let last = List.nth txns (List.length txns - 1) in
+        | first :: rest ->
+            let last = List.fold_left (fun _ txn -> txn) first rest in
             let consumed =
               List.fold_left (fun acc txn -> acc + List.length txn.r_writes + 2) 0 txns
             in

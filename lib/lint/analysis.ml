@@ -1,0 +1,315 @@
+(* One pass over a unit's typed AST (Tast_iterator) collecting everything
+   the rules consume:
+
+   - a def-level reference graph (value definition -> referenced global
+     values), with the extension constructors each definition builds —
+     the raw material for reachability (shadow-purity) and may-raise
+     (no-swallow) analyses;
+   - try/match-exception sites, with catch-all classification and the
+     references made inside the guarded body;
+   - every dotted value identifier, with the instantiated first-argument
+     type when the identifier is used at an arrow type (poly-compare and
+     partial-call rules).
+
+   Names are normalized as in [Cmt_load]: local module aliases
+   ([module Device = Rae_block.Device]) are substituted at the path head,
+   and unqualified locals are prefixed with their unit name. *)
+
+type loc = { l_file : string; l_line : int }
+
+let loc_of (l : Location.t) =
+  { l_file = l.Location.loc_start.Lexing.pos_fname; l_line = l.Location.loc_start.Lexing.pos_lnum }
+
+type def = {
+  d_name : string;
+  d_loc : loc;
+  mutable d_refs : (string * loc) list;  (* newest first *)
+  mutable d_raises : string list;
+}
+
+type try_site = {
+  t_unit : string;
+  t_loc : loc;
+  t_catchall : bool;  (* has a wildcard/var handler that does not re-raise *)
+  t_handles_notfound : bool;
+  t_body_refs : (string * loc) list;
+  t_body_raises : string list;
+  t_body_first_line : int;
+  t_body_last_line : int;
+}
+
+type ident_hit = {
+  h_path : string;  (* normalized, e.g. "Stdlib.List.hd" *)
+  h_loc : loc;
+  h_arg_type : string option;  (* normalized head constructor of the first argument *)
+}
+
+type unit_analysis = {
+  a_unit : string;
+  a_source : string;
+  a_defs : def list;
+  a_tries : try_site list;
+  a_idents : ident_hit list;
+}
+
+(* ---- path normalization ---- *)
+
+let resolve_path ~aliases ~unit p =
+  let name = Path.name p in
+  let head = Path.head p in
+  if Ident.global head then Cmt_load.normalize name
+  else
+    let hname = Ident.name head in
+    let rest = String.sub name (String.length hname) (String.length name - String.length hname) in
+    match Hashtbl.find_opt aliases hname with
+    | Some target -> Cmt_load.normalize (target ^ rest)
+    | None -> Cmt_load.normalize (unit ^ "." ^ name)
+
+(* ---- pattern helpers ---- *)
+
+let rec pattern_is_catchall : Typedtree.pattern -> bool =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> true
+  | Typedtree.Tpat_alias (p, _, _) -> pattern_is_catchall p
+  | Typedtree.Tpat_or (a, b, _) -> pattern_is_catchall a || pattern_is_catchall b
+  | _ -> false
+
+let rec pattern_bound_var : Typedtree.pattern -> string option =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_var (id, _) -> Some (Ident.name id)
+  | Typedtree.Tpat_alias (p, id, _) -> (
+      match pattern_bound_var p with Some v -> Some v | None -> Some (Ident.name id))
+  | _ -> None
+
+let rec pattern_matches_ctor name : Typedtree.pattern -> bool =
+ fun p ->
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_construct (_, cd, _, _) -> String.equal cd.Types.cstr_name name
+  | Typedtree.Tpat_alias (p, _, _) -> pattern_matches_ctor name p
+  | Typedtree.Tpat_or (a, b, _) -> pattern_matches_ctor name a || pattern_matches_ctor name b
+  | _ -> false
+
+(* Does [e] re-raise the exception bound to [var]?  Recognizes
+   [raise var] / [raise_notrace var] anywhere in the handler body. *)
+let reraises var e =
+  let found = ref false in
+  let expr sub (e : Typedtree.expression) =
+    (match e.Typedtree.exp_desc with
+    | Typedtree.Texp_apply ({ exp_desc = Typedtree.Texp_ident (p, _, _); _ }, args) -> (
+        match Path.name p with
+        | "Stdlib.raise" | "Stdlib.raise_notrace" -> (
+            match args with
+            | (_, Some { Typedtree.exp_desc = Typedtree.Texp_ident (Path.Pident id, _, _); _ }) :: _
+              when String.equal (Ident.name id) var ->
+                found := true
+            | _ -> ())
+        | _ -> ())
+    | _ -> ());
+    Tast_iterator.default_iterator.expr sub e
+  in
+  let it = { Tast_iterator.default_iterator with expr } in
+  it.expr it e;
+  !found
+
+(* ---- instantiated first-argument type of an identifier use ---- *)
+
+let first_arg_type ~aliases ~unit ty =
+  match Types.get_desc ty with
+  | Types.Tarrow (_, t1, _, _) -> (
+      match Types.get_desc t1 with
+      | Types.Tconstr (p, _, _) -> Some (resolve_path ~aliases ~unit p)
+      | _ -> None)
+  | _ -> None
+
+(* ---- the walk ---- *)
+
+let analyze_unit ~unit ~source (str : Typedtree.structure) =
+  let aliases : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  let defs : (string, def) Hashtbl.t = Hashtbl.create 64 in
+  let def_order = ref [] in
+  let tries = ref [] in
+  let idents = ref [] in
+  let get_def name loc =
+    match Hashtbl.find_opt defs name with
+    | Some d -> d
+    | None ->
+        let d = { d_name = name; d_loc = loc; d_refs = []; d_raises = [] } in
+        Hashtbl.replace defs name d;
+        def_order := d :: !def_order;
+        d
+  in
+  let init = get_def (unit ^ ".%init") { l_file = source; l_line = 1 } in
+  let current = ref init in
+  let with_def d f =
+    let saved = !current in
+    current := d;
+    f ();
+    current := saved
+  in
+  (* Slice the refs/raises a sub-walk of the current def added. *)
+  let slice f =
+    let d = !current in
+    let refs0 = d.d_refs and raises0 = d.d_raises in
+    let n_refs = List.length refs0 and n_raises = List.length raises0 in
+    f ();
+    let take n l =
+      let rec go acc n l = if n <= 0 then List.rev acc else
+        match l with [] -> List.rev acc | x :: tl -> go (x :: acc) (n - 1) tl
+      in
+      go [] n l
+    in
+    let new_refs = take (List.length d.d_refs - n_refs) d.d_refs in
+    let new_raises = take (List.length d.d_raises - n_raises) d.d_raises in
+    (new_refs, new_raises)
+  in
+  let record_try ~loc ~body_loc ~body_refs ~body_raises ~catchall ~notfound =
+    tries :=
+      {
+        t_unit = unit;
+        t_loc = loc;
+        t_catchall = catchall;
+        t_handles_notfound = notfound;
+        t_body_refs = body_refs;
+        t_body_raises = body_raises;
+        t_body_first_line = body_loc.Location.loc_start.Lexing.pos_lnum;
+        t_body_last_line = body_loc.Location.loc_end.Lexing.pos_lnum;
+      }
+      :: !tries
+  in
+  (* Classify a list of exception-handler (value) cases. *)
+  let classify_handlers cases =
+    let catchall =
+      List.exists
+        (fun (pat, rhs) ->
+          pattern_is_catchall pat
+          && not (match pattern_bound_var pat with Some v -> reraises v rhs | None -> false))
+        cases
+    in
+    let notfound =
+      catchall || List.exists (fun (pat, _) -> pattern_matches_ctor "Not_found" pat) cases
+    in
+    (catchall, notfound)
+  in
+  let expr sub (e : Typedtree.expression) =
+    match e.Typedtree.exp_desc with
+    | Typedtree.Texp_ident (p, _, _) ->
+        let name = resolve_path ~aliases ~unit p in
+        let loc = loc_of e.Typedtree.exp_loc in
+        let d = !current in
+        d.d_refs <- (name, loc) :: d.d_refs;
+        if String.contains name '.' then
+          idents :=
+            { h_path = name; h_loc = loc; h_arg_type = first_arg_type ~aliases ~unit e.Typedtree.exp_type }
+            :: !idents
+    | Typedtree.Texp_construct (_, cd, _) -> (
+        (match cd.Types.cstr_tag with
+        | Types.Cstr_extension (p, _) ->
+            let d = !current in
+            d.d_raises <- resolve_path ~aliases ~unit p :: d.d_raises
+        | _ -> ());
+        Tast_iterator.default_iterator.expr sub e)
+    | Typedtree.Texp_try (body, cases) ->
+        let body_refs, body_raises = slice (fun () -> sub.Tast_iterator.expr sub body) in
+        let handlers = List.map (fun c -> (c.Typedtree.c_lhs, c.Typedtree.c_rhs)) cases in
+        let catchall, notfound = classify_handlers handlers in
+        if catchall || notfound then
+          record_try ~loc:(loc_of e.Typedtree.exp_loc) ~body_loc:body.Typedtree.exp_loc ~body_refs
+            ~body_raises ~catchall ~notfound;
+        List.iter (fun c -> sub.Tast_iterator.case sub c) cases
+    | Typedtree.Texp_match (scrut, cases, _) ->
+        let body_refs, body_raises = slice (fun () -> sub.Tast_iterator.expr sub scrut) in
+        let handlers =
+          List.filter_map
+            (fun c ->
+              match Typedtree.split_pattern c.Typedtree.c_lhs with
+              | _, Some exn_pat -> Some (exn_pat, c.Typedtree.c_rhs)
+              | _, None -> None)
+            cases
+        in
+        (if handlers <> [] then
+           let catchall, notfound = classify_handlers handlers in
+           if catchall || notfound then
+             record_try ~loc:(loc_of e.Typedtree.exp_loc) ~body_loc:scrut.Typedtree.exp_loc
+               ~body_refs ~body_raises ~catchall ~notfound);
+        List.iter (fun c -> sub.Tast_iterator.case sub c) cases
+    | _ -> Tast_iterator.default_iterator.expr sub e
+  in
+  let structure_item sub (si : Typedtree.structure_item) =
+    match si.Typedtree.str_desc with
+    | Typedtree.Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            let loc = loc_of vb.Typedtree.vb_pat.Typedtree.pat_loc in
+            let name =
+              match pattern_bound_var vb.Typedtree.vb_pat with Some v -> v | None -> "%init"
+            in
+            let d = get_def (unit ^ "." ^ name) loc in
+            with_def d (fun () -> sub.Tast_iterator.expr sub vb.Typedtree.vb_expr))
+          vbs
+    | Typedtree.Tstr_module mb ->
+        (match (mb.Typedtree.mb_id, mb.Typedtree.mb_expr.Typedtree.mod_desc) with
+        | Some id, Typedtree.Tmod_ident (p, _) ->
+            Hashtbl.replace aliases (Ident.name id) (resolve_path ~aliases ~unit p)
+        | _ -> ());
+        Tast_iterator.default_iterator.structure_item sub si
+    | _ -> Tast_iterator.default_iterator.structure_item sub si
+  in
+  let it = { Tast_iterator.default_iterator with expr; structure_item } in
+  it.structure it str;
+  {
+    a_unit = unit;
+    a_source = source;
+    a_defs = List.rev !def_order;
+    a_tries = List.rev !tries;
+    a_idents = List.rev !idents;
+  }
+
+(* ---- cross-unit graph ---- *)
+
+type graph = { nodes : (string, def) Hashtbl.t }
+
+let build_graph analyses =
+  let nodes = Hashtbl.create 1024 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun d ->
+          match Hashtbl.find_opt nodes d.d_name with
+          | None -> Hashtbl.replace nodes d.d_name d
+          | Some existing ->
+              (* Same name from another unit's walk (merged module paths):
+                 union the edges. *)
+              existing.d_refs <- d.d_refs @ existing.d_refs;
+              existing.d_raises <- d.d_raises @ existing.d_raises)
+        a.a_defs)
+    analyses;
+  { nodes }
+
+(* Transitive may-raise set of a node, memoized; cycles contribute their
+   directly-recorded raises. *)
+let may_raise graph =
+  let memo : (string, string list) Hashtbl.t = Hashtbl.create 256 in
+  let in_progress : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let rec go name =
+    match Hashtbl.find_opt memo name with
+    | Some r -> r
+    | None ->
+        if Hashtbl.mem in_progress name then []
+        else (
+          Hashtbl.replace in_progress name ();
+          let result =
+            match Hashtbl.find_opt graph.nodes name with
+            | None -> []
+            | Some d ->
+                List.fold_left
+                  (fun acc (r, _) -> List.rev_append (go r) acc)
+                  d.d_raises d.d_refs
+          in
+          Hashtbl.remove in_progress name;
+          let result = List.sort_uniq String.compare result in
+          Hashtbl.replace memo name result;
+          result)
+  in
+  go

@@ -1,0 +1,81 @@
+(* Checked-in suppression baseline.  One entry per line:
+
+     rule<TAB>file<TAB>key
+
+   '#' starts a comment.  A finding is suppressed when an entry matches
+   its (rule, file, key) triple — the key is content-derived (the
+   offending symbol, sink, or import), so entries survive line drift.
+   Unused entries are reported so the baseline can only shrink. *)
+
+type entry = { e_rule : string; e_file : string; e_key : string }
+
+type t = entry list
+
+let empty : t = []
+
+let entry_to_line e = Printf.sprintf "%s\t%s\t%s" e.e_rule e.e_file e.e_key
+
+let of_string s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           match String.split_on_char '\t' line with
+           | [ e_rule; e_file; e_key ] -> Some (Ok { e_rule; e_file; e_key })
+           | _ -> Some (Error line))
+
+let parse s =
+  let entries, bad =
+    List.partition_map (function Ok e -> Left e | Error l -> Right l) (of_string s)
+  in
+  (entries, bad)
+
+let of_findings findings =
+  List.map
+    (fun (f : Finding.t) -> { e_rule = f.Finding.rule; e_file = f.Finding.file; e_key = f.Finding.key })
+    findings
+  |> List.sort_uniq compare
+
+let to_string (t : t) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "# rae_lint suppression baseline: rule<TAB>file<TAB>key per line.\n";
+  Buffer.add_string b "# Regenerate with: lint_rfs --write-baseline\n";
+  List.iter
+    (fun e ->
+      Buffer.add_string b (entry_to_line e);
+      Buffer.add_char b '\n')
+    (List.sort_uniq compare t);
+  Buffer.contents b
+
+let matches e (f : Finding.t) =
+  String.equal e.e_rule f.Finding.rule
+  && String.equal e.e_file f.Finding.file
+  && String.equal e.e_key f.Finding.key
+
+(* Partition findings into (kept, suppressed); also return baseline
+   entries that matched nothing. *)
+let apply (t : t) findings =
+  let used : (entry, unit) Hashtbl.t = Hashtbl.create 16 in
+  let kept, suppressed =
+    List.partition
+      (fun f ->
+        match List.find_opt (fun e -> matches e f) t with
+        | Some e ->
+            Hashtbl.replace used e ();
+            false
+        | None -> true)
+      findings
+  in
+  let unused = List.filter (fun e -> not (Hashtbl.mem used e)) t in
+  (kept, suppressed, unused)
+
+let load path =
+  if Sys.file_exists path then begin
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s
+  end
+  else ([], [])

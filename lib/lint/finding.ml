@@ -1,0 +1,49 @@
+(* A single lint finding: which rule fired, where, and a stable [key]
+   used for suppression-baseline matching (keys survive line drift;
+   locations do not). *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  message : string;
+  key : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let compare_by_pos a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+  | c -> c
+
+let to_human f =
+  Printf.sprintf "%s:%d: %s [%s] %s" f.file f.line (severity_to_string f.severity) f.rule f.message
+
+(* ---- minimal JSON ---- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json f =
+  Printf.sprintf {|{"rule":"%s","severity":"%s","file":"%s","line":%d,"key":"%s","message":"%s"}|}
+    (json_escape f.rule)
+    (severity_to_string f.severity)
+    (json_escape f.file) f.line (json_escape f.key) (json_escape f.message)

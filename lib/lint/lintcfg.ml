@@ -1,0 +1,108 @@
+(* Lint configuration: the invariants the rules enforce, expressed as
+   data so tests can aim the rules at fixture modules.  [default] encodes
+   this repository's ground truth.
+
+   Names are "normalized": compilation-unit separators ("__") are
+   rewritten to ".", so [Rae_block__Device.write] and
+   [Rae_block.Device.write] are the same name. *)
+
+type t = {
+  libraries : (string * string list) list;
+      (* library -> allowed dependency libraries (self always allowed).
+         Libraries absent from this table are not layer-checked, and
+         imports of unknown libraries (stdlib, fmt, ...) are ignored. *)
+  purity_roots : string list;
+      (* normalized unit-name prefixes whose every definition must not
+         reach a write-path sink (rule shadow-purity). *)
+  purity_sinks : string list;
+      (* normalized value names; a trailing '.' makes the entry a prefix
+         covering a whole module. *)
+  signal_exceptions : string list;
+      (* normalized extension-constructor names that carry runtime-error
+         signals; catch-all handlers that can absorb one are flagged. *)
+  ondisk_types : string list;
+      (* normalized type-constructor paths of on-disk structures for
+         which polymorphic compare/equality is forbidden. *)
+  partial_fns : (string * string) list;
+      (* normalized stdlib value -> suggested replacement. *)
+  exempt_units : string list;
+      (* normalized unit-name prefixes exempt from the partial-call and
+         swallow rules (test executables and the like). *)
+}
+
+(* Layering ground truth.  This intentionally duplicates the dune
+   stanzas: the rule checks the compiled import tables, so a dependency
+   smuggled in through a loosened stanza still fails the gate. *)
+let default_libraries =
+  [
+    ("util", []);
+    ("obs", [ "util" ]);
+    ("vfs", [ "util" ]);
+    ("block", [ "util"; "obs" ]);
+    ("format", [ "util"; "vfs"; "block" ]);
+    ("journal", [ "util"; "obs"; "block"; "format" ]);
+    ("cache", [ "util"; "obs"; "vfs" ]);
+    ("fsck", [ "util"; "vfs"; "block"; "format" ]);
+    ("shadowfs", [ "util"; "obs"; "vfs"; "block"; "format"; "fsck" ]);
+    ("specfs", [ "util"; "vfs"; "format" ]);
+    ("basefs", [ "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache" ]);
+    ("workload", [ "util"; "vfs" ]);
+    ("bugstudy", [ "util" ]);
+    ( "core",
+      [
+        "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
+        "workload";
+      ] );
+    ("lint", [ "util"; "obs" ]);
+  ]
+
+let default =
+  {
+    libraries = default_libraries;
+    purity_roots = [ "Rae_shadowfs."; "Rae_fsck.Fsck" ];
+    purity_sinks =
+      [
+        "Rae_block.Device.write";
+        "Rae_block.Device.flush";
+        "Rae_block.Disk.write";
+        "Rae_block.Disk.restore";
+        "Rae_block.Disk.save";
+        "Rae_block.Disk.corrupt_byte";
+        "Rae_block.Blkmq.enqueue";
+        "Rae_block.Blkmq.submit_write";
+        "Rae_block.Blkmq.dispatch_one";
+        "Rae_block.Blkmq.kick";
+        "Rae_journal.Journal.";
+        "Rae_basefs.Base.";
+      ];
+    signal_exceptions =
+      [
+        "Rae_shadowfs.Shadow.Violation";
+        "Rae_basefs.Detector.Base_bug";
+        "Rae_basefs.Detector.Hang";
+        "Rae_basefs.Detector.Validation_failed";
+      ];
+    ondisk_types =
+      [
+        "Rae_format.Superblock.t";
+        "Rae_format.Inode.t";
+        "Rae_format.Dirent.entry";
+        "Rae_format.Bitmap.t";
+      ];
+    partial_fns =
+      [
+        ("Stdlib.List.hd", "match on the list");
+        ("Stdlib.List.tl", "match on the list");
+        ("Stdlib.List.nth", "List.nth_opt");
+        ("Stdlib.Option.get", "match on the option");
+        ("Stdlib.Hashtbl.find", "Hashtbl.find_opt, or handle Not_found at the call site");
+      ];
+    exempt_units = [ "Dune.exe" ];
+  }
+
+let unit_matches prefix unit =
+  String.equal unit prefix
+  || String.starts_with ~prefix unit
+  || String.equal prefix (unit ^ ".")
+
+let is_exempt t unit = List.exists (fun p -> unit_matches p unit) t.exempt_units

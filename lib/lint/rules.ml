@@ -1,0 +1,264 @@
+(* The rule set.  Each rule consumes the per-unit analyses (and the
+   cross-unit graph where it needs reachability) and yields findings.
+
+   1. shadow-purity   — no write-path sink reachable from shadow/fsck
+                        read-path definitions (paper: the shadow never
+                        writes to disk).
+   2. no-swallow      — no catch-all exception handler that can absorb a
+                        runtime-error signal (Shadow.Violation, detector
+                        bug exceptions): the error-detection channel.
+   3. layering        — the module-dependency DAG, checked from compiled
+                        import tables rather than dune stanzas.
+   4. poly-compare    — no polymorphic compare/equality on on-disk
+                        structures, where structural compare hides
+                        format bugs.
+   5. partial-call    — no partial stdlib calls (List.hd, Option.get,
+                        unhandled Hashtbl.find) in library code. *)
+
+let rule_purity = "shadow-purity"
+let rule_swallow = "no-swallow"
+let rule_layering = "layering"
+let rule_polycmp = "poly-compare"
+let rule_partial = "partial-call"
+
+let all_rules = [ rule_purity; rule_swallow; rule_layering; rule_polycmp; rule_partial ]
+
+let finding ~rule ~file ~line ~key message =
+  { Finding.rule; severity = Finding.Error; file; line; message; key }
+
+(* ---- 1. shadow purity ---- *)
+
+let sink_match (cfg : Lintcfg.t) name =
+  List.exists
+    (fun s ->
+      if String.length s > 0 && s.[String.length s - 1] = '.' then String.starts_with ~prefix:s name
+      else String.equal s name)
+    cfg.Lintcfg.purity_sinks
+
+let purity (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
+  let findings = ref [] in
+  List.iter
+    (fun (a : Analysis.unit_analysis) ->
+      if List.exists (fun p -> Lintcfg.unit_matches p a.Analysis.a_unit) cfg.Lintcfg.purity_roots
+      then begin
+        (* Breadth-first from every definition of the root unit; report
+           one finding per sink hit, with the shortest call chain. *)
+        let pred : (string, string) Hashtbl.t = Hashtbl.create 64 in
+        let seen_sinks = ref [] in
+        let visited : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+        let queue = Queue.create () in
+        List.iter
+          (fun (d : Analysis.def) ->
+            Hashtbl.replace visited d.Analysis.d_name ();
+            Queue.add d.Analysis.d_name queue)
+          a.Analysis.a_defs;
+        while not (Queue.is_empty queue) do
+          let name = Queue.take queue in
+          match Hashtbl.find_opt graph.Analysis.nodes name with
+          | None -> ()
+          | Some d ->
+              List.iter
+                (fun (r, _loc) ->
+                  if sink_match cfg r then begin
+                    if not (List.mem_assoc r !seen_sinks) then begin
+                      (* Reconstruct the chain root -> ... -> name -> r. *)
+                      let rec chain n acc =
+                        match Hashtbl.find_opt pred n with
+                        | Some p -> chain p (n :: acc)
+                        | None -> n :: acc
+                      in
+                      let path = chain name [ r ] in
+                      seen_sinks := (r, (d, path)) :: !seen_sinks
+                    end
+                  end
+                  else if not (Hashtbl.mem visited r) && Hashtbl.mem graph.Analysis.nodes r
+                  then begin
+                    Hashtbl.replace visited r ();
+                    Hashtbl.replace pred r name;
+                    Queue.add r queue
+                  end)
+                d.Analysis.d_refs
+        done;
+        List.iter
+          (fun (sink, ((d : Analysis.def), path)) ->
+            ignore d;
+            let root = match path with r :: _ -> r | [] -> a.Analysis.a_unit in
+            let root_loc =
+              match Hashtbl.find_opt graph.Analysis.nodes root with
+              | Some rd -> rd.Analysis.d_loc
+              | None -> { Analysis.l_file = a.Analysis.a_source; l_line = 1 }
+            in
+            findings :=
+              finding ~rule:rule_purity ~file:root_loc.Analysis.l_file
+                ~line:root_loc.Analysis.l_line ~key:sink
+                (Printf.sprintf
+                   "write-path sink %s is reachable from read-path unit %s: %s" sink
+                   a.Analysis.a_unit (String.concat " -> " path))
+              :: !findings)
+          (List.rev !seen_sinks)
+      end)
+    analyses;
+  List.rev !findings
+
+(* ---- 2. no swallowed runtime-error signals ---- *)
+
+let swallow (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
+  let may_raise = Analysis.may_raise graph in
+  let findings = ref [] in
+  List.iter
+    (fun (a : Analysis.unit_analysis) ->
+      if not (Lintcfg.is_exempt cfg a.Analysis.a_unit) then
+        List.iter
+          (fun (t : Analysis.try_site) ->
+            if t.Analysis.t_catchall then begin
+              let direct =
+                List.filter
+                  (fun s -> List.mem s cfg.Lintcfg.signal_exceptions)
+                  t.Analysis.t_body_raises
+              in
+              let via_call =
+                List.filter_map
+                  (fun (r, _) ->
+                    let raised = may_raise r in
+                    match
+                      List.find_opt (fun s -> List.mem s raised) cfg.Lintcfg.signal_exceptions
+                    with
+                    | Some s -> Some (s, r)
+                    | None -> None)
+                  t.Analysis.t_body_refs
+              in
+              match (direct, via_call) with
+              | [], [] -> ()
+              | s :: _, _ ->
+                  findings :=
+                    finding ~rule:rule_swallow ~file:t.Analysis.t_loc.Analysis.l_file
+                      ~line:t.Analysis.t_loc.Analysis.l_line ~key:s
+                      (Printf.sprintf
+                         "catch-all handler absorbs runtime-error signal %s raised in the guarded \
+                          body; match the intended exceptions explicitly"
+                         s)
+                    :: !findings
+              | [], (s, via) :: _ ->
+                  findings :=
+                    finding ~rule:rule_swallow ~file:t.Analysis.t_loc.Analysis.l_file
+                      ~line:t.Analysis.t_loc.Analysis.l_line ~key:s
+                      (Printf.sprintf
+                         "catch-all handler can absorb runtime-error signal %s (reachable via %s); \
+                          match the intended exceptions explicitly"
+                         s via)
+                    :: !findings
+            end)
+          a.Analysis.a_tries)
+    analyses;
+  List.rev !findings
+
+(* ---- 3. layering ---- *)
+
+let layering (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) =
+  let known lib = List.mem_assoc lib cfg.Lintcfg.libraries in
+  let findings = ref [] in
+  List.iter
+    (fun (u : Cmt_load.unit_info) ->
+      match u.Cmt_load.ui_library with
+      | Some lib when known lib ->
+          let allowed = match List.assoc_opt lib cfg.Lintcfg.libraries with Some l -> l | None -> [] in
+          let bad =
+            List.sort_uniq String.compare
+              (List.filter_map
+                 (fun import ->
+                   match Cmt_load.library_of_unit import with
+                   | Some ilib when known ilib && ilib <> lib && not (List.mem ilib allowed) ->
+                       Some ilib
+                   | _ -> None)
+                 u.Cmt_load.ui_imports)
+          in
+          List.iter
+            (fun ilib ->
+              findings :=
+                finding ~rule:rule_layering ~file:u.Cmt_load.ui_source ~line:1 ~key:ilib
+                  (Printf.sprintf
+                     "library %s must not depend on library %s (unit %s imports it); the module DAG \
+                      forbids this edge"
+                     lib ilib u.Cmt_load.ui_unit)
+                :: !findings)
+            bad
+      | _ -> ())
+    units;
+  List.rev !findings
+
+(* ---- 4. polymorphic compare on on-disk structures ---- *)
+
+let poly_ops =
+  [
+    "Stdlib.="; "Stdlib.<>"; "Stdlib.compare"; "Stdlib.<"; "Stdlib.>"; "Stdlib.<="; "Stdlib.>=";
+    "Stdlib.min"; "Stdlib.max";
+  ]
+
+let polycmp (cfg : Lintcfg.t) analyses =
+  let findings = ref [] in
+  List.iter
+    (fun (a : Analysis.unit_analysis) ->
+      List.iter
+        (fun (h : Analysis.ident_hit) ->
+          if List.mem h.Analysis.h_path poly_ops then
+            match h.Analysis.h_arg_type with
+            | Some ty when List.mem ty cfg.Lintcfg.ondisk_types ->
+                let op =
+                  match String.rindex_opt h.Analysis.h_path '.' with
+                  | Some i ->
+                      String.sub h.Analysis.h_path (i + 1) (String.length h.Analysis.h_path - i - 1)
+                  | None -> h.Analysis.h_path
+                in
+                findings :=
+                  finding ~rule:rule_polycmp ~file:h.Analysis.h_loc.Analysis.l_file
+                    ~line:h.Analysis.h_loc.Analysis.l_line ~key:ty
+                    (Printf.sprintf
+                       "polymorphic %s on on-disk structure %s; structural compare hides format \
+                        bugs — use a field-aware equality"
+                       op ty)
+                  :: !findings
+            | _ -> ())
+        a.Analysis.a_idents)
+    analyses;
+  List.rev !findings
+
+(* ---- 5. partial stdlib calls ---- *)
+
+let partial (cfg : Lintcfg.t) analyses =
+  let findings = ref [] in
+  List.iter
+    (fun (a : Analysis.unit_analysis) ->
+      if not (Lintcfg.is_exempt cfg a.Analysis.a_unit) then
+        let handled_ranges =
+          List.filter_map
+            (fun (t : Analysis.try_site) ->
+              if t.Analysis.t_handles_notfound then
+                Some (t.Analysis.t_body_first_line, t.Analysis.t_body_last_line)
+              else None)
+            a.Analysis.a_tries
+        in
+        let in_handled_range line =
+          List.exists (fun (lo, hi) -> line >= lo && line <= hi) handled_ranges
+        in
+        List.iter
+          (fun (h : Analysis.ident_hit) ->
+            match List.assoc_opt h.Analysis.h_path cfg.Lintcfg.partial_fns with
+            | None -> ()
+            | Some suggestion ->
+                let is_find = String.equal h.Analysis.h_path "Stdlib.Hashtbl.find" in
+                if not (is_find && in_handled_range h.Analysis.h_loc.Analysis.l_line) then
+                  findings :=
+                    finding ~rule:rule_partial ~file:h.Analysis.h_loc.Analysis.l_file
+                      ~line:h.Analysis.h_loc.Analysis.l_line ~key:h.Analysis.h_path
+                      (Printf.sprintf "partial call %s; prefer %s" h.Analysis.h_path suggestion)
+                    :: !findings)
+          a.Analysis.a_idents)
+    analyses;
+  List.rev !findings
+
+let run (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) analyses graph =
+  purity cfg analyses graph
+  @ swallow cfg analyses graph
+  @ layering cfg units
+  @ polycmp cfg analyses
+  @ partial cfg analyses

@@ -123,7 +123,9 @@ let to_prometheus t =
   let b = Buffer.create 1024 in
   List.iter
     (fun name ->
-      let m = Hashtbl.find t.tbl name in
+      match Hashtbl.find_opt t.tbl name with
+      | None -> ()
+      | Some m ->
       let pname = sanitize name in
       if m.m_help <> "" then Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" pname m.m_help);
       (match m.m_kind with

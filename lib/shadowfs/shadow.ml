@@ -52,8 +52,9 @@ let attach ?(config = default_config) ?tracer dev =
     in
     if not (Rae_fsck.Fsck.clean report) then
       Error
-        (Format.asprintf "fsck rejected the image: %a" Rae_fsck.Fsck.pp_finding
-           (List.hd (Rae_fsck.Fsck.errors report)))
+        (match Rae_fsck.Fsck.errors report with
+        | [] -> "fsck rejected the image"
+        | f :: _ -> Format.asprintf "fsck rejected the image: %a" Rae_fsck.Fsck.pp_finding f)
     else
       match Reader.attach read with
       | Error e -> Error (Reader.error_to_string e)

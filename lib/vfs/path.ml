@@ -31,7 +31,9 @@ let parse s =
           else if component_ok name then go (name :: acc) rest
           else Error (Bad_component name)
     in
-    go [] (List.tl parts)
+    (* split_on_char never returns []; the leading "" comes from the
+       initial slash checked above. *)
+    match parts with [] -> Ok [] | _leading :: rest -> go [] rest
 
 let parse_exn s =
   match parse s with

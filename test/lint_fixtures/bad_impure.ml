@@ -1,0 +1,11 @@
+(* Fixture for the shadow-purity rule: this unit is configured as a
+   read-path root, yet it reaches Device.write. *)
+
+module Device = Rae_block.Device
+
+let scribble dev block data = Device.write dev block data
+
+let indirect dev block data = scribble dev block data
+
+(* Does not fire: reading is what the read path is for. *)
+let observe dev block = Device.read dev block

@@ -1,0 +1,4 @@
+(* Fixture for the shadow-purity rule, transitive case: the sink is only
+   reachable through a call into another unit. *)
+
+let sneaky dev block data = Bad_impure.scribble dev block data

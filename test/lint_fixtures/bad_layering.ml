@@ -1,0 +1,4 @@
+(* Fixture for the layering rule: the test config forbids the fixtures
+   library from depending on the journal layer. *)
+
+let probe dev geo = Rae_journal.Journal.attach dev geo

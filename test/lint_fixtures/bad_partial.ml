@@ -1,0 +1,16 @@
+(* Fixture for the partial-call rule: one partial stdlib call per
+   definition, plus a handled Hashtbl.find that must not fire. *)
+
+let first (l : int list) = List.hd l
+
+let rest (l : int list) = List.tl l
+
+let third (l : int list) = List.nth l 2
+
+let force (o : int option) = Option.get o
+
+let lookup (h : (string, int) Hashtbl.t) k = Hashtbl.find h k
+
+(* Does not fire: Not_found is handled at the call site. *)
+let lookup_handled (h : (string, int) Hashtbl.t) k =
+  try Hashtbl.find h k with Not_found -> 0

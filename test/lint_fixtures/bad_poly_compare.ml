@@ -1,0 +1,15 @@
+(* Fixture for the poly-compare rule: polymorphic compare/equality
+   applied to on-disk structures. *)
+
+module Superblock = Rae_format.Superblock
+module Inode = Rae_format.Inode
+module Dirent = Rae_format.Dirent
+
+let same_sb (a : Superblock.t) (b : Superblock.t) = a = b
+
+let cmp_inode (a : Inode.t) (b : Inode.t) = compare a b
+
+let sort_entries (es : Dirent.entry list) = List.sort compare es
+
+(* Does not fire: ints are not on-disk structures. *)
+let max_ok (a : int) (b : int) = max a b

@@ -1,0 +1,25 @@
+(* Fixture for the no-swallow rule: catch-all handlers over bodies that
+   can raise the (test-configured) runtime-error signal [Boom]. *)
+
+exception Boom of string
+
+let detonate () = raise (Boom "fixture")
+
+(* Fires: the body raises the signal directly. *)
+let swallow_inline () = try raise (Boom "inline") with _ -> ()
+
+(* Fires: the signal is reachable through the call to [detonate]. *)
+let swallow_via_call () = try detonate () with _ -> 0
+
+(* Fires: match-with-exception catch-all is a try in disguise. *)
+let swallow_match () = match detonate () with n -> n | exception _ -> -1
+
+(* Does not fire: only the intended exception is matched. *)
+let specific () = try detonate () with Boom _ -> 0
+
+(* Does not fire: the catch-all re-raises, so nothing is absorbed. *)
+let cleanup_and_reraise () =
+  try detonate ()
+  with e ->
+    print_endline "cleanup";
+    raise e

@@ -1,0 +1,8 @@
+(* Negative fixture: no rule fires here. *)
+
+let add a b = a + b
+
+let safe_head = function [] -> None | x :: _ -> Some x
+
+let guarded (h : (string, int) Hashtbl.t) k =
+  match Hashtbl.find_opt h k with Some v -> v | None -> 0
