@@ -11,7 +11,63 @@ module Controller = Rae_core.Controller
 module Report = Rae_core.Report
 module W = Rae_workload.Workload
 
-let run bug_ids profile_name count seed trace_out metrics_dump =
+(* Run the workload through the serving layer: one loopback hub, [n]
+   client sessions, each with its own seeded stream of the profile,
+   issued round-robin so the scheduler actually multiplexes. *)
+let run_served ctl registry profile count seed ~clients ~report_recovery =
+  let module Srv = Rae_srv.Server in
+  let module Loopback = Rae_srv.Loopback in
+  let module Client = Rae_srv.Srv_client in
+  let server = Srv.create ctl in
+  Srv.register_obs registry server;
+  let hub = Loopback.create server in
+  let n = max 1 clients in
+  let per_client = max 1 (count / n) in
+  Printf.printf "Serving %d loopback client session(s), ~%d ops each.\n\n" n per_client;
+  let cls =
+    Array.init n (fun i ->
+        match Client.connect ~dial:(Loopback.dial hub) () with
+        | Ok c -> c
+        | Error msg ->
+            Printf.eprintf "client %d failed to attach: %s\n" i msg;
+            exit 1)
+  in
+  let queues =
+    Array.init n (fun i ->
+        ref (W.ops profile (Rae_util.Rng.create (Int64.add seed (Int64.of_int i))) ~count:per_client))
+  in
+  let errors = Array.make n 0 in
+  let opno = ref 0 in
+  let progressed = ref true in
+  while !progressed do
+    progressed := false;
+    Array.iteri
+      (fun i q ->
+        match !q with
+        | [] -> ()
+        | op :: rest ->
+            q := rest;
+            progressed := true;
+            (match Client.exec cls.(i) op with
+            | Error _ -> errors.(i) <- errors.(i) + 1
+            | Ok _ -> ());
+            report_recovery !opno op;
+            incr opno)
+      queues
+  done;
+  Array.iteri
+    (fun i c ->
+      Printf.printf
+        "client %d: session %d, %d error outcome(s), %d busy retries, %d recovery notice(s)%s\n" i
+        (Client.session c) errors.(i) (Client.busy_retries c) (Client.recovered_seen c)
+        (match Client.degraded c with Some _ -> ", saw DEGRADED" | None -> ""))
+    cls;
+  let ss = Srv.stats server in
+  Printf.printf "Server: %d ops served in %d batches, %d busy, %d frames in, %d frames out.\n\n"
+    ss.Srv.served ss.Srv.batches ss.Srv.busy ss.Srv.frames_in ss.Srv.frames_out;
+  Array.iter Client.detach cls
+
+let run bug_ids profile_name count seed trace_out metrics_dump serve clients =
   let profile =
     match W.profile_of_name profile_name with
     | Some p -> p
@@ -58,21 +114,25 @@ let run bug_ids profile_name count seed trace_out metrics_dump =
   Printf.printf "Mounted an rfs image with %d bug(s) armed: %s\n" (List.length specs)
     (String.concat ", " bug_ids);
   Printf.printf "Running %d '%s' operations through the RAE controller...\n\n" count profile_name;
-  let ops = W.ops profile (Rae_util.Rng.create seed) ~count in
   let seen_recoveries = ref 0 in
-  List.iteri
-    (fun i op ->
-      ignore (Controller.exec ctl op);
-      let s = Controller.stats ctl in
-      if s.Controller.recoveries > !seen_recoveries then begin
-        seen_recoveries := s.Controller.recoveries;
-        match Controller.last_recovery ctl with
-        | Some r ->
-            Printf.printf "op %5d  %s\n" i (Op.to_string op);
-            Format.printf "          %a@.@." Report.pp_recovery r
-        | None -> ()
-      end)
-    ops;
+  let report_recovery i op =
+    let s = Controller.stats ctl in
+    if s.Controller.recoveries > !seen_recoveries then begin
+      seen_recoveries := s.Controller.recoveries;
+      match Controller.last_recovery ctl with
+      | Some r ->
+          Printf.printf "op %5d  %s\n" i (Op.to_string op);
+          Format.printf "          %a@.@." Report.pp_recovery r
+      | None -> ()
+    end
+  in
+  if serve then run_served ctl registry profile count seed ~clients ~report_recovery
+  else
+    List.iteri
+      (fun i op ->
+        ignore (Controller.exec ctl op);
+        report_recovery i op)
+      (W.ops profile (Rae_util.Rng.create seed) ~count);
   let s = Controller.stats ctl in
   Printf.printf "Done: %d ops, %d recoveries (%d failed), %d discrepancies reported.\n"
     s.Controller.ops s.Controller.recoveries s.Controller.recoveries_failed
@@ -119,10 +179,25 @@ let metrics_dump =
     value & flag
     & info [ "metrics" ] ~doc:"Dump the metrics registry in prometheus text format at exit.")
 
+let serve_flag =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Run the workload through the rae_srv serving layer — in-memory loopback client \
+           sessions multiplexed onto the controller — instead of calling it directly.")
+
+let clients_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "clients" ] ~docv:"N" ~doc:"Number of loopback client sessions with $(b,--serve).")
+
 let cmd =
   Cmd.v
     (Cmd.info "rae_demo"
        ~doc:"Demonstrate transparent recovery from injected filesystem bugs")
-    Term.(const run $ bugs_arg $ profile $ count $ seed $ trace_out $ metrics_dump)
+    Term.(
+      const run $ bugs_arg $ profile $ count $ seed $ trace_out $ metrics_dump $ serve_flag
+      $ clients_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,252 @@
+(* rfsd: the rfs serving daemon.
+
+   Mounts an in-memory rfs image behind the RAE controller and serves it
+   over a Unix domain socket with the rae_srv wire protocol.  The event
+   loop is single-threaded select(2): one select wakeup per scheduler
+   turn, so concurrent clients get their requests batched exactly as the
+   loopback transport batches them in tests.
+
+   Client modes (--ping / --stats) dial an existing daemon's socket and
+   exercise the same Srv_client library the in-process tests use, which
+   makes a two-process smoke test a one-liner:
+
+     rfsd --socket /tmp/rfs.sock &
+     rfsd --socket /tmp/rfs.sock --ping --stats *)
+
+open Cmdliner
+module Base = Rae_basefs.Base
+module Bug_registry = Rae_basefs.Bug_registry
+module Controller = Rae_core.Controller
+module Server = Rae_srv.Server
+module Srv_client = Rae_srv.Srv_client
+module Transport = Rae_srv.Transport
+
+let stop = ref false
+
+(* ---- the select-based transport ---- *)
+
+module Socket_transport = struct
+  type link = { fd : Unix.file_descr; wbuf : Buffer.t }
+
+  type t = {
+    listen_fd : Unix.file_descr;
+    links : (int, link) Hashtbl.t;
+    mutable order : int list;
+    mutable next_link : int;
+    timeout : float;  (* select timeout: the idle turn rate *)
+  }
+
+  let create ~path ~timeout =
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind fd (Unix.ADDR_UNIX path);
+    Unix.listen fd 16;
+    Unix.set_nonblock fd;
+    { listen_fd = fd; links = Hashtbl.create 16; order = []; next_link = 1; timeout }
+
+  let drop t id =
+    match Hashtbl.find_opt t.links id with
+    | None -> ()
+    | Some link ->
+        (try Unix.close link.fd with Unix.Unix_error _ -> ());
+        Hashtbl.remove t.links id;
+        t.order <- List.filter (fun l -> l <> id) t.order
+
+  (* Flush as much buffered output as the socket accepts; the rest stays
+     queued for the next writable turn. *)
+  let flush_link t id link =
+    let s = Buffer.contents link.wbuf in
+    if s <> "" then
+      match Unix.write_substring link.fd s 0 (String.length s) with
+      | n ->
+          Buffer.clear link.wbuf;
+          if n < String.length s then
+            Buffer.add_substring link.wbuf s n (String.length s - n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+      | exception Unix.Unix_error _ -> drop t id
+
+  let poll t =
+    let live = List.filter_map (fun id -> Hashtbl.find_opt t.links id |> Option.map (fun l -> (id, l))) t.order in
+    let rds = t.listen_fd :: List.map (fun (_, l) -> l.fd) live in
+    let wrs = List.filter_map (fun (_, l) -> if Buffer.length l.wbuf > 0 then Some l.fd else None) live in
+    match Unix.select rds wrs [] t.timeout with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+    | readable, writable, _ ->
+        List.iter
+          (fun (id, link) -> if List.memq link.fd writable then flush_link t id link)
+          live;
+        let evs = ref [] in
+        if List.memq t.listen_fd readable then begin
+          match Unix.accept t.listen_fd with
+          | fd, _ ->
+              Unix.set_nonblock fd;
+              let id = t.next_link in
+              t.next_link <- id + 1;
+              Hashtbl.replace t.links id { fd; wbuf = Buffer.create 256 };
+              t.order <- t.order @ [ id ];
+              evs := Transport.Accepted id :: !evs
+          | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        end;
+        let buf = Bytes.create 65536 in
+        List.iter
+          (fun (id, link) ->
+            if List.memq link.fd readable then
+              match Unix.read link.fd buf 0 (Bytes.length buf) with
+              | 0 ->
+                  drop t id;
+                  evs := Transport.Closed id :: !evs
+              | n -> evs := Transport.Data (id, Bytes.sub_string buf 0 n) :: !evs
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+                ->
+                  ()
+              | exception Unix.Unix_error _ ->
+                  drop t id;
+                  evs := Transport.Closed id :: !evs)
+          live;
+        List.rev !evs
+
+  let send t id s =
+    match Hashtbl.find_opt t.links id with
+    | None -> ()
+    | Some link ->
+        Buffer.add_string link.wbuf s;
+        flush_link t id link
+
+  let close t id =
+    (match Hashtbl.find_opt t.links id with Some link -> flush_link t id link | None -> ());
+    drop t id
+end
+
+module Drive = Transport.Drive (Socket_transport)
+
+(* ---- client-mode io over a connected socket ---- *)
+
+let io_of_fd fd =
+  let send s =
+    let n = String.length s in
+    let off = ref 0 in
+    (try
+       while !off < n do
+         off := !off + Unix.write_substring fd s !off (n - !off)
+       done
+     with Unix.Unix_error _ -> ())
+  in
+  let recv () =
+    match Unix.select [ fd ] [] [] 0.2 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> Some ""
+    | [], _, _ -> Some ""
+    | _ -> (
+        let buf = Bytes.create 65536 in
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> None
+        | n -> Some (Bytes.sub_string buf 0 n)
+        | exception Unix.Unix_error _ -> None)
+  in
+  let close () = try Unix.close fd with Unix.Unix_error _ -> () in
+  { Srv_client.io_send = send; io_recv = recv; io_close = close }
+
+let dial path () =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Some (io_of_fd fd)
+  | exception Unix.Unix_error _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      None
+
+let run_client path do_ping do_stats =
+  match Srv_client.connect ~dial:(dial path) () with
+  | Error msg ->
+      Printf.eprintf "rfsd: cannot attach to %s: %s\n" path msg;
+      exit 1
+  | Ok c ->
+      Printf.printf "attached: session %d\n" (Srv_client.session c);
+      if do_ping then Printf.printf "ping: %s\n" (if Srv_client.ping c then "ok" else "FAILED");
+      (if do_stats then
+         match Srv_client.server_stats c with
+         | Ok s ->
+             Printf.printf "server: %d session(s), %d op(s) served, %d busy, %d recover%s%s\n"
+               s.Rae_srv.Wire.ws_sessions s.Rae_srv.Wire.ws_served s.Rae_srv.Wire.ws_busy
+               s.Rae_srv.Wire.ws_recoveries
+               (if s.Rae_srv.Wire.ws_recoveries = 1 then "y" else "ies")
+               (if s.Rae_srv.Wire.ws_degraded then " [DEGRADED]" else "")
+         | Error e -> Printf.printf "stats: error %s\n" (Rae_vfs.Errno.to_string e));
+      Srv_client.detach c
+
+(* ---- daemon mode ---- *)
+
+let run_daemon path bug_ids seed batch_max =
+  let specs =
+    List.map
+      (fun id ->
+        match Bug_registry.find id with
+        | Some s -> s
+        | None ->
+            Printf.eprintf "unknown bug %s (known: %s)\n" id
+              (String.concat ", " (List.map (fun s -> s.Bug_registry.id) Bug_registry.catalog));
+            exit 1)
+      bug_ids
+  in
+  let bugs = Bug_registry.arm ~rng:(Rae_util.Rng.create seed) specs in
+  let disk =
+    Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
+      ~block_size:Rae_format.Layout.block_size ~nblocks:8192 ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  (match Base.mkfs dev ~ninodes:1024 () with Ok () -> () | Error m -> failwith m);
+  let base = Result.get_ok (Base.mount ~bugs dev) in
+  let ctl = Controller.make ~device:dev base in
+  let config = { Server.default_config with Server.batch_max } in
+  let server = Server.create ~config ctl in
+  let transport = Socket_transport.create ~path ~timeout:0.1 in
+  let d = Drive.create transport server in
+  let handle = Sys.Signal_handle (fun _ -> stop := true) in
+  Sys.set_signal Sys.sigint handle;
+  Sys.set_signal Sys.sigterm handle;
+  Printf.printf "rfsd: serving %s (%d bug(s) armed)\n%!" path (List.length specs);
+  while not !stop do
+    ignore (Drive.tick d)
+  done;
+  let s = Server.stats server in
+  let cs = Controller.stats ctl in
+  Printf.printf "rfsd: shutting down: %d conn(s) total, %d op(s) served, %d recover%s.\n"
+    s.Server.conns_total s.Server.served cs.Controller.recoveries
+    (if cs.Controller.recoveries = 1 then "y" else "ies");
+  (try Unix.unlink path with Unix.Unix_error _ -> ())
+
+let run path bug_ids seed batch_max do_ping do_stats =
+  if do_ping || do_stats then run_client path do_ping do_stats
+  else run_daemon path bug_ids seed batch_max
+
+let socket_arg =
+  Arg.(
+    value & opt string "rfsd.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket to serve (or dial).")
+
+let bugs_arg =
+  Arg.(
+    value & opt (list string) []
+    & info [ "bugs" ] ~docv:"IDS" ~doc:"Comma-separated bug ids to arm in the base filesystem.")
+
+let seed_arg = Arg.(value & opt int64 42L & info [ "seed" ] ~docv:"SEED" ~doc:"Bug-arming seed.")
+
+let batch_arg =
+  Arg.(
+    value
+    & opt int Server.default_config.Server.batch_max
+    & info [ "batch-max" ] ~docv:"N" ~doc:"Requests dispatched per scheduler turn.")
+
+let ping_arg =
+  Arg.(value & flag & info [ "ping" ] ~doc:"Client mode: attach to a running daemon and ping it.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Client mode: attach to a running daemon and print server stats.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "rfsd" ~doc:"Serve an RAE-supervised rfs image over a Unix domain socket")
+    Term.(
+      const run $ socket_arg $ bugs_arg $ seed_arg $ batch_arg $ ping_arg $ stats_arg)
+
+let () = exit (Cmd.eval cmd)

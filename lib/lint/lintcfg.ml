@@ -54,6 +54,14 @@ let default_libraries =
         "workload";
       ] );
     ("lint", [ "util"; "obs" ]);
+    (* srv's direct deps are util/obs/vfs/core; the rest of core's allowed
+       set rides along because the controller's interface pulls those cmis
+       into srv's import tables. *)
+    ( "srv",
+      [
+        "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
+        "workload"; "core";
+      ] );
   ]
 
 let default =

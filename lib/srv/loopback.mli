@@ -1,0 +1,47 @@
+(** Deterministic in-memory transport.
+
+    Clients and server live in one process and exchange bytes through
+    buffers; {!pump} runs one event-loop turn (poll, feed, schedule,
+    flush).  All serving tests and benches run over this transport, so
+    every interleaving is reproducible.
+
+    Time: a loopback hub charges [turn_latency_ns] of simulated time to
+    its {!Rae_util.Vclock} per pump that does work, modeling the
+    transport wakeup and syscall cost a real event loop pays per turn
+    regardless of batch size — which is precisely the cost request
+    batching amortizes.  The default is 0 (pure function of the
+    messages); benches set it to make batching effects measurable and
+    deterministic. *)
+
+type t
+type endpoint
+
+val create : ?turn_latency_ns:int64 -> ?clock:Rae_util.Vclock.t -> Server.t -> t
+(** A hub serving [server].  [clock] defaults to a fresh clock at 0. *)
+
+val server : t -> Server.t
+val clock : t -> Rae_util.Vclock.t
+
+val connect : t -> endpoint
+(** A new client link; the server sees it accepted on the next {!pump}. *)
+
+val recv : endpoint -> string
+(** Drain whatever the server has buffered toward this endpoint, without
+    pumping; [""] when nothing is waiting.  For callers that drive
+    {!pump} themselves (pipelined bench clients). *)
+
+val io : endpoint -> Srv_client.io
+(** Byte-stream view of an endpoint for {!Srv_client}.  Its [io_recv]
+    pumps the hub once when nothing is buffered, so a synchronous client
+    blocks-and-progresses exactly like one on a real socket. *)
+
+val dial : t -> unit -> Srv_client.io option
+(** [Srv_client.connect ~dial:(dial hub)] — each call is a fresh link. *)
+
+val pump : t -> int
+(** One event-loop turn; returns requests dispatched.  Charges
+    [turn_latency_ns] when the turn polled events or dispatched work. *)
+
+val pump_until_idle : ?max_turns:int -> t -> int
+(** Pump until a turn neither polls events nor dispatches (or [max_turns],
+    default [10_000]); returns total requests dispatched. *)

@@ -1,0 +1,60 @@
+(** Per-client session state: fd virtualization, quotas, request queue.
+
+    Each attached client owns a session that virtualizes its descriptor
+    table onto the controller's shared table: clients speak {e virtual} fds,
+    the session translates them to controller fds before dispatch and back
+    after.  The translation layer is also where per-client quotas live — a
+    bound on open descriptors ([EMFILE] past it) and an op-rate share
+    enforced by the scheduler — so one misbehaving client cannot exhaust
+    the shared table or starve its peers. *)
+
+type config = {
+  max_fds : int;  (** open-descriptor quota; [Open] past it fails [EMFILE] *)
+  max_inflight : int;  (** bound on queued requests; excess earns [Busy] *)
+  max_ops_per_turn : int;  (** op-rate quota: dispatch share per scheduler turn *)
+}
+
+val default_config : config
+
+type t
+
+val create : id:int -> config -> t
+val id : t -> int
+
+(** {1 Request queue (bounded)} *)
+
+val enqueue : t -> req:int -> Rae_vfs.Op.t -> [ `Queued | `Busy ]
+(** Admit a decoded request, or refuse it when [max_inflight] requests are
+    already pending — the refusal is the backpressure signal; nothing is
+    buffered for a refused request. *)
+
+val dequeue : t -> (int * Rae_vfs.Op.t) option
+val pending : t -> int
+
+(** {1 Descriptor virtualization} *)
+
+val translate : t -> Rae_vfs.Op.t -> (Rae_vfs.Op.t, Rae_vfs.Errno.t) result
+(** Rewrite the virtual fd in an fd-carrying operation to the controller
+    fd.  Unknown virtual fds fail [EBADF] without touching the controller;
+    an [Open] checks the [max_fds] quota here and fails [EMFILE]. *)
+
+val bind_fd : t -> real:int -> int
+(** Record a controller fd returned by a successful [Open] and allocate the
+    virtual fd the client will see. *)
+
+val release_fd : t -> vfd:int -> unit
+(** Forget a mapping after a successful [Close]. *)
+
+val open_fds : t -> (int * int) list
+(** [(virtual, controller)] pairs, for re-validation and teardown. *)
+
+val fd_count : t -> int
+
+(** {1 Liveness} *)
+
+val touch : t -> tick:int -> unit
+val last_active : t -> int
+val served : t -> int
+val note_served : t -> unit
+val busy_sent : t -> int
+val note_busy : t -> unit

@@ -1,0 +1,50 @@
+type event = Accepted of int | Data of int * string | Closed of int
+
+module type S = sig
+  type t
+
+  val poll : t -> event list
+  val send : t -> int -> string -> unit
+  val close : t -> int -> unit
+end
+
+module Drive (T : S) = struct
+  type t = {
+    transport : T.t;
+    server : Server.t;
+    links : (int, int) Hashtbl.t;  (* transport link -> server conn id *)
+  }
+
+  let create transport server = { transport; server; links = Hashtbl.create 16 }
+
+  let tick d =
+    List.iter
+      (fun ev ->
+        match ev with
+        | Accepted link -> Hashtbl.replace d.links link (Server.open_conn d.server)
+        | Data (link, bytes) -> (
+            match Hashtbl.find_opt d.links link with
+            | Some cid -> Server.feed d.server cid bytes
+            | None -> ())
+        | Closed link -> (
+            match Hashtbl.find_opt d.links link with
+            | Some cid ->
+                Server.close_conn d.server cid;
+                Hashtbl.remove d.links link
+            | None -> ()))
+      (T.poll d.transport);
+    let served = Server.step d.server in
+    let dead = ref [] in
+    Hashtbl.iter
+      (fun link cid ->
+        let out = Server.output d.server cid in
+        if out <> "" then T.send d.transport link out;
+        if Server.conn_closed d.server cid then dead := link :: !dead)
+      d.links;
+    List.iter
+      (fun link ->
+        T.close d.transport link;
+        Hashtbl.remove d.links link)
+      !dead;
+    served
+end

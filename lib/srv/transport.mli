@@ -1,0 +1,38 @@
+(** Transport abstraction: how bytes reach the {!Server}.
+
+    A transport owns links (numbered by the transport itself) and reports
+    edge-triggered events; {!Drive} binds any transport to a server,
+    shuttling bytes both ways and running one scheduler turn per tick.
+    Two implementations exist: the deterministic in-memory {!Loopback}
+    (tests, benches, the demo) and the select-based Unix-socket loop in
+    [bin/rfsd.ml] (the daemon). *)
+
+type event =
+  | Accepted of int  (** a new link appeared *)
+  | Data of int * string  (** bytes arrived on a link *)
+  | Closed of int  (** the peer went away *)
+
+module type S = sig
+  type t
+
+  val poll : t -> event list
+  (** Collect pending events.  Must not block indefinitely; an empty list
+      means no activity. *)
+
+  val send : t -> int -> string -> unit
+  (** Queue bytes toward the peer.  Unknown links are ignored. *)
+
+  val close : t -> int -> unit
+  (** Drop a link (server-initiated). *)
+end
+
+module Drive (T : S) : sig
+  type t
+
+  val create : T.t -> Server.t -> t
+
+  val tick : t -> int
+  (** One event-loop turn: poll the transport into the server, run one
+      scheduler {!Server.step}, flush server output back out, close links
+      the server dropped.  Returns the number of requests dispatched. *)
+end

@@ -15,6 +15,9 @@ type t =
   | EACCES
   | ELOOP
   | EXDEV
+  | EAGAIN
+  | EPROTO
+  | ENOSYS
 
 let equal = ( = )
 let compare = Stdlib.compare
@@ -36,6 +39,9 @@ let to_string = function
   | EACCES -> "EACCES"
   | ELOOP -> "ELOOP"
   | EXDEV -> "EXDEV"
+  | EAGAIN -> "EAGAIN"
+  | EPROTO -> "EPROTO"
+  | ENOSYS -> "ENOSYS"
 
 let pp ppf e = Format.pp_print_string ppf (to_string e)
 
@@ -57,6 +63,55 @@ let all =
     EACCES;
     ELOOP;
     EXDEV;
+    EAGAIN;
+    EPROTO;
+    ENOSYS;
   ]
+
+(* Wire codes are assigned once and frozen: new constructors take fresh
+   codes, old codes are never reused, so peers speaking different protocol
+   versions still agree on the codes both sides know. *)
+let to_wire = function
+  | ENOENT -> 1
+  | EEXIST -> 2
+  | ENOTDIR -> 3
+  | EISDIR -> 4
+  | ENOTEMPTY -> 5
+  | EBADF -> 6
+  | EINVAL -> 7
+  | ENOSPC -> 8
+  | EFBIG -> 9
+  | ENAMETOOLONG -> 10
+  | EMFILE -> 11
+  | EROFS -> 12
+  | EIO -> 13
+  | EACCES -> 14
+  | ELOOP -> 15
+  | EXDEV -> 16
+  | EAGAIN -> 17
+  | EPROTO -> 18
+  | ENOSYS -> 19
+
+let of_wire = function
+  | 1 -> ENOENT
+  | 2 -> EEXIST
+  | 3 -> ENOTDIR
+  | 4 -> EISDIR
+  | 5 -> ENOTEMPTY
+  | 6 -> EBADF
+  | 7 -> EINVAL
+  | 8 -> ENOSPC
+  | 9 -> EFBIG
+  | 10 -> ENAMETOOLONG
+  | 11 -> EMFILE
+  | 12 -> EROFS
+  | 13 -> EIO
+  | 14 -> EACCES
+  | 15 -> ELOOP
+  | 16 -> EXDEV
+  | 17 -> EAGAIN
+  | 18 -> EPROTO
+  | 19 -> ENOSYS
+  | _ -> EIO
 
 type 'a result = ('a, t) Stdlib.result

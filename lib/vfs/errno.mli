@@ -23,6 +23,9 @@ type t =
   | EACCES  (** permission denied *)
   | ELOOP  (** too many levels of symbolic links *)
   | EXDEV  (** cross-device link (unused rename corner) *)
+  | EAGAIN  (** resource temporarily unavailable (serving-layer backpressure) *)
+  | EPROTO  (** protocol error at a serving boundary *)
+  | ENOSYS  (** operation not supported by this implementation *)
 
 val equal : t -> t -> bool
 val compare : t -> t -> int
@@ -31,6 +34,16 @@ val pp : Format.formatter -> t -> unit
 
 val all : t list
 (** Every constructor, for exhaustive test generators. *)
+
+val to_wire : t -> int
+(** Stable small-integer code for serialization (wire protocol, traces).
+    Injective over {!all}; codes fit one byte and never change meaning
+    across protocol versions. *)
+
+val of_wire : int -> t
+(** Total inverse of {!to_wire}.  Codes that no constructor claims decode
+    to [EIO] — a malformed or future-version error code must surface as an
+    I/O error, never as an exception. *)
 
 type 'a result = ('a, t) Stdlib.result
 (** Shorthand used across every filesystem signature. *)
