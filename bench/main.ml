@@ -55,6 +55,48 @@ let json_escape s =
 
 let json_float v = if Float.is_finite v then Printf.sprintf "%.6g" v else "0"
 
+(* BENCH_*.json files outlive the tree they were captured from, so embed
+   enough provenance to read them cold: the git rev, a monotonic run id,
+   and the configuration knobs the numbers depend on. *)
+let git_rev () =
+  let read_line path =
+    try
+      let ic = open_in path in
+      let line = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim line)
+    with Sys_error _ -> None
+  in
+  let rec find dir depth =
+    if depth > 8 then None
+    else
+      let head = Filename.concat dir (Filename.concat ".git" "HEAD") in
+      match read_line head with
+      | Some line ->
+          let ref_prefix = "ref: " in
+          if String.starts_with ~prefix:ref_prefix line then
+            let r = String.sub line 5 (String.length line - 5) in
+            read_line (Filename.concat dir (Filename.concat ".git" r))
+          else Some line
+      | None ->
+          let parent = Filename.dirname dir in
+          if parent = dir then None else find parent (depth + 1)
+  in
+  (* The bench may run from _build/default/bench (the bench-smoke alias):
+     walk up until a .git appears. *)
+  match find (Sys.getcwd ()) 0 with Some rev when rev <> "" -> rev | _ -> "unknown"
+
+let json_config () =
+  let c = Rae_basefs.Base.default_config in
+  let pol = Rae_core.Controller.default_policy in
+  Printf.sprintf
+    "{ \"cache_policy\": \"%s\", \"bcache_capacity\": %d, \"icache_capacity\": %d, \
+     \"dcache_capacity\": %d, \"commit_interval\": %d, \"ckpt_fold_interval\": %d }"
+    (match c.Rae_basefs.Base.cache_policy with `Lru -> "lru" | `Two_q -> "2q")
+    c.Rae_basefs.Base.bcache_capacity c.Rae_basefs.Base.icache_capacity
+    c.Rae_basefs.Base.dcache_capacity c.Rae_basefs.Base.commit_interval
+    pol.Rae_core.Controller.ckpt_fold_interval
+
 let write_json path =
   let samples = List.rev !json_samples in
   let sections =
@@ -64,7 +106,12 @@ let write_json path =
   in
   let oc = open_out path in
   let out fmt = Printf.fprintf oc fmt in
-  out "{\n  \"bench\": \"rae-shadowfs\",\n  \"quick\": %b,\n  \"sections\": [\n" !quick;
+  out "{\n  \"bench\": \"rae-shadowfs\",\n  \"quick\": %b,\n" !quick;
+  out "  \"rev\": \"%s\",\n" (json_escape (git_rev ()));
+  (* Monotonic across runs on one host: wall-clock nanoseconds. *)
+  out "  \"run_id\": %.0f,\n" (Unix.gettimeofday () *. 1e9);
+  out "  \"config\": %s,\n" (json_config ());
+  out "  \"sections\": [\n";
   List.iteri
     (fun si sec ->
       out "    {\n      \"name\": \"%s\",\n      \"samples\": [\n" (json_escape sec);
@@ -294,60 +341,124 @@ let e4_record_overhead () =
 (* E5: recovery latency vs recorded-window length                    *)
 (* ---------------------------------------------------------------- *)
 
+(* One recovery measurement: run [window] commit-free metadata ops under a
+   controller with [policy], trip a deterministic panic, and report the
+   recovery along with simulated device time and device reads.  Shared by
+   E5 (latency-vs-window, both arms) and E-ckpt (the speedup floor). *)
+let recovery_run ~policy window =
+  let bugs =
+    Bug_registry.arm
+      [
+        {
+          Bug_registry.id = "bench-panic";
+          determinism = Bug_registry.Deterministic;
+          trigger = Bug_registry.Path_component "trigger";
+          consequence = Bug_registry.Panic;
+          modeled_after = "bench";
+        };
+      ]
+  in
+  (* Simulated device latency on, so recovery has a virtual-clock cost
+     (journal replay + shadow reads) alongside the CPU cost. *)
+  let disk = Disk.create ~latency:Disk.default_latency ~block_size:bs ~nblocks:8192 () in
+  let dev, counts = Device.counting (Device.of_disk disk) in
+  ignore (ok (Base.mkfs dev ~ninodes:1024 ~journal_len:1024 ()));
+  let b =
+    ok (Base.mount ~config:{ Base.default_config with Base.commit_interval = max_int } ~bugs dev)
+  in
+  let ctl = Controller.make ~policy ~device:dev b in
+  let ops = W.ops W.Metadata (Rae_util.Rng.create 3L) ~count:window in
+  let ops = List.filter (fun op -> not (Op.is_sync op)) ops in
+  run_ops Controller.exec ctl ops;
+  let reads_before, _ = counts () in
+  let sim_before = Rae_util.Vclock.now (Disk.clock disk) in
+  ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
+  let sim_ms =
+    Int64.to_float (Int64.sub (Rae_util.Vclock.now (Disk.clock disk)) sim_before) /. 1e6
+  in
+  let reads_after, _ = counts () in
+  (Controller.last_recovery ctl, sim_ms, reads_after - reads_before, List.length ops)
+
+let ckpt_policy = { Controller.default_policy with Controller.ckpt_enabled = true }
+
 let e5_recovery_latency () =
   section "E5 | Recovery latency vs in-flight window (paper 4.3: time to recover)";
-  Printf.printf "%-8s %12s %12s %10s %10s %14s\n" "window" "recovery" "simulated" "replayed"
-    "handoff" "device reads";
+  Printf.printf "%-8s %12s %12s %12s %10s %10s %14s\n" "window" "recovery" "ckpt-wall" "simulated"
+    "replayed" "handoff" "device reads";
   List.iter
     (fun window ->
-      let bugs =
-        Bug_registry.arm
-          [
-            {
-              Bug_registry.id = "bench-panic";
-              determinism = Bug_registry.Deterministic;
-              trigger = Bug_registry.Path_component "trigger";
-              consequence = Bug_registry.Panic;
-              modeled_after = "bench";
-            };
-          ]
-      in
-      (* Simulated device latency on, so recovery has a virtual-clock cost
-         (journal replay + shadow reads) alongside the CPU cost. *)
-      let disk = Disk.create ~latency:Disk.default_latency ~block_size:bs ~nblocks:8192 () in
-      let dev, counts = Device.counting (Device.of_disk disk) in
-      ignore (ok (Base.mkfs dev ~ninodes:1024 ~journal_len:1024 ()));
-      let b =
-        ok (Base.mount ~config:{ Base.default_config with Base.commit_interval = max_int } ~bugs dev)
-      in
-      let ctl = Controller.make ~device:dev b in
-      let ops = W.ops W.Metadata (Rae_util.Rng.create 3L) ~count:window in
-      let ops = List.filter (fun op -> not (Op.is_sync op)) ops in
-      run_ops Controller.exec ctl ops;
-      let reads_before, _ = counts () in
-      let sim_before = Rae_util.Vclock.now (Disk.clock disk) in
-      ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
-      let sim_ms =
-        Int64.to_float (Int64.sub (Rae_util.Vclock.now (Disk.clock disk)) sim_before) /. 1e6
-      in
-      let reads_after, _ = counts () in
-      match Controller.last_recovery ctl with
-      | Some r ->
-          Printf.printf "%-8d %10.2fms %10.2fms %10d %10d %14d\n" (List.length ops)
+      let cold, sim_ms, reads, nops = recovery_run ~policy:Controller.default_policy window in
+      let warm, _, _, _ = recovery_run ~policy:ckpt_policy window in
+      match (cold, warm) with
+      | Some r, Some rc ->
+          Printf.printf "%-8d %10.2fms %10.2fms %10.2fms %10d %10d %14d\n" nops
             (r.Report.r_wall_seconds *. 1000.)
-            sim_ms r.Report.r_replayed r.Report.r_handoff_blocks (reads_after - reads_before);
+            (rc.Report.r_wall_seconds *. 1000.)
+            sim_ms r.Report.r_replayed r.Report.r_handoff_blocks reads;
           let w = string_of_int window in
           json_note ~sec:"E5" ~name:("window-" ^ w ^ "/wall") ~unit:"ms"
             (r.Report.r_wall_seconds *. 1000.);
+          json_note ~sec:"E5" ~name:("window-" ^ w ^ "/ckpt-wall") ~unit:"ms"
+            (rc.Report.r_wall_seconds *. 1000.);
           json_note ~sec:"E5" ~name:("window-" ^ w ^ "/sim") ~unit:"ms" sim_ms;
           json_note ~sec:"E5" ~name:("window-" ^ w ^ "/replayed") ~unit:"ops"
-            (float_of_int r.Report.r_replayed)
-      | None -> Printf.printf "%-8d (no recovery?)\n" window)
+            (float_of_int r.Report.r_replayed);
+          json_note ~sec:"E5" ~name:("window-" ^ w ^ "/ckpt-replayed") ~unit:"ops"
+            (float_of_int rc.Report.r_replayed)
+      | _ -> Printf.printf "%-8d (no recovery?)\n" window)
     (if !quick then [ 8; 32; 128 ] else [ 8; 16; 32; 64; 128; 256; 512; 1024 ]);
   Printf.printf
-    "\nExpected shape: recovery time grows roughly linearly with the recorded\n\
-     window (constrained-mode replay dominates), motivating bounded commit\n\
-     intervals in the base.\n"
+    "\nExpected shape: cold recovery time grows roughly linearly with the recorded\n\
+     window (constrained-mode replay dominates); the checkpoint arm replays only\n\
+     the suffix past the last fold, so its wall time stays near-flat (E-ckpt\n\
+     enforces the floor).\n"
+
+(* ---------------------------------------------------------------- *)
+(* E-ckpt: warm-shadow checkpointing, the O(window) -> O(delta) claim *)
+(* ---------------------------------------------------------------- *)
+
+let e_ckpt () =
+  section "E-ckpt | Warm-shadow checkpointing: recovery replays O(delta), not O(window)";
+  Printf.printf "%-8s %12s %12s %9s %11s %11s %8s\n" "window" "cold-wall" "ckpt-wall" "speedup"
+    "replayed" "d-replayed" "seeded";
+  let floor_violations = ref [] in
+  List.iter
+    (fun window ->
+      let cold, _, _, _ = recovery_run ~policy:Controller.default_policy window in
+      let warm, _, _, _ = recovery_run ~policy:ckpt_policy window in
+      match (cold, warm) with
+      | Some r, Some rc ->
+          let speedup =
+            if rc.Report.r_wall_seconds > 0. then r.Report.r_wall_seconds /. rc.Report.r_wall_seconds
+            else Float.infinity
+          in
+          Printf.printf "%-8d %10.2fms %10.2fms %8.1fx %11d %11d %8b\n" window
+            (r.Report.r_wall_seconds *. 1000.)
+            (rc.Report.r_wall_seconds *. 1000.)
+            speedup r.Report.r_replayed rc.Report.r_replayed rc.Report.r_seeded;
+          let w = string_of_int window in
+          json_note ~sec:"E-ckpt" ~name:("window-" ^ w ^ "/cold-wall") ~unit:"ms"
+            (r.Report.r_wall_seconds *. 1000.);
+          json_note ~sec:"E-ckpt" ~name:("window-" ^ w ^ "/ckpt-wall") ~unit:"ms"
+            (rc.Report.r_wall_seconds *. 1000.);
+          json_note ~sec:"E-ckpt" ~name:("window-" ^ w ^ "/speedup") ~unit:"x" speedup;
+          if not rc.Report.r_seeded then
+            floor_violations :=
+              Printf.sprintf "window %d: checkpoint arm did not seed" window :: !floor_violations;
+          if window >= 64 && speedup < 2.0 then
+            floor_violations :=
+              Printf.sprintf "window %d: speedup %.2fx < 2x" window speedup :: !floor_violations
+      | _ -> floor_violations := Printf.sprintf "window %d: no recovery" window :: !floor_violations)
+    (if !quick then [ 64 ] else [ 64; 256; 1024 ]);
+  if !floor_violations <> [] then begin
+    List.iter (fun v -> Printf.eprintf "E-ckpt: %s\n" v) (List.rev !floor_violations);
+    exit 1
+  end;
+  Printf.printf
+    "\nExpected shape: the checkpoint arm seeds the shadow from the warm overlay\n\
+     and replays only the ops past the fold cursor, so its wall time is bounded\n\
+     by the fold interval while the cold arm pays fsck + O(window) replay;\n\
+     >=2x at window>=64 is the enforced floor.\n"
 
 (* ---------------------------------------------------------------- *)
 (* E6: the cost of extensive runtime checks                          *)
@@ -887,9 +998,12 @@ let e_obs () =
       (function Rae_obs.Tracer.Begin { name = n; _ } -> n = name | _ -> false)
       begun
   in
-  (* The in-flight op is a create, so delegated-sync legitimately never runs. *)
+  (* The in-flight op is a create, so delegated-sync legitimately never
+     runs; this is a default-policy (cold) recovery, so neither does the
+     checkpoint-seeded [seed] phase. *)
   let expected =
-    "recovery" :: List.filter (fun nm -> nm <> "delegated-sync") Controller.phase_names
+    "recovery"
+    :: List.filter (fun nm -> nm <> "delegated-sync" && nm <> "seed") Controller.phase_names
   in
   let missing = List.filter (fun nm -> not (has_span nm)) expected in
   if missing <> [] then begin
@@ -1118,7 +1232,9 @@ let e_srv_recovery () =
       ]
   in
   let _, dev, base = fresh_base ~bugs () in
-  let ctl = Controller.make ~device:dev base in
+  (* Checkpointing on, as rfsd runs it: the mid-serving recovery replays
+     only the suffix past the last fold, shrinking the Busy window. *)
+  let ctl = Controller.make ~policy:ckpt_policy ~device:dev base in
   let server = Srv.create ctl in
   let hub = Loopback.create server in
   let clients =
@@ -1206,6 +1322,7 @@ let () =
   end;
   if want "e4" then e4_record_overhead ();
   if want "e5" then e5_recovery_latency ();
+  if want "e-ckpt" then e_ckpt ();
   if want "e6" then e6_check_cost ();
   if want "e7" then e7_lookup_depth ();
   if want "e8" then e8_availability ();

@@ -194,7 +194,10 @@ let run_daemon path bug_ids seed batch_max =
   let dev = Rae_block.Device.of_disk disk in
   (match Base.mkfs dev ~ninodes:1024 () with Ok () -> () | Error m -> failwith m);
   let base = Result.get_ok (Base.mount ~bugs dev) in
-  let ctl = Controller.make ~device:dev base in
+  (* Warm-shadow checkpointing keeps recovery replay O(Δ): clients see
+     shorter Busy windows when a bug fires mid-serving. *)
+  let policy = { Controller.default_policy with Controller.ckpt_enabled = true } in
+  let ctl = Controller.make ~policy ~device:dev base in
   let config = { Server.default_config with Server.batch_max } in
   let server = Server.create ~config ctl in
   let transport = Socket_transport.create ~path ~timeout:0.1 in

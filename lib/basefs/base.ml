@@ -88,7 +88,7 @@ type t = {
   mutable s_ops : int;
   mutable s_commits : int;
   mutable s_validations : int;
-  mutable commit_hooks : (unit -> unit) list;
+  mutable commit_hooks : (commit_seq:int64 -> unit) list;
   mutable tracer : Rae_obs.Tracer.t option;
 }
 
@@ -290,7 +290,8 @@ let commit_work t =
     t.txn <- Journal.begin_txn t.journal;
     t.ops_since_commit <- 0;
     t.s_commits <- t.s_commits + 1;
-    List.iter (fun hook -> hook ()) t.commit_hooks
+    let commit_seq = Journal.commit_seq t.journal in
+    List.iter (fun hook -> hook ~commit_seq) t.commit_hooks
   end
 
 let commit t =

@@ -64,9 +64,12 @@ val commit : t -> unit
 
 val ops_since_commit : t -> int
 
-val on_commit : t -> (unit -> unit) -> unit
+val on_commit : t -> (commit_seq:int64 -> unit) -> unit
 (** Register a callback fired after every successful commit — the RAE
-    oplog uses this to discard operations that are now durable. *)
+    oplog uses this to discard operations that are now durable.  The
+    callback receives the journal's durable transaction sequence
+    ({!Rae_journal.Journal.commit_seq}) so checkpoint machinery can label
+    the trusted state S0 it is about to re-base on. *)
 
 (* ---- the RAE integration surface (paper §3.2) ---- *)
 

@@ -1,0 +1,96 @@
+(** Warm-shadow checkpointing: O(Δ) recovery replay.
+
+    Cold recovery reconstructs application-visible state by replaying the
+    {e whole} recorded op window against the trusted on-disk state S0, so
+    its latency grows linearly with the window.  This module keeps a
+    {b warm shadow}: a background {!Rae_shadowfs.Shadow} instance that is
+
+    - {b cut} (re-based) at journal-commit boundaries — a fresh read-only
+      attach to the just-committed S0 plus the S0 descriptor table, and
+    - {b folded} forward every [fold_interval] recorded operations, by
+      constrained re-execution of the oplog suffix it has not seen yet.
+
+    On a detected bug, {!seed} exports the warm instance's state (COW
+    overlay + fd table + clock, {!Rae_shadowfs.Shadow.export_state}) into
+    a fresh shadow, and recovery replays only the Δ suffix past the fold
+    {!cursor}.  Because the warm overlay holds exactly the blocks dirtied
+    since the last commit, the hand-off download stays precisely the
+    differential set — identical to what cold replay would reconstruct.
+
+    The warm shadow never writes to disk: it is an ordinary shadow over a
+    read-only device handle, and this module is under the shadow-purity
+    lint rule.  Any fold or seed failure {e poisons} the checkpoint
+    (drops the warm instance); the controller then falls back to cold
+    recovery, so checkpointing can only ever change recovery latency,
+    never its semantics. *)
+
+type t
+
+type stats = {
+  cuts : int;  (** re-bases onto a freshly committed S0 *)
+  folds : int;  (** background fold batches applied to the warm shadow *)
+  folded_ops : int;  (** operations folded across all batches *)
+  fold_divergences : int;  (** constrained-mode mismatches seen while folding *)
+  seeded : int;  (** recoveries seeded from the checkpoint *)
+  fallbacks : int;  (** seeded recoveries that fell back to the cold path *)
+  poisons : int;  (** checkpoints discarded after a fold/seed failure *)
+}
+
+val create :
+  ?tracer:Rae_obs.Tracer.t -> shadow_checks:bool -> fold_interval:int -> Rae_block.Device.t -> t
+(** No checkpoint exists until the first {!cut}.  [shadow_checks] is the
+    controller's shadow-check policy; the warm instance always attaches
+    without fsck (the fold's continuous validation substitutes). *)
+
+val cut :
+  t ->
+  window:int ->
+  fds:(Rae_vfs.Types.fd * Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) list ->
+  next_seq:int ->
+  commit_seq:int64 ->
+  (unit, string) result
+(** Re-base the checkpoint on the current on-disk state.  Sound only at a
+    journal-commit boundary, so it {b refuses} when [window > 0]: a
+    non-empty window means the disk does not yet reflect the recorded
+    suffix and a cut would capture an S0 the oplog is not relative to.
+    [fds] is the S0 descriptor snapshot, [next_seq] the oplog's next
+    sequence number, [commit_seq] the journal's durable commit sequence.
+    On error the previous checkpoint (if any) is poisoned. *)
+
+val due : t -> next_seq:int -> bool
+(** Has the unfolded suffix reached [fold_interval]?  False when no valid
+    checkpoint exists. *)
+
+val fold : t -> entries:Rae_vfs.Op.recorded list -> next_seq:int -> unit
+(** Advance the warm shadow through the oplog entries with
+    [seq >= cursor] (constrained mode, divergences counted, same
+    keep-going policy as recovery replay), then move the cursor to
+    [next_seq].  A {!Rae_shadowfs.Shadow.Violation} poisons the
+    checkpoint instead of escaping — the hot path never observes fold
+    failures.  Emits a [ckpt-fold] span. *)
+
+val seed : t -> (Rae_shadowfs.Shadow.t * int, string) result
+(** Build a fresh shadow from the warm instance's exported state and
+    return it with the fold cursor: recovery replays only entries with
+    [seq >= cursor].  The warm instance itself is untouched (a failed
+    recovery can seed again).  Fails, poisoning the checkpoint, if no
+    valid checkpoint exists or the state import is rejected. *)
+
+val poison : t -> unit
+(** Discard the warm instance (counted when one existed).  Subsequent
+    recoveries take the cold path until the next {!cut}. *)
+
+val note_fallback : t -> unit
+(** Record that a seeded recovery fell back to the cold path. *)
+
+val valid : t -> bool
+val cursor : t -> int
+
+val base_seq : t -> int64
+(** Journal commit sequence of the S0 the checkpoint is based on. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val register_obs : Rae_obs.Metrics.t -> t -> unit
+(** Register the [rae_ckpt_*] counter/gauge family. *)

@@ -10,6 +10,8 @@ type policy = {
   abort_on_discrepancy : bool;
   max_recovery_attempts : int;
   shadow_checks : bool;
+  ckpt_enabled : bool;
+  ckpt_fold_interval : int;
 }
 
 let default_policy =
@@ -20,6 +22,8 @@ let default_policy =
     abort_on_discrepancy = false;
     max_recovery_attempts = 3;
     shadow_checks = true;
+    ckpt_enabled = false;
+    ckpt_fold_interval = 32;
   }
 
 type stats = {
@@ -35,12 +39,15 @@ type stats = {
 
 (* §3.2 pipeline steps, in order; each gets a span, a [Report.phase] entry
    and a latency histogram.  [delegated-sync] runs after the report is
-   built, so it appears in spans and histograms but not in [r_phases]. *)
+   built, so it appears in spans and histograms but not in [r_phases].
+   A checkpoint-seeded recovery runs [seed] in place of [shadow-attach] +
+   [fd-reinstate]; a cold recovery never emits [seed]. *)
 let phase_names =
   [
     "contained-reboot";
     "shadow-attach";
     "fd-reinstate";
+    "seed";
     "constrained-replay";
     "inflight-autonomous";
     "metadata-download";
@@ -57,6 +64,8 @@ type t = {
   now : unit -> int64;
   recovery_hist : Rae_obs.Metrics.histogram;
   ph_hists : (string * Rae_obs.Metrics.histogram) list;
+  ckpt : Checkpoint.t option;
+  mutable last_commit_seq : int64;
   mutable committed_during_op : bool;
   mutable degraded : string option;
   mutable recovery_log : Report.recovery list;  (* newest first *)
@@ -72,6 +81,13 @@ let make ?(policy = default_policy) ?tracer ~device base =
     | Some tr -> fun () -> Rae_obs.Tracer.now tr
     | None -> fun () -> Int64.of_float (Sys.time () *. 1e9)
   in
+  let ckpt =
+    if policy.ckpt_enabled then
+      Some
+        (Checkpoint.create ?tracer ~shadow_checks:policy.shadow_checks
+           ~fold_interval:policy.ckpt_fold_interval device)
+    else None
+  in
   let t =
     {
       base;
@@ -82,6 +98,8 @@ let make ?(policy = default_policy) ?tracer ~device base =
       now;
       recovery_hist = Rae_obs.Metrics.histogram ();
       ph_hists = List.map (fun n -> (n, Rae_obs.Metrics.histogram ())) phase_names;
+      ckpt;
+      last_commit_seq = 0L;
       committed_during_op = false;
       degraded = None;
       recovery_log = [];
@@ -92,11 +110,37 @@ let make ?(policy = default_policy) ?tracer ~device base =
     }
   in
   (match tracer with Some tr -> Base.set_tracer base tr | None -> ());
-  Base.on_commit base (fun () -> t.committed_during_op <- true);
+  Base.on_commit base (fun ~commit_seq ->
+      t.committed_during_op <- true;
+      t.last_commit_seq <- commit_seq);
+  (* Initial cut: mount time is a commit boundary (empty window over S0),
+     so checkpointed controllers are warm before the first commit too. *)
+  (match ckpt with
+  | Some c -> ignore (Checkpoint.cut c ~window:0 ~fds:[] ~next_seq:0 ~commit_seq:0L)
+  | None -> ());
   t
 
 let base t = t.base
 let degraded t = t.degraded
+
+(* Re-base the warm checkpoint; sound only when the window is empty (both
+   call sites run right after an oplog prune). *)
+let ckpt_cut t =
+  match t.ckpt with
+  | None -> ()
+  | Some c ->
+      ignore
+        (Checkpoint.cut c ~window:(Oplog.length t.oplog) ~fds:(Oplog.fd_snapshot t.oplog)
+           ~next_seq:(Oplog.next_seq t.oplog) ~commit_seq:t.last_commit_seq)
+
+(* Advance the warm shadow if the unfolded suffix is long enough. *)
+let ckpt_fold t =
+  match t.ckpt with
+  | None -> ()
+  | Some c ->
+      let next_seq = Oplog.next_seq t.oplog in
+      if Checkpoint.due c ~next_seq then
+        Checkpoint.fold c ~entries:(Oplog.entries_from t.oplog ~seq:(Checkpoint.cursor c)) ~next_seq
 
 (* ---- recovery ---- *)
 
@@ -157,7 +201,7 @@ let recover t ~trigger ~inflight ~attempt =
         | None -> ())
       f
   in
-  let fail_report msg ~replayed ~skipped ~discrepancies ~handoff ~delegated =
+  let fail_report msg ~replayed ~skipped ~discrepancies ~handoff ~delegated ~seeded =
     Rae_obs.Metrics.observe t.recovery_hist (Int64.sub (t.now ()) t0);
     {
       Report.r_trigger = trigger;
@@ -167,6 +211,7 @@ let recover t ~trigger ~inflight ~attempt =
       r_discrepancies = discrepancies;
       r_handoff_blocks = handoff;
       r_delegated_sync = delegated;
+      r_seeded = seeded;
       r_wall_seconds = Sys.time () -. started;
       r_phases = List.rev !phases;
       r_outcome = (match msg with None -> Report.Recovered | Some m -> Report.Recovery_failed m);
@@ -176,90 +221,137 @@ let recover t ~trigger ~inflight ~attempt =
     t.recovery_log <- report :: t.recovery_log;
     t.s_discrepancies <- t.s_discrepancies + List.length report.Report.r_discrepancies
   in
+  (* 1. Contained reboot: discard the base's untrusted memory, recover the
+     trusted on-disk state S0 via journal replay.  Both reconstruction
+     strategies start here (the fallback re-runs it to wipe any partial
+     hand-off a failed seeded attempt left in the base's caches). *)
+  let contained_reboot () =
+    phase "contained-reboot" (fun () ->
+        match Base.contained_reboot t.base with
+        | Ok () -> ()
+        | Error msg -> raise (Recovery_error ("contained reboot: " ^ msg)))
+  in
+  (* Steps 4-8, shared by the cold and checkpoint-seeded strategies: the
+     strategies differ only in how the shadow reaches the replay start
+     point ([entries] for cold, the Δ suffix for seeded). *)
+  let finish shadow replay_entries ~seeded =
+    (* 4. Constrained mode: replay the recorded suffix, cross-checking. *)
+    let replayed, skipped, discrepancies =
+      phase "constrained-replay" (fun () ->
+          try run_constrained t shadow replay_entries
+          with Shadow.Violation msg ->
+            raise (Recovery_error ("shadow violation in replay: " ^ msg)))
+    in
+    (* 5. Autonomous mode: the in-flight operation, whose result the
+       application has not seen.  Sync operations are not handled by the
+       shadow — they are delegated to the rebooted base after hand-off. *)
+    let delegated = Op.is_sync inflight in
+    let inflight_outcome =
+      phase "inflight-autonomous" (fun () ->
+          if delegated then Ok Op.Unit
+          else
+            try Shadow.exec shadow inflight
+            with Shadow.Violation msg ->
+              raise (Recovery_error ("shadow violation on in-flight op: " ^ msg)))
+    in
+    (* 6. Hand-off: the base absorbs the shadow's overlay and descriptor
+       table through its own well-tested interfaces, then commits.  A
+       seeded shadow's overlay carries the imported checkpoint dirt plus
+       the Δ replay — exactly the blocks dirtied since the last commit,
+       so the download is differential by construction. *)
+    let dirty = Shadow.dirty_blocks shadow in
+    phase "metadata-download" (fun () ->
+        match
+          Base.download_metadata t.base ~blocks:dirty ~fd_table:(Shadow.fd_table shadow)
+            ~time:(Shadow.time shadow)
+        with
+        | Ok () -> ()
+        | Error msg -> raise (Recovery_error ("metadata download: " ^ msg)));
+    (* 7. Resume: prune the log to the recovered state, and re-base the
+       warm checkpoint on it (the download's commit is a boundary). *)
+    phase "resume" (fun () ->
+        Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+        t.committed_during_op <- false;
+        ckpt_cut t);
+    let report =
+      fail_report None ~replayed ~skipped ~discrepancies ~handoff:(List.length dirty) ~delegated
+        ~seeded
+    in
+    append report;
+    (* 8. Delegated sync: re-issue on the recovered base. *)
+    if delegated then begin
+      ignore attempt;
+      (* Catch only genuine device failures; detector signals (Base_bug,
+         Hang, Validation_failed) must propagate so a second fault during
+         the delegated replay is not silently degraded to EIO. *)
+      phase "delegated-sync" (fun () ->
+          try Base.exec t.base inflight
+          with Rae_block.Device.Io_error _ -> Error Errno.EIO)
+    end
+    else inflight_outcome
+  in
+  let go_cold () =
+    contained_reboot ();
+    (* 2. Launch the shadow on S0 (read-only, full checks, optional fsck —
+       the liveness precondition). *)
+    let config =
+      {
+        Shadow.checks = t.policy.shadow_checks;
+        fsck_on_attach = t.policy.fsck_before_recovery;
+        max_fds = 1024;
+      }
+    in
+    let shadow =
+      phase "shadow-attach" (fun () ->
+          match Shadow.attach ~config ?tracer:t.tracer t.device with
+          | Ok s -> s
+          | Error msg -> raise (Recovery_error ("shadow attach: " ^ msg)))
+    in
+    (* 3. Reinstate the descriptors that were open at S0. *)
+    phase "fd-reinstate" (fun () ->
+        List.iter
+          (fun (fd, ino, flags) ->
+            match Shadow.install_fd shadow ~fd ~ino flags with
+            | Ok () -> ()
+            | Error msg -> raise (Recovery_error ("fd reinstatement: " ^ msg)))
+          (Oplog.fd_snapshot t.oplog));
+    finish shadow entries ~seeded:false
+  in
+  (* The O(Δ) strategy: seed a fresh shadow from the warm checkpoint (its
+     overlay already reflects the folded prefix of the window) and replay
+     only the suffix past the fold cursor. *)
+  let go_seeded c =
+    contained_reboot ();
+    let shadow, from_seq =
+      phase "seed" (fun () ->
+          match Checkpoint.seed c with
+          | Ok (s, cursor) -> (s, cursor)
+          | Error msg -> raise (Recovery_error msg))
+    in
+    let delta = List.filter (fun r -> r.Op.seq >= from_seq) entries in
+    finish shadow delta ~seeded:true
+  in
   let go () =
     try
-      (* 1. Contained reboot: discard the base's untrusted memory, recover
-         the trusted on-disk state S0 via journal replay. *)
-      phase "contained-reboot" (fun () ->
-          match Base.contained_reboot t.base with
-          | Ok () -> ()
-          | Error msg -> raise (Recovery_error ("contained reboot: " ^ msg)));
-      (* 2. Launch the shadow on S0 (read-only, full checks, optional fsck —
-         the liveness precondition). *)
-      let config =
-        {
-          Shadow.checks = t.policy.shadow_checks;
-          fsck_on_attach = t.policy.fsck_before_recovery;
-          max_fds = 1024;
-        }
-      in
-      let shadow =
-        phase "shadow-attach" (fun () ->
-            match Shadow.attach ~config ?tracer:t.tracer t.device with
-            | Ok s -> s
-            | Error msg -> raise (Recovery_error ("shadow attach: " ^ msg)))
-      in
-      (* 3. Reinstate the descriptors that were open at S0. *)
-      phase "fd-reinstate" (fun () ->
-          List.iter
-            (fun (fd, ino, flags) ->
-              match Shadow.install_fd shadow ~fd ~ino flags with
-              | Ok () -> ()
-              | Error msg -> raise (Recovery_error ("fd reinstatement: " ^ msg)))
-            (Oplog.fd_snapshot t.oplog));
-      (* 4. Constrained mode: replay the recorded window, cross-checking. *)
-      let replayed, skipped, discrepancies =
-        phase "constrained-replay" (fun () ->
-            try run_constrained t shadow entries
-            with Shadow.Violation msg ->
-              raise (Recovery_error ("shadow violation in replay: " ^ msg)))
-      in
-      (* 5. Autonomous mode: the in-flight operation, whose result the
-         application has not seen.  Sync operations are not handled by the
-         shadow — they are delegated to the rebooted base after hand-off. *)
-      let delegated = Op.is_sync inflight in
-      let inflight_outcome =
-        phase "inflight-autonomous" (fun () ->
-            if delegated then Ok Op.Unit
-            else
-              try Shadow.exec shadow inflight
-              with Shadow.Violation msg ->
-                raise (Recovery_error ("shadow violation on in-flight op: " ^ msg)))
-      in
-      (* 6. Hand-off: the base absorbs the shadow's overlay and descriptor
-         table through its own well-tested interfaces, then commits. *)
-      let dirty = Shadow.dirty_blocks shadow in
-      phase "metadata-download" (fun () ->
-          match
-            Base.download_metadata t.base ~blocks:dirty ~fd_table:(Shadow.fd_table shadow)
-              ~time:(Shadow.time shadow)
-          with
-          | Ok () -> ()
-          | Error msg -> raise (Recovery_error ("metadata download: " ^ msg)));
-      (* 7. Resume: prune the log to the recovered state. *)
-      phase "resume" (fun () ->
-          Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
-          t.committed_during_op <- false);
-      let report =
-        fail_report None ~replayed ~skipped ~discrepancies ~handoff:(List.length dirty) ~delegated
-      in
-      append report;
-      (* 8. Delegated sync: re-issue on the recovered base. *)
-      if delegated then begin
-        ignore attempt;
-        (* Catch only genuine device failures; detector signals (Base_bug,
-           Hang, Validation_failed) must propagate so a second fault during
-           the delegated replay is not silently degraded to EIO. *)
-        phase "delegated-sync" (fun () ->
-            try Base.exec t.base inflight
-            with Rae_block.Device.Io_error _ -> Error Errno.EIO)
-      end
-      else inflight_outcome
+      match t.ckpt with
+      | Some c when Checkpoint.valid c -> (
+          try go_seeded c
+          with Recovery_error reason ->
+            (* The checkpoint let us down: poison it, note the fallback,
+               and reconstruct the slow, trusted way — from S0. *)
+            Checkpoint.note_fallback c;
+            Checkpoint.poison c;
+            (match t.tracer with
+            | Some tr -> Rae_obs.Tracer.instant tr ~cat:"ckpt" ("ckpt-fallback:" ^ reason)
+            | None -> ());
+            go_cold ())
+      | _ -> go_cold ()
     with Recovery_error msg ->
       t.s_failed <- t.s_failed + 1;
       t.degraded <- Some msg;
       let report =
-        fail_report (Some msg) ~replayed:0 ~skipped:0 ~discrepancies:[] ~handoff:0 ~delegated:false
+        fail_report (Some msg) ~replayed:0 ~skipped:0 ~discrepancies:[] ~handoff:0
+          ~delegated:false ~seeded:false
       in
       append report;
       Error Errno.EIO
@@ -282,7 +374,10 @@ let rec exec_attempt t op ~attempt =
            else happened. *)
         let committed = t.committed_during_op in
         t.committed_during_op <- false;
-        if committed then Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+        if committed then begin
+          Oplog.checkpoint t.oplog ~fds:(Base.fd_table t.base);
+          ckpt_cut t
+        end;
         let warned = Detector.warnings (Base.detector t.base) in
         Detector.clear (Base.detector t.base);
         match warned with
@@ -298,7 +393,10 @@ let rec exec_attempt t op ~attempt =
                continue.  The warning stays counted in the detector. *)
             outcome
         | _ ->
-            if not committed then Oplog.record t.oplog op outcome;
+            if not committed then begin
+              Oplog.record t.oplog op outcome;
+              ckpt_fold t
+            end;
             outcome)
     | exception Detector.Base_bug { bug; msg } ->
         recover_and_maybe_retry t op ~attempt (Report.Panic { bug; msg })
@@ -369,7 +467,18 @@ let reset_stats t =
   t.s_discrepancies <- 0;
   Oplog.reset_stats t.oplog;
   Rae_obs.Metrics.h_reset t.recovery_hist;
-  List.iter (fun (_, h) -> Rae_obs.Metrics.h_reset h) t.ph_hists
+  List.iter (fun (_, h) -> Rae_obs.Metrics.h_reset h) t.ph_hists;
+  match t.ckpt with Some c -> Checkpoint.reset_stats c | None -> ()
+
+let checkpoint_now t =
+  match t.ckpt with
+  | None -> Error "checkpointing is disabled by policy"
+  | Some c ->
+      Checkpoint.cut c ~window:(Oplog.length t.oplog) ~fds:(Oplog.fd_snapshot t.oplog)
+        ~next_seq:(Oplog.next_seq t.oplog) ~commit_seq:t.last_commit_seq
+
+let checkpoint_stats t = Option.map Checkpoint.stats t.ckpt
+let checkpoint_valid t = match t.ckpt with Some c -> Checkpoint.valid c | None -> false
 
 let recoveries t = List.rev t.recovery_log
 
@@ -417,4 +526,5 @@ let register_obs reg t =
         (Printf.sprintf "rae_phase_%s_ns" (String.map (fun c -> if c = '-' then '_' else c) name))
         h)
     t.ph_hists;
+  (match t.ckpt with Some c -> Checkpoint.register_obs reg c | None -> ());
   Base.register_obs reg t.base

@@ -46,6 +46,13 @@ type policy = {
           preferring the shadow's answer (default false) *)
   max_recovery_attempts : int;  (** per-operation bound on recursive recoveries (default 3) *)
   shadow_checks : bool;  (** the shadow's runtime invariant checking (default true) *)
+  ckpt_enabled : bool;
+      (** maintain a warm shadow {!Checkpoint} so recovery replays only
+          the Δ suffix past the last fold instead of the whole window
+          (default false) *)
+  ckpt_fold_interval : int;
+      (** fold the warm shadow forward every this-many recorded
+          operations (default 32) *)
 }
 
 val default_policy : policy
@@ -94,12 +101,27 @@ val last_recovery : t -> Report.recovery option
 val reset_stats : t -> unit
 (** Zero the controller's counters and oplog/latency statistics so
     before/after windows can be compared (parity with
-    {!Rae_block.Blkmq.reset_stats} and the cache stats API).  The recovery
-    log itself — {!recoveries}, {!discrepancies} — is retained. *)
+    {!Rae_block.Blkmq.reset_stats} and the cache stats API): the op and
+    recovery counters, the oplog totals, the end-to-end recovery and
+    per-phase latency histograms, and the checkpoint counters.  The
+    recovery log itself — {!recoveries}, {!discrepancies} — is retained. *)
+
+val checkpoint_now : t -> (unit, string) result
+(** Force a checkpoint cut.  Fails when checkpointing is disabled by
+    policy, or when the op window is non-empty — a checkpoint is only
+    sound at a journal-commit boundary (call {!sync} first). *)
+
+val checkpoint_stats : t -> Checkpoint.stats option
+(** [None] when checkpointing is disabled by policy. *)
+
+val checkpoint_valid : t -> bool
+(** A warm checkpoint is available to seed the next recovery. *)
 
 val phase_names : string list
 (** The §3.2 pipeline step names, in order, as they appear in spans,
-    [Report.phase] entries and phase-histogram metric names. *)
+    [Report.phase] entries and phase-histogram metric names.  [seed] is
+    emitted only by checkpoint-seeded recoveries (it replaces
+    [shadow-attach] + [fd-reinstate]); cold recoveries emit the rest. *)
 
 val register_obs : Rae_obs.Metrics.t -> t -> unit
 (** Register the whole stack's metrics: the controller's counters and

@@ -34,61 +34,87 @@ let pp_result ppf r =
   List.iter (fun m -> Format.fprintf ppf "  %a@," pp_mismatch m) r.mismatches;
   Format.fprintf ppf "@]"
 
-(* Walk both trees through their public APIs and compare contents. *)
-let states_equal base shadow =
+(* Walk two trees through their public APIs and compare contents.  The
+   walk is generic over a read-only [view] so it can compare base vs
+   shadow (the differential harness) and shadow vs shadow (the
+   checkpoint-equivalence property). *)
+type view = {
+  v_readdir : Path.t -> (string list, Errno.t) Stdlib.result;
+  v_stat : Path.t -> (Types.stat, Errno.t) Stdlib.result;
+  v_read : Path.t -> int -> string option;  (* open / pread whole / close *)
+  v_readlink : Path.t -> (string, Errno.t) Stdlib.result;
+  v_fds : unit -> (Types.fd * Types.ino * Types.open_flags) list;
+}
+
+let base_view base =
+  {
+    v_readdir = (fun p -> Base.readdir base p);
+    v_stat = (fun p -> Base.stat base p);
+    v_read =
+      (fun p len ->
+        match Base.openf base p Types.flags_ro with
+        | Ok fd ->
+            let data = Base.pread base fd ~off:0 ~len in
+            ignore (Base.close base fd);
+            Result.to_option data
+        | Error _ -> None);
+    v_readlink = (fun p -> Base.readlink base p);
+    v_fds = (fun () -> Base.fd_table base);
+  }
+
+let shadow_view shadow =
+  {
+    v_readdir = (fun p -> Shadow.readdir shadow p);
+    v_stat = (fun p -> Shadow.stat shadow p);
+    v_read =
+      (fun p len ->
+        match Shadow.openf shadow p Types.flags_ro with
+        | Ok fd ->
+            let data = Shadow.pread shadow fd ~off:0 ~len in
+            ignore (Shadow.close shadow fd);
+            Result.to_option data
+        | Error _ -> None);
+    v_readlink = (fun p -> Shadow.readlink shadow p);
+    v_fds = (fun () -> Shadow.fd_table shadow);
+  }
+
+let views_equal l r =
   let exception Differ in
   let rec walk path =
-    let b_names = Base.readdir base path in
-    let s_names = Shadow.readdir shadow path in
-    match (b_names, s_names) with
+    match (l.v_readdir path, r.v_readdir path) with
     | Ok b, Ok s ->
         if b <> s then raise Differ;
         List.iter
           (fun name ->
             let child = Path.append path name in
-            let b_st = Base.stat base child and s_st = Shadow.stat shadow child in
-            match (b_st, s_st) with
+            match (l.v_stat child, r.v_stat child) with
             | Ok b, Ok s ->
                 if not (Types.stat_equal b s) then raise Differ;
                 (match b.Types.st_kind with
                 | Types.Directory -> walk child
                 | Types.Regular ->
-                    let read fs_open fs_read fs_close =
-                      match fs_open child with
-                      | Ok fd ->
-                          let data = fs_read fd b.Types.st_size in
-                          ignore (fs_close fd);
-                          data
-                      | Error _ -> raise Differ
+                    let get v =
+                      match v.v_read child b.Types.st_size with
+                      | Some data -> data
+                      | None -> raise Differ
                     in
-                    let b_data =
-                      read
-                        (fun p -> Base.openf base p Types.flags_ro)
-                        (fun fd len -> Base.pread base fd ~off:0 ~len)
-                        (fun fd -> Base.close base fd)
-                    in
-                    let s_data =
-                      read
-                        (fun p -> Shadow.openf shadow p Types.flags_ro)
-                        (fun fd len -> Shadow.pread shadow fd ~off:0 ~len)
-                        (fun fd -> Shadow.close shadow fd)
-                    in
-                    if b_data <> s_data then raise Differ
+                    if get l <> get r then raise Differ
                 | Types.Symlink ->
                     (* stat follows; a symlink kind here is unreachable,
                        but compare targets via readlink when both agree. *)
-                    if Base.readlink base child <> Shadow.readlink shadow child then raise Differ)
+                    if l.v_readlink child <> r.v_readlink child then raise Differ)
             | Error e1, Error e2 when Errno.equal e1 e2 ->
                 (* A dangling symlink: compare the link itself. *)
-                if Base.readlink base child <> Shadow.readlink shadow child then raise Differ
+                if l.v_readlink child <> r.v_readlink child then raise Differ
             | _ -> raise Differ)
           b
     | Error e1, Error e2 when Errno.equal e1 e2 -> ()
     | _ -> raise Differ
   in
-  match walk [] with
-  | () -> Base.fd_table base = Shadow.fd_table shadow
-  | exception Differ -> false
+  match walk [] with () -> l.v_fds () = r.v_fds () | exception Differ -> false
+
+let states_equal base shadow = views_equal (base_view base) (shadow_view shadow)
+let shadow_states_equal a b = views_equal (shadow_view a) (shadow_view b)
 
 let run ?(nblocks = 8192) ?(ninodes = 1024) ?base_config ?bugs ops =
   let fresh () =

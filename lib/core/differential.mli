@@ -49,3 +49,13 @@ val run :
 val run_seeded :
   ?count:int -> ?profile:Rae_workload.Workload.profile -> seed:int64 -> unit -> result
 (** Convenience: generate a workload and {!run} it. *)
+
+val states_equal : Rae_basefs.Base.t -> Rae_shadowfs.Shadow.t -> bool
+(** The end-of-run comparison on its own: walk both trees through their
+    public APIs and compare structure, metadata, file contents and the
+    descriptor tables. *)
+
+val shadow_states_equal : Rae_shadowfs.Shadow.t -> Rae_shadowfs.Shadow.t -> bool
+(** The same walk over two shadow instances — the comparator behind the
+    checkpoint-equivalence property (replay-from-checkpoint must be
+    indistinguishable from replay-from-S0 through the public API). *)

@@ -31,6 +31,14 @@ let record t op outcome =
 
 let entries t = Array.to_list (Array.sub t.buf 0 t.window)
 let length t = t.window
+let next_seq t = t.next_seq
+
+(* Window slots carry consecutive seqs ending at [next_seq - 1], so the
+   suffix from [seq] starts at a computable offset: no scan, O(Δ) copy. *)
+let entries_from t ~seq =
+  let first = t.next_seq - t.window in
+  let start = max 0 (seq - first) in
+  Array.to_list (Array.sub t.buf start (t.window - start))
 
 let checkpoint t ~fds =
   t.discarded <- t.discarded + t.window;

@@ -23,6 +23,16 @@ val entries : t -> Rae_vfs.Op.recorded list
 
 val length : t -> int
 
+val next_seq : t -> int
+(** The seq the next {!record} will assign.  Monotonic across
+    {!checkpoint}s (pruning discards entries, not numbering), so a caller
+    can remember a seq and later ask for the suffix recorded since. *)
+
+val entries_from : t -> seq:int -> Rae_vfs.Op.recorded list
+(** The window entries with [r.seq >= seq], oldest first — the Δ suffix a
+    checkpoint-seeded recovery replays.  O(Δ), not O(window).  A [seq]
+    older than the window start returns the whole window. *)
+
 val checkpoint :
   t -> fds:(Rae_vfs.Types.fd * Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) list -> unit
 (** The base committed: discard the window and snapshot the descriptor

@@ -23,6 +23,7 @@ type recovery = {
   r_discrepancies : discrepancy list;
   r_handoff_blocks : int;
   r_delegated_sync : bool;
+  r_seeded : bool;
   r_wall_seconds : float;
   r_phases : phase list;
   r_outcome : outcome;
@@ -40,10 +41,12 @@ let pp_discrepancy ppf d =
 
 let pp_recovery ppf r =
   Format.fprintf ppf
-    "@[<v 2>recovery [%s]: %s@,window=%d replayed=%d skipped=%d handoff=%d blocks%s (%.4fs)"
+    "@[<v 2>recovery [%s]: %s@,window=%d replayed=%d%s skipped=%d handoff=%d blocks%s (%.4fs)"
     (trigger_to_string r.r_trigger)
     (match r.r_outcome with Recovered -> "recovered" | Recovery_failed msg -> "FAILED: " ^ msg)
-    r.r_window r.r_replayed r.r_skipped r.r_handoff_blocks
+    r.r_window r.r_replayed
+    (if r.r_seeded then " (seeded)" else "")
+    r.r_skipped r.r_handoff_blocks
     (if r.r_delegated_sync then " +delegated fsync" else "")
     r.r_wall_seconds;
   if r.r_phases <> [] then begin

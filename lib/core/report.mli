@@ -35,6 +35,9 @@ type recovery = {
   r_discrepancies : discrepancy list;
   r_handoff_blocks : int;  (** dirty blocks downloaded into the base *)
   r_delegated_sync : bool;  (** an in-flight fsync was handed back to the base *)
+  r_seeded : bool;
+      (** replay was seeded from the warm checkpoint: [r_replayed] counts
+          only the Δ suffix past the fold cursor, not the whole window *)
   r_wall_seconds : float;
   r_phases : phase list;  (** per-phase durations, pipeline order *)
   r_outcome : outcome;

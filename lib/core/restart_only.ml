@@ -14,7 +14,7 @@ type stats = { ops : int; restarts : int; lost_window_ops : int }
 
 let make base =
   let t = { base; window = 0; s_ops = 0; s_restarts = 0; s_lost = 0 } in
-  Base.on_commit base (fun () -> t.window <- 0);
+  Base.on_commit base (fun ~commit_seq:_ -> t.window <- 0);
   t
 
 let restart t =

@@ -266,6 +266,7 @@ let commit t txn =
   end
 
 let abort _t txn = txn_reset txn
+let commit_seq t = t.tail_seq
 
 (* ---- replay ---- *)
 

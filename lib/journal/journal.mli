@@ -65,6 +65,13 @@ val commit : t -> txn -> unit
 val abort : t -> txn -> unit
 (** Discard a built-but-uncommitted transaction (contained reboot path). *)
 
+val commit_seq : t -> int64
+(** The durable transaction sequence: the seq the {e next} commit will be
+    assigned, advanced once per successful {!commit}.  Monotonic over the
+    life of the image (it is persisted in the journal superblock), so two
+    equal readings bracket a commit-free interval — the property the
+    warm-checkpoint cut relies on. *)
+
 val replay : Rae_block.Device.t -> Rae_format.Layout.geometry -> (int, string) result
 (** Crash recovery: scan from the tail, apply every complete committed
     transaction (respecting revokes), flush, and advance the tail.  Returns

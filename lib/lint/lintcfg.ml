@@ -67,7 +67,10 @@ let default_libraries =
 let default =
   {
     libraries = default_libraries;
-    purity_roots = [ "Rae_shadowfs."; "Rae_fsck.Fsck" ];
+    (* Rae_core.Checkpoint holds a live warm shadow: it inherits the
+       shadow's never-writes-to-disk obligation even though it lives in
+       the core library. *)
+    purity_roots = [ "Rae_shadowfs."; "Rae_fsck.Fsck"; "Rae_core.Checkpoint" ];
     purity_sinks =
       [
         "Rae_block.Device.write";

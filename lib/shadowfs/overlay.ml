@@ -22,6 +22,7 @@ let write t blk data =
     invalid_arg "Overlay.write: wrong block size";
   Hashtbl.replace t.blocks blk (Bytes.copy data)
 
+let import t blocks = List.iter (fun (blk, data) -> write t blk data) blocks
 let mem t blk = Hashtbl.mem t.blocks blk
 
 let dirty t =

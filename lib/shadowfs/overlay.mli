@@ -20,6 +20,11 @@ val write : t -> int -> bytes -> unit
     @raise Invalid_argument on wrong-sized blocks or out-of-range block
     numbers. *)
 
+val import : t -> (int * bytes) list -> unit
+(** Bulk-preload overlay content, e.g. an exported {!dirty} list from
+    another overlay over the same device.  Each block goes through
+    {!write}, so the same validation and copy semantics apply. *)
+
 val mem : t -> int -> bool
 (** Is the block shadowed by the overlay? *)
 

@@ -1099,3 +1099,49 @@ let time t = t.time
 let set_time t v = t.time <- v
 let checks_performed t = t.nchecks
 let device_reads t = Overlay.reads_from_device t.ov
+
+(* ---- state export / replay-from-state ---- *)
+
+type state = {
+  st_overlay : (int * bytes) list;
+  st_fds : (Types.fd * Types.ino * Types.open_flags) list;
+  st_time : int64;
+}
+
+let export_state t = { st_overlay = Overlay.dirty t.ov; st_fds = fd_table t; st_time = t.time }
+
+let attach_from ?(config = default_config) state dev =
+  let ov = Overlay.create dev in
+  match Overlay.import ov state.st_overlay with
+  | exception Invalid_argument msg -> Error ("state import: " ^ msg)
+  | () -> (
+      let read blk = Overlay.read ov blk in
+      match Reader.attach read with
+      | Error e -> Error (Reader.error_to_string e)
+      | Ok reader -> (
+          match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
+          | Ok ibm, Ok bbm ->
+              let t =
+                {
+                  ov;
+                  reader;
+                  geo = Reader.geometry reader;
+                  cfg = config;
+                  sb = reader.Reader.sb;
+                  ibm;
+                  bbm;
+                  fds = Hashtbl.create 64;
+                  orphans = Hashtbl.create 16;
+                  time = state.st_time;
+                  nchecks = 0;
+                }
+              in
+              let rec install = function
+                | [] -> Ok t
+                | (fd, ino, flags) :: rest -> (
+                    match install_fd t ~fd ~ino flags with
+                    | Ok () -> install rest
+                    | Error msg -> Error ("state import: " ^ msg))
+              in
+              install state.st_fds
+          | Error e, _ | _, Error e -> Error (Reader.error_to_string e)))

@@ -38,6 +38,7 @@ type conn = {
   mutable session : Session.t option;  (* None until Hello *)
   mutable rx : string;  (* undecoded byte backlog *)
   tx : Buffer.t;
+  enc : Wire.encoder;  (* reused across frames: no per-frame allocation *)
   mutable closed : bool;
 }
 
@@ -93,7 +94,7 @@ let create ?(config = default_config) ?now ctl =
 
 let send t conn frame =
   if not conn.closed then begin
-    Buffer.add_string conn.tx (Wire.encode frame);
+    Wire.encode_into conn.enc frame conn.tx;
     t.s_frames_out <- t.s_frames_out + 1
   end
 
@@ -125,7 +126,7 @@ let open_conn t =
   t.next_cid <- cid + 1;
   t.s_conns_total <- t.s_conns_total + 1;
   Hashtbl.replace t.conns cid
-    { cid; session = None; rx = ""; tx = Buffer.create 256; closed = false };
+    { cid; session = None; rx = ""; tx = Buffer.create 256; enc = Wire.encoder (); closed = false };
   t.order <- t.order @ [ cid ];
   cid
 

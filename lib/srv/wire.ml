@@ -272,20 +272,35 @@ let add_payload b = function
       add_str16 b trigger;
       add_int b wall_us
 
+(* A reusable encoder: one payload buffer and one growable scratch area
+   per connection, so the steady-state serving path allocates nothing per
+   frame beyond what the transport itself copies out. *)
+type encoder = { payload : Buffer.t; mutable scratch : Bytes.t }
+
+let encoder () = { payload = Buffer.create 256; scratch = Bytes.create 256 }
+
+let encode_into enc frame out =
+  Buffer.clear enc.payload;
+  add_payload enc.payload frame;
+  let plen = Buffer.length enc.payload in
+  let need = header_bytes + plen in
+  if Bytes.length enc.scratch < need then
+    enc.scratch <- Bytes.create (max need (2 * Bytes.length enc.scratch));
+  let b = enc.scratch in
+  Codec.set_u16 b 0 magic;
+  Codec.set_u8 b 2 protocol_version;
+  Codec.set_u8 b 3 (tag_of_frame frame);
+  Codec.set_u32_int b 4 plen;
+  Buffer.blit enc.payload 0 b header_bytes plen;
+  let crc = Checksum.crc32c b ~pos:0 ~len:8 in
+  let crc = Checksum.crc32c ~init:crc b ~pos:header_bytes ~len:plen in
+  Codec.set_i32 b 8 crc;
+  Buffer.add_subbytes out b 0 need
+
 let encode frame =
-  let payload = Buffer.create 64 in
-  add_payload payload frame;
-  let plen = Buffer.length payload in
-  let out = Bytes.create (header_bytes + plen) in
-  Codec.set_u16 out 0 magic;
-  Codec.set_u8 out 2 protocol_version;
-  Codec.set_u8 out 3 (tag_of_frame frame);
-  Codec.set_u32_int out 4 plen;
-  Buffer.blit payload 0 out header_bytes plen;
-  let crc = Checksum.crc32c out ~pos:0 ~len:8 in
-  let crc = Checksum.crc32c ~init:crc out ~pos:header_bytes ~len:plen in
-  Codec.set_i32 out 8 crc;
-  Bytes.unsafe_to_string out
+  let out = Buffer.create 64 in
+  encode_into (encoder ()) frame out;
+  Buffer.contents out
 
 (* ---- payload decoding ---- *)
 

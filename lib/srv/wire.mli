@@ -77,8 +77,23 @@ val equal_frame : frame -> frame -> bool
 (** Structural equality (outcome comparison via {!Rae_vfs.Op.outcome_equal}
     with exact timestamps). *)
 
+type encoder
+(** Reusable per-connection encode state: a payload buffer plus a
+    growable scratch area, so the hot serving path serializes frames
+    with no per-frame allocation. *)
+
+val encoder : unit -> encoder
+
+val encode_into : encoder -> frame -> Buffer.t -> unit
+(** Serialize one frame, header included, appending the bytes to the
+    given output buffer (typically the connection's tx buffer).  The
+    encoder's scratch state is clobbered; one encoder must not be shared
+    across connections that encode concurrently. *)
+
 val encode : frame -> string
-(** Serialize one frame, header included. *)
+(** Serialize one frame, header included.  Convenience wrapper over
+    {!encode_into} with a throwaway encoder (tests, client one-shots);
+    servers should hold an {!encoder} per connection instead. *)
 
 val decode : bytes -> pos:int -> len:int -> decode_result
 (** [decode buf ~pos ~len] attempts to decode one frame from

@@ -88,10 +88,21 @@ let test_fsync_forces_commit () =
 let test_on_commit_hook () =
   let _disk, _dev, b = mk_base () in
   let fired = ref 0 in
-  Base.on_commit b (fun () -> incr fired);
+  let seqs = ref [] in
+  Base.on_commit b (fun ~commit_seq ->
+      incr fired;
+      seqs := commit_seq :: !seqs);
   ignore (ok (Base.create b (p "/f") ~mode:0o644));
   ignore (ok (Base.sync b));
-  Alcotest.(check int) "hook fired" 1 !fired
+  Alcotest.(check int) "hook fired" 1 !fired;
+  ignore (ok (Base.create b (p "/g") ~mode:0o644));
+  ignore (ok (Base.sync b));
+  Alcotest.(check int) "hook fired again" 2 !fired;
+  (* The carried commit seq is the journal's durable txn sequence:
+     strictly monotonic across commits. *)
+  match !seqs with
+  | [ s2; s1 ] -> Alcotest.(check bool) "commit seq advances" true (Int64.compare s2 s1 > 0)
+  | _ -> Alcotest.fail "expected two recorded commit seqs"
 
 (* ---- caching ---- *)
 

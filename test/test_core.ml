@@ -364,6 +364,184 @@ let prop_recovery_preserves_whole_tree =
               (String.concat "; " (Rae_workload.Snapshot.diff a b))
       | Error e, _ | _, Error e -> QCheck2.Test.fail_reportf "walk failed: %s" e)
 
+(* ---- warm-shadow checkpointing ---- *)
+
+let ckpt_policy =
+  { Controller.default_policy with Controller.ckpt_enabled = true; Controller.ckpt_fold_interval = 8 }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_checkpoint_refuses_uncommitted_window () =
+  (* Disabled by policy: the API must say so, not silently no-op. *)
+  let _disk, _dev, plain = mk () in
+  (match Controller.checkpoint_now plain with
+  | Error msg ->
+      Alcotest.(check bool) "mentions policy" true (contains msg "disabled")
+  | Ok () -> Alcotest.fail "checkpoint_now must fail when disabled");
+  (* Enabled: a cut is refused while the op window holds an uncommitted
+     suffix — the disk does not yet reflect the recorded ops, so a cut
+     would capture an S0 the oplog is not relative to. *)
+  let _disk, _dev, ctl = mk ~policy:ckpt_policy () in
+  Alcotest.(check bool) "initial cut at mount" true (Controller.checkpoint_valid ctl);
+  ignore (ok (Controller.create ctl (p "/a") ~mode:0o644));
+  (match Controller.checkpoint_now ctl with
+  | Error msg ->
+      Alcotest.(check bool) "mentions uncommitted window" true (contains msg "uncommitted")
+  | Ok () -> Alcotest.fail "cut must refuse a non-empty op window");
+  (* After a sync the window is durable and empty: the cut succeeds. *)
+  ignore (ok (Controller.sync ctl));
+  (match Controller.checkpoint_now ctl with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "cut after sync failed: %s" msg);
+  Alcotest.(check bool) "still valid" true (Controller.checkpoint_valid ctl);
+  match Controller.checkpoint_stats ctl with
+  | None -> Alcotest.fail "stats must exist when enabled"
+  | Some s -> Alcotest.(check bool) "cuts counted" true (s.Rae_core.Checkpoint.cuts >= 2)
+
+let test_seeded_recovery_replays_only_delta () =
+  (* Long uncommitted window, folded in the background: recovery must seed
+     from the warm shadow and replay only the unfolded suffix. *)
+  let _disk, _dev, ctl =
+    mk ~policy:ckpt_policy
+      ~config:{ Base.default_config with Base.commit_interval = max_int }
+      ~bugs:(arm [ "crafted-name-panic" ])
+      ()
+  in
+  for i = 1 to 20 do
+    ignore (ok (Controller.create ctl (p (Printf.sprintf "/f%d" i)) ~mode:0o644))
+  done;
+  let window = (Controller.stats ctl).Controller.window in
+  Alcotest.(check int) "window holds the whole trace" 20 window;
+  (* The panic: seeded recovery, Δ replay. *)
+  ignore (ok (Controller.create ctl (p "/pwn") ~mode:0o644));
+  Alcotest.(check int) "one recovery" 1 (Controller.stats ctl).Controller.recoveries;
+  Alcotest.(check (option Alcotest.string)) "not degraded" None (Controller.degraded ctl);
+  (match Controller.last_recovery ctl with
+  | None -> Alcotest.fail "no recovery report"
+  | Some r ->
+      Alcotest.(check bool) "report marked seeded" true r.Report.r_seeded;
+      Alcotest.(check bool)
+        (Printf.sprintf "replayed %d < window %d" r.Report.r_replayed window)
+        true
+        (r.Report.r_replayed < window));
+  (match Controller.checkpoint_stats ctl with
+  | None -> Alcotest.fail "checkpoint stats missing"
+  | Some s ->
+      Alcotest.(check int) "seeded once" 1 s.Rae_core.Checkpoint.seeded;
+      Alcotest.(check bool) "background folds happened" true (s.Rae_core.Checkpoint.folds >= 1);
+      Alcotest.(check int) "no cold fallback" 0 s.Rae_core.Checkpoint.fallbacks);
+  (* The recovered state is complete: every file, including the one that
+     triggered the panic, is visible on a working filesystem. *)
+  for i = 1 to 20 do
+    Alcotest.(check bool) "pre-panic file visible" true
+      (Result.is_ok (Controller.lookup ctl (p (Printf.sprintf "/f%d" i))))
+  done;
+  Alcotest.(check bool) "panic op's file visible" true
+    (Result.is_ok (Controller.lookup ctl (p "/pwn")))
+
+(* The PR's centerpiece property: replay-from-checkpoint is indistinguishable
+   from replay-from-S0, for arbitrary op sequences and arbitrary cut points.
+   This is the module-level statement — fold a prefix into a warm shadow,
+   seed a fresh instance from its exported state, replay the suffix, and
+   compare against one shadow that replayed everything from S0. *)
+let prop_checkpoint_replay_equivalence =
+  QCheck2.Test.make ~name:"replay-from-checkpoint = replay-from-S0" ~count:25
+    QCheck2.Gen.(triple ui64 (int_range 20 120) (int_range 0 100))
+    (fun (seed, count, cut_pct) ->
+      let module Shadow = Rae_shadowfs.Shadow in
+      let disk = Disk.create ~latency:Disk.zero_latency ~block_size:bs ~nblocks:2048 () in
+      let dev = Device.of_disk disk in
+      ignore (ok (Base.mkfs dev ~ninodes:256 ()));
+      let base =
+        ok (Base.mount ~config:{ Base.default_config with Base.commit_interval = max_int } dev)
+      in
+      (* Execute a sync-free trace against the base: the journal never
+         commits, so the disk stays at S0 and every mutation lands in the
+         window — exactly the state a recovery replays over. *)
+      let ops =
+        List.filter
+          (fun op -> not (Op.is_sync op))
+          (Rae_workload.Workload.uniform (Rae_util.Rng.create seed) ~count)
+      in
+      let entries =
+        List.filter Op.is_mutation ops
+        |> List.mapi (fun seq op -> { Op.op; outcome = Base.exec base op; seq })
+      in
+      let replay sh = List.iter (fun r -> ignore (Shadow.exec_constrained sh r)) in
+      let full = ok (Shadow.attach dev) in
+      replay full entries;
+      (* The checkpointed arm: warm shadow folds the prefix, recovery seeds
+         from its exported state and replays only the suffix. *)
+      let k = cut_pct * List.length entries / 100 in
+      let warm = ok (Shadow.attach dev) in
+      replay warm (List.filteri (fun i _ -> i < k) entries);
+      let seeded = ok (Shadow.attach_from (Shadow.export_state warm) dev) in
+      replay seeded (List.filteri (fun i _ -> i >= k) entries);
+      if Rae_core.Differential.shadow_states_equal full seeded then true
+      else
+        QCheck2.Test.fail_reportf "states diverge at cut %d/%d (seed %Ld)" k
+          (List.length entries) seed)
+
+(* The controller-level statement: with checkpointing on, applications
+   observe exactly the same outcomes and the same final tree as with it
+   off — and both match the executable POSIX spec — even when panics are
+   injected at arbitrary positions in random traces. *)
+let prop_checkpoint_controller_equivalence =
+  QCheck2.Test.make ~name:"ckpt-on = ckpt-off = spec under random panics" ~count:15
+    QCheck2.Gen.(triple ui64 (int_range 60 200) (int_range 1 40))
+    (fun (seed, count, nth) ->
+      let bug () =
+        Bug_registry.arm
+          [
+            {
+              Bug_registry.id = "prop-ckpt-panic";
+              determinism = Bug_registry.Deterministic;
+              trigger = Bug_registry.Nth_op_of_kind (Op.K_create, nth);
+              consequence = Bug_registry.Panic;
+              modeled_after = "property-test injection";
+            };
+          ]
+      in
+      let mk_arm policy =
+        let _disk, _dev, ctl =
+          mk ~policy
+            ~config:{ Base.default_config with Base.commit_interval = 16 }
+            ~bugs:(bug ()) ()
+        in
+        ctl
+      in
+      let on = mk_arm ckpt_policy and off = mk_arm Controller.default_policy in
+      let sp = Spec.make () in
+      let ops = Rae_workload.Workload.uniform (Rae_util.Rng.create seed) ~count in
+      List.iter
+        (fun op ->
+          let want = Spec.exec sp op in
+          let got_on = Controller.exec on op and got_off = Controller.exec off op in
+          if not (Op.outcome_equal want got_on) then
+            QCheck2.Test.fail_reportf "ckpt-on diverges from spec on %s" (Op.to_string op);
+          if not (Op.outcome_equal want got_off) then
+            QCheck2.Test.fail_reportf "ckpt-off diverges from spec on %s" (Op.to_string op))
+        ops;
+      (if Controller.degraded on <> None then QCheck2.Test.fail_report "ckpt-on degraded");
+      (* Checkpointing must only change recovery latency, never its path
+         out: every recovery seeded, none fell back cold. *)
+      (match Controller.checkpoint_stats on with
+      | Some s when s.Rae_core.Checkpoint.fallbacks > 0 ->
+          QCheck2.Test.fail_reportf "%d cold fallback(s)" s.Rae_core.Checkpoint.fallbacks
+      | _ -> ());
+      let snap_on = Rae_workload.Snapshot.capture ~exec:Controller.exec on in
+      let snap_off = Rae_workload.Snapshot.capture ~exec:Controller.exec off in
+      match (snap_on, snap_off) with
+      | Ok a, Ok b ->
+          if Rae_workload.Snapshot.equal a b then true
+          else
+            QCheck2.Test.fail_reportf "trees differ: %s"
+              (String.concat "; " (Rae_workload.Snapshot.diff a b))
+      | Error e, _ | _, Error e -> QCheck2.Test.fail_reportf "walk failed: %s" e)
+
 (* ---- cross-checking finds wrong-result bugs (E9) ---- *)
 
 let test_cross_check_finds_wrong_results () =
@@ -502,6 +680,15 @@ let () =
           Alcotest.test_case "isize corruption caught" `Quick test_isize_corruption_caught_and_recovered;
           q prop_availability_random_traces;
           q prop_recovery_preserves_whole_tree;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "cut refuses uncommitted window" `Quick
+            test_checkpoint_refuses_uncommitted_window;
+          Alcotest.test_case "seeded recovery replays only the delta" `Quick
+            test_seeded_recovery_replays_only_delta;
+          q prop_checkpoint_replay_equivalence;
+          q prop_checkpoint_controller_equivalence;
         ] );
       ( "cross-check",
         [ Alcotest.test_case "wrong results exposed" `Quick test_cross_check_finds_wrong_results ] );

@@ -51,6 +51,46 @@ let test_max_window_highwater () =
   done;
   Alcotest.(check int) "high water is 5" 5 (Oplog.max_window log)
 
+let test_entries_from_suffix () =
+  let log = Oplog.create () in
+  for _ = 1 to 4 do
+    Oplog.record log Op.Sync (Ok Op.Unit)
+  done;
+  Alcotest.(check int) "next_seq counts records" 4 (Oplog.next_seq log);
+  (* A mid-window cursor returns exactly the suffix. *)
+  (match Oplog.entries_from log ~seq:2 with
+  | [ e1; e2 ] ->
+      Alcotest.(check int) "suffix starts at cursor" 2 e1.Op.seq;
+      Alcotest.(check int) "suffix ends at newest" 3 e2.Op.seq
+  | other -> Alcotest.failf "expected 2 entries, got %d" (List.length other));
+  (* A cursor at next_seq means nothing to replay. *)
+  Alcotest.(check int) "empty delta" 0 (List.length (Oplog.entries_from log ~seq:4));
+  (* A cursor older than the window start clamps to the whole window. *)
+  Alcotest.(check int) "clamped to window" 4 (List.length (Oplog.entries_from log ~seq:(-3)));
+  Alcotest.(check bool) "whole window = entries" true
+    (Oplog.entries_from log ~seq:0 = Oplog.entries log)
+
+let test_entries_from_across_checkpoints () =
+  let log = Oplog.create () in
+  for _ = 1 to 3 do
+    Oplog.record log Op.Sync (Ok Op.Unit)
+  done;
+  Oplog.checkpoint log ~fds:[];
+  Alcotest.(check int) "next_seq survives pruning" 3 (Oplog.next_seq log);
+  for _ = 1 to 2 do
+    Oplog.record log Op.Sync (Ok Op.Unit)
+  done;
+  Alcotest.(check int) "next_seq keeps counting" 5 (Oplog.next_seq log);
+  (* Sequences older than the pruned window clamp to what still exists. *)
+  (match Oplog.entries_from log ~seq:1 with
+  | [ e1; e2 ] ->
+      Alcotest.(check int) "first surviving entry" 3 e1.Op.seq;
+      Alcotest.(check int) "newest entry" 4 e2.Op.seq
+  | other -> Alcotest.failf "expected 2 entries, got %d" (List.length other));
+  (match Oplog.entries_from log ~seq:4 with
+  | [ e ] -> Alcotest.(check int) "one-op delta" 4 e.Op.seq
+  | other -> Alcotest.failf "expected 1 entry, got %d" (List.length other))
+
 let test_report_rendering () =
   let d =
     {
@@ -69,6 +109,7 @@ let test_report_rendering () =
       r_discrepancies = [ d ];
       r_handoff_blocks = 3;
       r_delegated_sync = true;
+      r_seeded = true;
       r_wall_seconds = 0.012;
       r_phases = [ { Report.ph_name = "contained-reboot"; ph_ns = 1_500_000L } ];
       r_outcome = Report.Recovered;
@@ -83,6 +124,7 @@ let test_report_rendering () =
   Alcotest.(check bool) "mentions trigger" true (contains "panic(b)");
   Alcotest.(check bool) "mentions window" true (contains "window=10");
   Alcotest.(check bool) "mentions delegation" true (contains "delegated");
+  Alcotest.(check bool) "mentions seeding" true (contains "(seeded)");
   Alcotest.(check bool) "mentions discrepancy" true (contains "discrepancy");
   Alcotest.(check bool) "mentions phase" true (contains "contained-reboot");
   List.iter
@@ -105,6 +147,9 @@ let () =
           Alcotest.test_case "checkpoint" `Quick test_checkpoint_discards_and_snapshots;
           Alcotest.test_case "seq monotonic" `Quick test_seq_monotonic_across_checkpoints;
           Alcotest.test_case "max window" `Quick test_max_window_highwater;
+          Alcotest.test_case "entries_from suffix" `Quick test_entries_from_suffix;
+          Alcotest.test_case "entries_from across checkpoints" `Quick
+            test_entries_from_across_checkpoints;
         ] );
       ("report", [ Alcotest.test_case "rendering" `Quick test_report_rendering ]);
     ]

@@ -168,6 +168,24 @@ let prop_roundtrip =
       | Wire.Frame (g, n) -> Wire.equal_frame f g && n = String.length s
       | Wire.Need_more | Wire.Fail _ -> false)
 
+let prop_encode_into_matches_encode =
+  (* The server's zero-allocation encoder must produce byte-identical
+     output to the plain encoder.  One encoder instance is reused across
+     the whole list so the scratch buffer's grow-and-reuse path is
+     exercised by the size spread of consecutive frames. *)
+  QCheck2.Test.make ~name:"encode_into = encode, one encoder reused" ~count:200
+    ~print:(fun fs -> String.concat " | " (List.map frame_to_string fs))
+    QCheck2.Gen.(list_size (int_range 1 8) gen_frame)
+    (fun frames ->
+      let enc = Wire.encoder () in
+      let out = Buffer.create 256 in
+      List.for_all
+        (fun f ->
+          Buffer.clear out;
+          Wire.encode_into enc f out;
+          Buffer.contents out = Wire.encode f)
+        frames)
+
 let prop_truncated =
   QCheck2.Test.make ~name:"every strict prefix decodes to Need_more" ~count:200
     ~print:frame_to_string gen_frame (fun f ->
@@ -517,6 +535,7 @@ let () =
       ( "wire",
         [
           q prop_roundtrip;
+          q prop_encode_into_matches_encode;
           q prop_truncated;
           q prop_corrupted;
           q prop_chunked;
