@@ -145,6 +145,31 @@ let time_runs ~reps f =
   let sorted = List.sort compare samples in
   List.nth sorted (reps / 2)
 
+(* Median-of-reps timing for competing arms whose results will be
+   compared against each other.  Measuring each arm's reps back to back
+   lets slow allocator/collector drift land entirely in the A-vs-B
+   margin, so the reps are interleaved round-robin across the arms —
+   drift then shifts all arms together and cancels in the paired
+   comparison.  Returns the per-arm medians. *)
+let time_interleaved ~reps fs =
+  Array.iter (fun f -> f ()) fs;
+  Gc.compact ();
+  let samples = Array.map (fun _ -> ref []) fs in
+  for _ = 1 to reps do
+    Array.iteri
+      (fun i f ->
+        Gc.major ();
+        let t0 = Sys.time () in
+        f ();
+        samples.(i) := (Sys.time () -. t0) :: !(samples.(i)))
+      fs
+  done;
+  Array.map
+    (fun s ->
+      let sorted = List.sort compare !s in
+      List.nth sorted (List.length sorted / 2))
+    samples
+
 (* Like [time_runs], but the measured function reports the simulated
    device time its run accrued.  Returns the median (combined, device)
    pair: combined = CPU + device time, the elapsed time of a synchronous
@@ -173,11 +198,11 @@ let fresh_base ?config ?bugs ?(nblocks = 8192) () =
   ignore (ok (Base.mkfs dev ~ninodes:1024 ()));
   (disk, dev, ok (Base.mount ?config ?bugs dev))
 
-let fresh_shadow ?(checks = true) ?(nblocks = 8192) () =
+let fresh_shadow ?(checks = true) ?(fast_paths = true) ?(nblocks = 8192) () =
   let disk = mk_disk ~nblocks () in
   let dev = Device.of_disk disk in
   ignore (ok (Rae_format.Mkfs.format dev ~ninodes:1024 ()));
-  let config = { Shadow.default_config with Shadow.checks } in
+  let config = { Shadow.default_config with Shadow.checks; fast_paths } in
   (disk, ok (Shadow.attach ~config dev))
 
 let run_ops exec fs ops = List.iter (fun op -> ignore (exec fs op)) ops
@@ -252,10 +277,13 @@ let e3_base_vs_shadow () =
         (n /. shadow_t) (shadow_t /. base_t))
     profiles;
   Printf.printf
-    "\nExpected shape: the base (caches + async blk-mq + group commit) sustains a\n\
-     large multiple of the shadow's throughput; the shadow pays for uncached\n\
-     synchronous reads, full-path lookups and pervasive invariant checks.\n\
-     (The shadow issues no writes at all — it is not a durable filesystem.)\n"
+    "\nExpected shape: since the PR 6 fast paths, the default shadow serves\n\
+     cached lookups at or below the base's cost, and it issues no writes at\n\
+     all (it is not a durable filesystem), so raw op/s comparisons flatter\n\
+     it on write/fsync-heavy profiles.  The paper's base-vs-shadow asymmetry\n\
+     — the shadow as the simple, slow, checks-everything implementation —\n\
+     is preserved against the naive shadow; E-shadow-a carries that\n\
+     comparison (naive micro-ops are tens to hundreds of us).\n"
 
 (* Bechamel micro-benchmarks for the idempotent operations. *)
 let e3_micro () =
@@ -370,6 +398,9 @@ let recovery_run ~policy window =
   let ops = W.ops W.Metadata (Rae_util.Rng.create 3L) ~count:window in
   let ops = List.filter (fun op -> not (Op.is_sync op)) ops in
   run_ops Controller.exec ctl ops;
+  (* The recovery wall time below must not absorb a major collection of
+     garbage left by the setup ops or by earlier bench sections. *)
+  Gc.full_major ();
   let reads_before, _ = counts () in
   let sim_before = Rae_util.Vclock.now (Disk.clock disk) in
   ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
@@ -422,10 +453,26 @@ let e_ckpt () =
   Printf.printf "%-8s %12s %12s %9s %11s %11s %8s\n" "window" "cold-wall" "ckpt-wall" "speedup"
     "replayed" "d-replayed" "seeded";
   let floor_violations = ref [] in
+  (* Each recovery is a single event on freshly built state, so one
+     stray scheduler hiccup or GC slice lands squarely in the number:
+     take the best of a few full rebuild+recover rounds per arm. *)
+  let best_recovery ~policy window =
+    let rounds = if !quick then 1 else 3 in
+    let best = ref None in
+    for _ = 1 to rounds do
+      match recovery_run ~policy window with
+      | Some r, _, _, _ -> (
+          match !best with
+          | Some b when b.Report.r_wall_seconds <= r.Report.r_wall_seconds -> ()
+          | _ -> best := Some r)
+      | None, _, _, _ -> ()
+    done;
+    !best
+  in
   List.iter
     (fun window ->
-      let cold, _, _, _ = recovery_run ~policy:Controller.default_policy window in
-      let warm, _, _, _ = recovery_run ~policy:ckpt_policy window in
+      let cold = best_recovery ~policy:Controller.default_policy window in
+      let warm = best_recovery ~policy:ckpt_policy window in
       match (cold, warm) with
       | Some r, Some rc ->
           let speedup =
@@ -461,23 +508,225 @@ let e_ckpt () =
      >=2x at window>=64 is the enforced floor.\n"
 
 (* ---------------------------------------------------------------- *)
+(* E-shadow: the fast path — caches, hints and batching vs naive     *)
+(* ---------------------------------------------------------------- *)
+
+(* Both arms run in this process on the same images, so the speedup is a
+   host-independent shape (same local-replication scheme as E-alloc and
+   E-txn): [fast_paths=false] is the seed's literal walk-and-scan
+   execution, [fast_paths=true] the cached one, property-tested
+   equivalent in test_shadowfs. *)
+let e_shadow () =
+  section "E-shadow | shadow fast path: resolution caches, alloc hints, batched folds";
+  let naive_config = { Shadow.default_config with Shadow.fast_paths = false } in
+  let fresh_with config =
+    let disk = mk_disk () in
+    let dev = Device.of_disk disk in
+    ignore (ok (Rae_format.Mkfs.format dev ~ninodes:1024 ()));
+    (disk, ok (Shadow.attach ~config dev))
+  in
+  let floor_violations = ref [] in
+
+  subsection "E-shadow-a | micro-operations, fast vs naive (>=5x floor enforced)";
+  let micro_setup sh =
+    ignore (ok (Shadow.mkdir sh (p "/a") ~mode:0o755));
+    ignore (ok (Shadow.mkdir sh (p "/a/b") ~mode:0o755));
+    ignore (ok (Shadow.create sh (p "/a/b/leaf") ~mode:0o644));
+    let fd = ok (Shadow.openf sh (p "/a/b/leaf") Types.flags_rw) in
+    ignore (ok (Shadow.pwrite sh fd ~off:0 (String.make 8192 'x')))
+  in
+  let _, fast = fresh_with Shadow.default_config in
+  let _, naive = fresh_with naive_config in
+  micro_setup fast;
+  micro_setup naive;
+  let leaf = p "/a/b/leaf" and dir = p "/a/b" in
+  let iters = sc 50_000 in
+  let measure sh op =
+    time_runs ~reps:(reps 3) (fun () ->
+        match op with
+        | `Lookup -> for _ = 1 to iters do ignore (Shadow.lookup sh leaf) done
+        | `Stat -> for _ = 1 to iters do ignore (Shadow.stat sh leaf) done
+        | `Readdir -> for _ = 1 to iters do ignore (Shadow.readdir sh dir) done)
+  in
+  Printf.printf "%-10s %12s %12s %9s\n" "op" "naive ns/op" "fast ns/op" "speedup";
+  List.iter
+    (fun (name, op) ->
+      let t_naive = measure naive op and t_fast = measure fast op in
+      let per t = t /. float_of_int iters *. 1e9 in
+      let speedup = if t_fast > 0. then t_naive /. t_fast else Float.infinity in
+      Printf.printf "%-10s %12.0f %12.0f %8.1fx\n" name (per t_naive) (per t_fast) speedup;
+      json_note ~sec:"E-shadow" ~name:("micro/" ^ name ^ "-naive") ~unit:"ns_per_op" (per t_naive);
+      json_note ~sec:"E-shadow" ~name:("micro/" ^ name ^ "-fast") ~unit:"ns_per_op" (per t_fast);
+      json_note ~sec:"E-shadow" ~name:("micro/" ^ name ^ "-speedup") ~unit:"x" speedup;
+      if speedup < 5.0 then
+        floor_violations :=
+          Printf.sprintf "micro %s: speedup %.2fx < 5x" name speedup :: !floor_violations)
+    [ ("lookup", `Lookup); ("stat", `Stat); ("readdir", `Readdir) ];
+
+  subsection "E-shadow-b | sustained shadow workloads, fast vs naive";
+  Printf.printf "%-12s %14s %14s %9s\n" "workload" "naive (op/s)" "fast (op/s)" "speedup";
+  List.iter
+    (fun profile ->
+      let ops = W.ops profile (Rae_util.Rng.create 42L) ~count:(sc 2000) in
+      let n = float_of_int (List.length ops) in
+      let run config =
+        time_runs ~reps:(reps 2) (fun () ->
+            let _, sh = fresh_with config in
+            run_ops Shadow.exec sh ops)
+      in
+      let t_naive = run naive_config and t_fast = run Shadow.default_config in
+      let speedup = if t_fast > 0. then t_naive /. t_fast else Float.infinity in
+      Printf.printf "%-12s %14.0f %14.0f %8.1fx\n" (W.profile_name profile) (n /. t_naive)
+        (n /. t_fast) speedup;
+      json_note ~sec:"E-shadow" ~name:(W.profile_name profile ^ "/naive") ~unit:"ops_per_s"
+        (n /. t_naive);
+      json_note ~sec:"E-shadow" ~name:(W.profile_name profile ^ "/fast") ~unit:"ops_per_s"
+        (n /. t_fast);
+      json_note ~sec:"E-shadow" ~name:(W.profile_name profile ^ "/speedup") ~unit:"x" speedup)
+    [ W.Varmail; W.Fileserver; W.Metadata ];
+
+  subsection "E-shadow-c | hot-path fold overhead, ckpt_fold_interval=8 vs ckpt off";
+  (* The fold executes every recorded op a second time on the warm
+     shadow, so on a zero-latency device its overhead is bounded below by
+     shadow-op cost / base-op cost.  Two profiles bracket the range:
+     Metadata is all mutations (worst case — nothing in the replay is a
+     cheap cached read), Varmail is the realistic serving mix.  The naive
+     column folds with [ckpt_fast_paths = false], pricing the same fold
+     before the fast-path work. *)
+  Printf.printf "%-10s %12s %14s %14s %10s %10s\n" "workload" "off (op/s)" "fold8-naive"
+    "fold8-fast" "naive ovh" "fast ovh";
+  List.iter
+    (fun profile ->
+      let ops = W.ops profile (Rae_util.Rng.create 9L) ~count:(sc 8000) in
+      let n = float_of_int (List.length ops) in
+      let fold8 = { ckpt_policy with Controller.ckpt_fold_interval = 8 } in
+      (* The floors below compare arms of this table against each other,
+         so the reps are interleaved (see [time_interleaved]). *)
+      let one policy () =
+        let _, dev, b = fresh_base () in
+        let ctl = Controller.make ~policy ~device:dev b in
+        run_ops Controller.exec ctl ops
+      in
+      let medians =
+        time_interleaved ~reps:(reps 5)
+          [|
+            one Controller.default_policy;
+            one { fold8 with Controller.ckpt_fast_paths = false };
+            one fold8;
+          |]
+      in
+      let t_off = medians.(0) and t_naive = medians.(1) and t_fast = medians.(2) in
+      let ovh t = (t -. t_off) /. t_off *. 100. in
+      let pname = W.profile_name profile in
+      Printf.printf "%-10s %12.0f %14.0f %14.0f %+9.1f%% %+9.1f%%\n" pname (n /. t_off)
+        (n /. t_naive) (n /. t_fast) (ovh t_naive) (ovh t_fast);
+      json_note ~sec:"E-shadow" ~name:("fold8/" ^ pname ^ "/off") ~unit:"ops_per_s" (n /. t_off);
+      json_note ~sec:"E-shadow" ~name:("fold8/" ^ pname ^ "/naive") ~unit:"ops_per_s" (n /. t_naive);
+      json_note ~sec:"E-shadow" ~name:("fold8/" ^ pname ^ "/fast") ~unit:"ops_per_s" (n /. t_fast);
+      json_note ~sec:"E-shadow" ~name:("fold8/" ^ pname ^ "/overhead-naive") ~unit:"pct"
+        (ovh t_naive);
+      json_note ~sec:"E-shadow" ~name:("fold8/" ^ pname ^ "/overhead-fast") ~unit:"pct"
+        (ovh t_fast);
+      (* Shape floors.  Folding re-executes every op on the warm shadow,
+         so overhead is bounded below by shadow-cost/base-cost and can
+         never be literally free on a zero-latency device.  What the fast
+         path must deliver: (a) on the all-mutation worst case — where
+         the replay is pure shadow-mutation work — strictly less overhead
+         than the naive fold (measured +16–35% vs +49–71% across runs);
+         (b) on every profile, overhead within 10pp of the naive fold's
+         (on the lighter varmail mix the shared fold bookkeeping
+         dominates, leaving fast only a few points below naive).
+         Both floors compare two noisy arms of the same run, so they are
+         meaningless at --quick scale (1/8 ops, single rep) and only
+         enforced on full runs; the large-margin micro floors above guard
+         the smoke run. *)
+      let worst_case = match profile with W.Metadata -> true | _ -> false in
+      if (not !quick) && worst_case && ovh t_fast >= ovh t_naive then
+        floor_violations :=
+          Printf.sprintf "fold8 %s: fast overhead %+.1f%% not below naive %+.1f%%" pname
+            (ovh t_fast) (ovh t_naive)
+          :: !floor_violations;
+      if (not !quick) && ovh t_fast > ovh t_naive +. 10. then
+        floor_violations :=
+          Printf.sprintf "fold8 %s: fast overhead %+.1f%% worse than naive %+.1f%%" pname
+            (ovh t_fast) (ovh t_naive)
+          :: !floor_violations)
+    [ W.Metadata; W.Varmail ];
+
+  subsection "E-shadow-d | chunked file contents: append, O(chunk) vs O(file) splice";
+  let module Chunked = Rae_specfs.Chunked in
+  let appends = sc 2000 in
+  let piece = String.make 256 'z' in
+  (* The seed representation, replicated locally: contents as one flat
+     string, every write re-copies the whole file to splice. *)
+  let naive_splice s ~off data =
+    let len = String.length data in
+    let b = Bytes.make (max (String.length s) (off + len)) '\000' in
+    Bytes.blit_string s 0 b 0 (String.length s);
+    Bytes.blit_string data 0 b off len;
+    Bytes.unsafe_to_string b
+  in
+  let t_string =
+    time_runs ~reps:(reps 3) (fun () ->
+        let s = ref "" in
+        for i = 0 to appends - 1 do
+          s := naive_splice !s ~off:(i * 256) piece
+        done)
+  in
+  let t_chunked =
+    time_runs ~reps:(reps 3) (fun () ->
+        let c = ref Chunked.empty in
+        for i = 0 to appends - 1 do
+          c := Chunked.write !c ~off:(i * 256) piece
+        done)
+  in
+  let speedup = if t_chunked > 0. then t_string /. t_chunked else Float.infinity in
+  Printf.printf "%d appends of 256 B:\n" appends;
+  Printf.printf "  flat-string splice: %10.0f appends/s\n" (float_of_int appends /. t_string);
+  Printf.printf "  chunked contents  : %10.0f appends/s  (%.1fx)\n"
+    (float_of_int appends /. t_chunked)
+    speedup;
+  json_note ~sec:"E-shadow" ~name:"append/string" ~unit:"appends_per_s"
+    (float_of_int appends /. t_string);
+  json_note ~sec:"E-shadow" ~name:"append/chunked" ~unit:"appends_per_s"
+    (float_of_int appends /. t_chunked);
+  json_note ~sec:"E-shadow" ~name:"append/speedup" ~unit:"x" speedup;
+
+  if !floor_violations <> [] then begin
+    List.iter (fun v -> Printf.eprintf "E-shadow: %s\n" v) (List.rev !floor_violations);
+    exit 1
+  end;
+  Printf.printf
+    "\nExpected shape: the cached walk resolves from the generation-guarded path\n\
+     cache and per-directory index instead of re-reading and re-checking every\n\
+     block on the path, so micro-ops gain >=5x (enforced); sustained workloads\n\
+     gain a smaller multiple (mutations still pay full validation).  The fold\n\
+     replays every recorded op once on the warm shadow, so on a zero-latency\n\
+     in-memory device its overhead has a hard floor of shadow-cost/base-cost\n\
+     — it can never be literally free here, only on devices whose I/O\n\
+     latency dwarfs the shadow's in-memory replay.  Enforced shape (full\n\
+     runs): on the all-mutation worst case (metadata) the fast fold costs\n\
+     strictly less than the naive fold, and on no profile is it more than\n\
+     10pp worse.  Chunked appends stop re-copying the file.\n"
+
+(* ---------------------------------------------------------------- *)
 (* E6: the cost of extensive runtime checks                          *)
 (* ---------------------------------------------------------------- *)
 
 let e6_check_cost () =
   section "E6 | Extensive runtime checks: affordable for the shadow, not the base";
-  let ops = W.ops W.Metadata (Rae_util.Rng.create 5L) ~count:(sc 1500) in
+  let ops = W.ops W.Metadata (Rae_util.Rng.create 5L) ~count:(sc 6000) in
   let n = float_of_int (List.length ops) in
-  let with_checks =
-    time_runs ~reps:(reps 2) (fun () ->
-        let _, s = fresh_shadow ~checks:true () in
-        run_ops Shadow.exec s ops)
+  (* Both tables here are on/off A-vs-B comparisons, so the reps are
+     interleaved (see [time_interleaved]). *)
+  let shadow_arm checks () =
+    let _, s = fresh_shadow ~checks () in
+    run_ops Shadow.exec s ops
   in
-  let without_checks =
-    time_runs ~reps:(reps 2) (fun () ->
-        let _, s = fresh_shadow ~checks:false () in
-        run_ops Shadow.exec s ops)
+  let medians =
+    time_interleaved ~reps:(reps 5) [| shadow_arm true; shadow_arm false |]
   in
+  let with_checks = medians.(0) and without_checks = medians.(1) in
   let _, counted = fresh_shadow ~checks:true () in
   run_ops Shadow.exec counted ops;
   Printf.printf "shadow, checks ON : %10.0f op/s\n" (n /. with_checks);
@@ -485,14 +734,14 @@ let e6_check_cost () =
   Printf.printf "check slowdown    : %10.1f%%  (%d checks executed)\n"
     ((with_checks -. without_checks) /. without_checks *. 100.)
     (Shadow.checks_performed counted);
-  let base_validate on =
-    time_runs ~reps:(reps 2) (fun () ->
-        let _, _, b =
-          fresh_base ~config:{ Base.default_config with Base.validate_on_commit = on } ()
-        in
-        run_ops Base.exec b ops)
+  let base_arm on () =
+    let _, _, b =
+      fresh_base ~config:{ Base.default_config with Base.validate_on_commit = on } ()
+    in
+    run_ops Base.exec b ops
   in
-  let v_on = base_validate true and v_off = base_validate false in
+  let medians = time_interleaved ~reps:(reps 5) [| base_arm true; base_arm false |] in
+  let v_on = medians.(0) and v_off = medians.(1) in
   Printf.printf "base, validate-on-commit ON : %10.0f op/s\n" (n /. v_on);
   Printf.printf "base, validate-on-commit OFF: %10.0f op/s (validation overhead %.1f%%)\n"
     (n /. v_off)
@@ -508,7 +757,11 @@ let e7_lookup_depth () =
   List.iter
     (fun depth ->
       let _, _, b = fresh_base () in
-      let _, s = fresh_shadow () in
+      (* The paper's claim is about the shadow that omits the dentry
+         cache, i.e. the naive shadow; the default (fast-path) shadow
+         carries a resolution cache that removes this asymmetry — its
+         flat profile is measured in e-shadow. *)
+      let _, s = fresh_shadow ~fast_paths:false () in
       let rec build exec fs prefix d =
         if d > 0 then begin
           let dir = prefix ^ "/d" in
@@ -537,9 +790,12 @@ let e7_lookup_depth () =
       Printf.printf "%-8d %16.0f %16.0f %9.1fx\n" depth (per tb) (per ts) (ts /. tb))
     (if !quick then [ 1; 4; 16 ] else [ 1; 2; 4; 8; 16 ]);
   Printf.printf
-    "\nExpected shape: the shadow's cost grows linearly with depth (it always\n\
-     walks from the root and scans directory blocks); the base's dentry cache\n\
-     keeps lookups near-flat.\n"
+    "\nExpected shape: both costs grow with depth, but the naive shadow pays\n\
+     a full block read plus dirent scan per component (~us/component) while\n\
+     the base's dentry cache reduces each component to a hash hit (~0.1\n\
+     us/component) — a large, roughly depth-independent ratio.  The default\n\
+     fast-path shadow resolves whole paths from its generation-guarded\n\
+     cache and drops below the base (bench e-shadow).\n"
 
 (* ---------------------------------------------------------------- *)
 (* E8: end-to-end availability under injected bugs                   *)
@@ -1323,6 +1579,7 @@ let () =
   if want "e4" then e4_record_overhead ();
   if want "e5" then e5_recovery_latency ();
   if want "e-ckpt" then e_ckpt ();
+  if want "e-shadow" then e_shadow ();
   if want "e6" then e6_check_cost ();
   if want "e7" then e7_lookup_depth ();
   if want "e8" then e8_availability ();

@@ -1483,6 +1483,14 @@ let fd_table t =
   Hashtbl.fold (fun fd { fino; fflags } acc -> (fd, fino, fflags) :: acc) t.fds []
   |> List.sort compare
 
+let fd_count t = Hashtbl.length t.fds
+let fd_iter t f = Hashtbl.iter (fun fd { fino; fflags } -> f fd fino fflags) t.fds
+
+let fd_lookup t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some { fino; fflags } -> Some (fino, fflags)
+  | None -> None
+
 let bcache_stats t = bc_stats t.bcache
 let dcache_stats t = Rae_cache.Dentry.stats t.dcache
 let icache_stats t = IC.stats t.icache

@@ -106,6 +106,18 @@ val bugs : t -> Bug_registry.t
 val time : t -> int64
 val set_time : t -> int64 -> unit
 val fd_table : t -> (Rae_vfs.Types.fd * Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) list
+(** Sorted snapshot of the descriptor table.  Comparators should prefer
+    {!fd_count}/{!fd_iter}/{!fd_lookup}, which probe the live table
+    without materializing a list. *)
+
+val fd_count : t -> int
+
+val fd_iter :
+  t -> (Rae_vfs.Types.fd -> Rae_vfs.Types.ino -> Rae_vfs.Types.open_flags -> unit) -> unit
+
+val fd_lookup :
+  t -> Rae_vfs.Types.fd -> (Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) option
+
 val bcache_stats : t -> Rae_cache.Lru.stats
 val dcache_stats : t -> Rae_cache.Lru.stats
 val icache_stats : t -> Rae_cache.Lru.stats

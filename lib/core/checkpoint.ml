@@ -34,14 +34,20 @@ type t = {
   mutable s_poisons : int;
 }
 
-let create ?tracer ~shadow_checks ~fold_interval device =
+let create ?tracer ?(fast_paths = true) ~shadow_checks ~fold_interval device =
   {
     device;
     (* Never fsck on the warm path: the cut re-reads only the superblock
        and bitmaps (strict), and every folded op runs under the shadow's
        full runtime checks — continuous validation in place of the cold
        path's up-front scan. *)
-    config = { Shadow.checks = shadow_checks; fsck_on_attach = false; max_fds = 1024 };
+    config =
+      {
+        Shadow.default_config with
+        Shadow.checks = shadow_checks;
+        fsck_on_attach = false;
+        fast_paths;
+      };
     tracer;
     fold_interval = max 1 fold_interval;
     warm = None;
@@ -112,23 +118,18 @@ let fold t ~entries ~next_seq =
   | Some warm ->
       with_span t "ckpt-fold" (fun () ->
           try
-            let folded = ref 0 in
-            List.iter
-              (fun r ->
-                if r.Op.seq >= t.cursor then begin
-                  (match Shadow.exec_constrained warm r with
-                  | Shadow.Divergence _ ->
-                      (* Same policy as cold constrained replay: keep the
-                         shadow's own answer and keep going; the count
-                         surfaces through stats/metrics. *)
-                      t.s_fold_divergences <- t.s_fold_divergences + 1
-                  | Shadow.Matches | Shadow.Skipped_error | Shadow.Skipped_sync -> ());
-                  incr folded
-                end)
-              entries;
+            (* The whole window goes to the shadow in one batched pass:
+               the shadow amortizes superblock/bitmap write-back and the
+               summary re-check across the window instead of paying them
+               per op.  Divergences keep the shadow's own answer, same
+               policy as cold constrained replay; the count surfaces
+               through stats/metrics. *)
+            let window = List.filter (fun r -> r.Op.seq >= t.cursor) entries in
+            let res = Shadow.exec_constrained_window warm window in
             t.cursor <- next_seq;
             t.s_folds <- t.s_folds + 1;
-            t.s_folded_ops <- t.s_folded_ops + !folded
+            t.s_folded_ops <- t.s_folded_ops + res.Shadow.w_ops;
+            t.s_fold_divergences <- t.s_fold_divergences + res.Shadow.w_divergences
           with Shadow.Violation _ ->
             (* The warm replica refuses the fold — don't disturb the hot
                path; recovery will take the cold route until the next cut. *)

@@ -37,10 +37,18 @@ type stats = {
 }
 
 val create :
-  ?tracer:Rae_obs.Tracer.t -> shadow_checks:bool -> fold_interval:int -> Rae_block.Device.t -> t
+  ?tracer:Rae_obs.Tracer.t ->
+  ?fast_paths:bool ->
+  shadow_checks:bool ->
+  fold_interval:int ->
+  Rae_block.Device.t ->
+  t
 (** No checkpoint exists until the first {!cut}.  [shadow_checks] is the
     controller's shadow-check policy; the warm instance always attaches
-    without fsck (the fold's continuous validation substitutes). *)
+    without fsck (the fold's continuous validation substitutes).
+    [fast_paths] (default [true]) controls the warm shadow's caching fast
+    paths — disabling it reproduces the naive shadow, which the benches
+    use to price the fold before/after the fast-path work. *)
 
 val cut :
   t ->

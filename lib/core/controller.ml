@@ -12,6 +12,7 @@ type policy = {
   shadow_checks : bool;
   ckpt_enabled : bool;
   ckpt_fold_interval : int;
+  ckpt_fast_paths : bool;
 }
 
 let default_policy =
@@ -24,6 +25,7 @@ let default_policy =
     shadow_checks = true;
     ckpt_enabled = false;
     ckpt_fold_interval = 32;
+    ckpt_fast_paths = true;
   }
 
 type stats = {
@@ -84,8 +86,8 @@ let make ?(policy = default_policy) ?tracer ~device base =
   let ckpt =
     if policy.ckpt_enabled then
       Some
-        (Checkpoint.create ?tracer ~shadow_checks:policy.shadow_checks
-           ~fold_interval:policy.ckpt_fold_interval device)
+        (Checkpoint.create ?tracer ~fast_paths:policy.ckpt_fast_paths
+           ~shadow_checks:policy.shadow_checks ~fold_interval:policy.ckpt_fold_interval device)
     else None
   in
   let t =
@@ -296,9 +298,9 @@ let recover t ~trigger ~inflight ~attempt =
        the liveness precondition). *)
     let config =
       {
+        Shadow.default_config with
         Shadow.checks = t.policy.shadow_checks;
         fsck_on_attach = t.policy.fsck_before_recovery;
-        max_fds = 1024;
       }
     in
     let shadow =

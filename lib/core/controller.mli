@@ -53,6 +53,10 @@ type policy = {
   ckpt_fold_interval : int;
       (** fold the warm shadow forward every this-many recorded
           operations (default 32) *)
+  ckpt_fast_paths : bool;
+      (** let the warm shadow use its caching fast paths while folding
+          (default true); disabling reproduces the naive shadow for
+          overhead measurements *)
 }
 
 val default_policy : policy

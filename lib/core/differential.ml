@@ -43,7 +43,11 @@ type view = {
   v_stat : Path.t -> (Types.stat, Errno.t) Stdlib.result;
   v_read : Path.t -> int -> string option;  (* open / pread whole / close *)
   v_readlink : Path.t -> (string, Errno.t) Stdlib.result;
-  v_fds : unit -> (Types.fd * Types.ino * Types.open_flags) list;
+  (* Descriptor tables are compared by count + probe, not by building and
+     sorting snapshot lists on both sides. *)
+  v_fd_count : unit -> int;
+  v_fd_iter : (Types.fd -> Types.ino -> Types.open_flags -> unit) -> unit;
+  v_fd_lookup : Types.fd -> (Types.ino * Types.open_flags) option;
 }
 
 let base_view base =
@@ -59,7 +63,9 @@ let base_view base =
             Result.to_option data
         | Error _ -> None);
     v_readlink = (fun p -> Base.readlink base p);
-    v_fds = (fun () -> Base.fd_table base);
+    v_fd_count = (fun () -> Base.fd_count base);
+    v_fd_iter = (fun f -> Base.fd_iter base f);
+    v_fd_lookup = (fun fd -> Base.fd_lookup base fd);
   }
 
 let shadow_view shadow =
@@ -75,8 +81,25 @@ let shadow_view shadow =
             Result.to_option data
         | Error _ -> None);
     v_readlink = (fun p -> Shadow.readlink shadow p);
-    v_fds = (fun () -> Shadow.fd_table shadow);
+    v_fd_count = (fun () -> Shadow.fd_count shadow);
+    v_fd_iter = (fun f -> Shadow.fd_iter shadow f);
+    v_fd_lookup = (fun fd -> Shadow.fd_lookup shadow fd);
   }
+
+(* Equal sizes + left ⊆ right (keys are unique) ⇒ equal tables, so one
+   iterate-and-probe pass replaces two sorted snapshot lists. *)
+let fds_equal l r =
+  let exception Differ in
+  l.v_fd_count () = r.v_fd_count ()
+  &&
+  match
+    l.v_fd_iter (fun fd ino flags ->
+        match r.v_fd_lookup fd with
+        | Some (ino', flags') when ino = ino' && flags = flags' -> ()
+        | _ -> raise Differ)
+  with
+  | () -> true
+  | exception Differ -> false
 
 let views_equal l r =
   let exception Differ in
@@ -111,7 +134,7 @@ let views_equal l r =
     | Error e1, Error e2 when Errno.equal e1 e2 -> ()
     | _ -> raise Differ
   in
-  match walk [] with () -> l.v_fds () = r.v_fds () | exception Differ -> false
+  match walk [] with () -> fds_equal l r | exception Differ -> false
 
 let states_equal base shadow = views_equal (base_view base) (shadow_view shadow)
 let shadow_states_equal a b = views_equal (shadow_view a) (shadow_view b)

@@ -109,71 +109,103 @@ let write_record b ~off ~ino ~rec_len ~name ~kind_code =
   let pad_end = off + min rec_len (header_size + pad4 (String.length name)) in
   if pad_end > name_end then Bytes.fill b name_end (pad_end - name_end) '\000'
 
+(* The mutators below walk headers only — no name extraction, no name or
+   kind validation.  They operate on blocks that were validated when first
+   read from the medium ([validate]/[list] on the read path) or freshly
+   created by [empty_block]; extracting a heap string per record just to
+   measure or compare it made every insert into a fullish block cost tens
+   of microseconds.  On a structurally bad block (bad rec_len) they stop
+   and return [false], same as the validated walk did. *)
+
+(* In-place comparison of [name] against the name stored at [off] (whose
+   name_len already matched [String.length name]). *)
+let name_at_equals b off name =
+  let n = String.length name in
+  let rec eq i =
+    i = n || (Bytes.unsafe_get b (off + header_size + i) = String.unsafe_get name i && eq (i + 1))
+  in
+  eq 0
+
+let rec_len_ok ~len off rec_len =
+  rec_len >= header_size && rec_len land 3 = 0 && off + rec_len <= len
+
 let insert b ~name ~ino ~kind_code =
+  let len = Bytes.length b in
   let needed = record_size name in
   (* Walk records looking for a free record big enough, or a live record
      whose slack after its own name can hold the new record. *)
-  let result =
-    walk b ~init:None ~f:(fun found ~off ~ino:rec_ino ~rec_len ~name:rec_name ~kind_code:_ ->
-        match found with
-        | Some _ -> found
-        | None ->
-            if rec_ino = 0 && rec_len >= needed then Some (`Free (off, rec_len))
-            else if rec_ino <> 0 then begin
-              let used = record_size rec_name in
-              if rec_len - used >= needed then Some (`Split (off, used, rec_len))
-              else None
-            end
-            else None)
+  let rec go off =
+    if off + header_size > len then false
+    else
+      let rec_len = Codec.get_u16 b (off + 4) in
+      if not (rec_len_ok ~len off rec_len) then false
+      else
+        let rec_ino = Codec.get_u32_int b off in
+        if rec_ino = 0 then
+          if rec_len >= needed then begin
+            write_record b ~off ~ino ~rec_len ~name ~kind_code;
+            true
+          end
+          else go (off + rec_len)
+        else begin
+          let used = header_size + pad4 (Codec.get_u8 b (off + 6)) in
+          if rec_len - used >= needed then begin
+            (* Shrink the live record to its needed size, put the new
+               record in the freed tail. *)
+            Codec.set_u16 b (off + 4) used;
+            write_record b ~off:(off + used) ~ino ~rec_len:(rec_len - used) ~name ~kind_code;
+            true
+          end
+          else go (off + rec_len)
+        end
   in
-  match result with
-  | Error _ | Ok None -> false
-  | Ok (Some (`Free (off, rec_len))) ->
-      write_record b ~off ~ino ~rec_len ~name ~kind_code;
-      true
-  | Ok (Some (`Split (off, used, rec_len))) ->
-      (* Shrink the live record to its needed size, put the new record in
-         the freed tail. *)
-      Codec.set_u16 b (off + 4) used;
-      write_record b ~off:(off + used) ~ino ~rec_len:(rec_len - used) ~name ~kind_code;
-      true
+  go 0
 
 let remove b name =
-  let result =
-    walk b ~init:(None, None)
-      ~f:(fun (prev_live, found) ~off ~ino ~rec_len ~name:rec_name ~kind_code:_ ->
-        match found with
-        | Some _ -> (prev_live, found)
-        | None ->
-            if ino <> 0 && String.equal rec_name name then (prev_live, Some (off, rec_len, prev_live))
-            else (Some (off, rec_len), found))
+  let len = Bytes.length b in
+  let nlen = String.length name in
+  let rec go off prev =
+    if off + header_size > len then false
+    else
+      let rec_len = Codec.get_u16 b (off + 4) in
+      if not (rec_len_ok ~len off rec_len) then false
+      else
+        let rec_ino = Codec.get_u32_int b off in
+        if rec_ino <> 0 && Codec.get_u8 b (off + 6) = nlen && name_at_equals b off name then begin
+          (match prev with
+          | Some (prev_off, prev_rec_len) when prev_off + prev_rec_len = off ->
+              (* Merge into the predecessor, ext2-style. *)
+              Codec.set_u16 b (prev_off + 4) (prev_rec_len + rec_len)
+          | Some _ | None ->
+              (* First record of the block: mark free. *)
+              Codec.set_u32_int b off 0;
+              Codec.set_u8 b (off + 6) 0;
+              Codec.set_u8 b (off + 7) 0);
+          true
+        end
+        else go (off + rec_len) (Some (off, rec_len))
   in
-  match result with
-  | Error _ | Ok (_, None) -> false
-  | Ok (_, Some (off, rec_len, prev)) ->
-      (match prev with
-      | Some (prev_off, prev_rec_len) when prev_off + prev_rec_len = off ->
-          (* Merge into the predecessor, ext2-style. *)
-          Codec.set_u16 b (prev_off + 4) (prev_rec_len + rec_len)
-      | Some _ | None ->
-          (* First record of the block (or non-adjacent): mark free. *)
-          Codec.set_u32_int b off 0;
-          Codec.set_u8 b (off + 6) 0;
-          Codec.set_u8 b (off + 7) 0);
-      true
+  go 0 None
 
 let set_entry_ino b name ino =
-  let result =
-    walk b ~init:None ~f:(fun found ~off ~ino:rec_ino ~rec_len:_ ~name:rec_name ~kind_code:_ ->
-        match found with
-        | Some _ -> found
-        | None -> if rec_ino <> 0 && String.equal rec_name name then Some off else None)
+  let len = Bytes.length b in
+  let nlen = String.length name in
+  let rec go off =
+    if off + header_size > len then false
+    else
+      let rec_len = Codec.get_u16 b (off + 4) in
+      if not (rec_len_ok ~len off rec_len) then false
+      else if
+        Codec.get_u32_int b off <> 0
+        && Codec.get_u8 b (off + 6) = nlen
+        && name_at_equals b off name
+      then begin
+        Codec.set_u32_int b off ino;
+        true
+      end
+      else go (off + rec_len)
   in
-  match result with
-  | Error _ | Ok None -> false
-  | Ok (Some off) ->
-      Codec.set_u32_int b off ino;
-      true
+  go 0
 
 let count b =
   match fold b ~init:0 ~f:(fun n _ -> n + 1) with Ok n -> n | Error _ -> 0

@@ -20,7 +20,34 @@ let write t blk data =
     invalid_arg (Printf.sprintf "Overlay.write: block %d out of range" blk);
   if Bytes.length data <> Device.block_size t.dev then
     invalid_arg "Overlay.write: wrong block size";
-  Hashtbl.replace t.blocks blk (Bytes.copy data)
+  (* Re-use the stored buffer when the block is already shadowed: stored
+     bytes never escape uncopied ([read]/[dirty] copy on the way out), so
+     blitting in place is unobservable — and it keeps hot blocks
+     (superblock, bitmaps, inode table, directories) from churning one
+     promoted-then-garbage 4 KiB buffer per write. *)
+  match Hashtbl.find_opt t.blocks blk with
+  | Some stored -> Bytes.blit data 0 stored 0 (Bytes.length data)
+  | None -> Hashtbl.add t.blocks blk (Bytes.copy data)
+
+let view t blk f =
+  match Hashtbl.find_opt t.blocks blk with
+  | Some stored -> f stored
+  | None ->
+      t.device_reads <- t.device_reads + 1;
+      f (Device.read t.dev blk)
+
+let rmw t blk f =
+  if blk < 0 || blk >= Device.nblocks t.dev then
+    invalid_arg (Printf.sprintf "Overlay.rmw: block %d out of range" blk);
+  match Hashtbl.find_opt t.blocks blk with
+  | Some stored -> ignore (f stored : bool)
+  | None ->
+      t.device_reads <- t.device_reads + 1;
+      (* The device hands back a fresh buffer, so ownership transfers to
+         the overlay — but only if [f] actually changed it; an untouched
+         block must not show up in the dirty set. *)
+      let b = Device.read t.dev blk in
+      if f b then Hashtbl.add t.blocks blk b
 
 let import t blocks = List.iter (fun (blk, data) -> write t blk data) blocks
 let mem t blk = Hashtbl.mem t.blocks blk

@@ -20,6 +20,21 @@ val write : t -> int -> bytes -> unit
     @raise Invalid_argument on wrong-sized blocks or out-of-range block
     numbers. *)
 
+val view : t -> int -> (bytes -> 'a) -> 'a
+(** Zero-copy read access: [f] is applied to the live stored buffer (or
+    to the device's fresh copy on an overlay miss) and must neither
+    mutate nor retain it.  For read paths that immediately blit what they
+    need out of the block, this replaces {!read}'s copy. *)
+
+val rmw : t -> int -> (bytes -> bool) -> unit
+(** In-place read-modify-write: [f] receives the block's current content
+    and returns whether it modified it.  An already-shadowed block is
+    mutated in place — no copy in, no copy out — which is what makes the
+    hot mutation paths (inode writes, dirent edits) cheap; a block not
+    yet shadowed is read from the device and enters the overlay only when
+    [f] reports a modification.  [f] must not retain the buffer.
+    @raise Invalid_argument on out-of-range block numbers. *)
+
 val import : t -> (int * bytes) list -> unit
 (** Bulk-preload overlay content, e.g. an exported {!dirty} list from
     another overlay over the same device.  Each block goes through

@@ -4,11 +4,27 @@ module Device = Rae_block.Device
 
 exception Violation of string
 
-type config = { checks : bool; fsck_on_attach : bool; max_fds : int }
+type config = { checks : bool; fsck_on_attach : bool; max_fds : int; fast_paths : bool }
 
-let default_config = { checks = true; fsck_on_attach = false; max_fds = 1024 }
+let default_config = { checks = true; fsck_on_attach = false; max_fds = 1024; fast_paths = true }
 
 type fdinfo = { fino : Types.ino; fflags : Types.open_flags }
+
+(* In-memory index over one directory's dirent blocks: name -> entry, plus
+   a memoized sorted name listing for readdir.  Built lazily from the
+   (validated) blocks, then maintained incrementally by the dirent
+   mutators, and dropped whenever the directory's inode is freed.
+
+   [loc] maps each name to the logical directory block holding its slot,
+   so removal touches exactly one block.  [free_hint] bounds the insert
+   scan: every dir block strictly below it is known to have no free slot
+   (inserts advance it past blocks they found full; removals lower it). *)
+type dir_index = {
+  by_name : (string, Dirent.entry) Hashtbl.t;
+  loc : (string, int) Hashtbl.t;
+  mutable free_hint : int;
+  mutable sorted : string list option;
+}
 
 type t = {
   ov : Overlay.t;
@@ -22,23 +38,70 @@ type t = {
   orphans : (int, unit) Hashtbl.t;
   mutable time : int64;
   mutable nchecks : int;
+  (* Fast-path state (all bypassed when [cfg.fast_paths] is false).
+     [gen] is the namespace generation: bumped on every dirent mutation
+     and inode free, it guards [rcache] — a resolution cached under an
+     older generation is never believed.  [icache] holds decoded inodes
+     (coherent because [write_inode]/[free_ino] are the only writers);
+     [dcache] holds per-directory {!dir_index}es.  [ino_hint]/[fd_hint]
+     are lowest-free allocation hints: every id strictly below the hint
+     is allocated.  [batch] marks an {!exec_constrained_window} in
+     flight: mutation epilogues then defer superblock/bitmap write-back
+     and summary checks to the end of the window ([sb_dirty],
+     [ibm_dirty], [bbm_dirty] track what is pending). *)
+  mutable gen : int;
+  icache : (int, Inode.t) Hashtbl.t;
+  dcache : (int, dir_index) Hashtbl.t;
+  rcache : (string list * bool, int * int) Hashtbl.t;
+  mutable ino_hint : int;
+  mutable fd_hint : int;
+  mutable batch : bool;
+  mutable sb_dirty : bool;
+  mutable ibm_dirty : bool;
+  mutable bbm_dirty : bool;
 }
 
 let violation fmt = Format.kasprintf (fun s -> raise (Violation s)) fmt
 
-(* A runtime check: counted, and fatal when it fails. *)
+(* A runtime check: counted, and fatal when it fails.  The failure message
+   is only formatted on failure — the success path must not pay for
+   [kasprintf] (it used to, and it dominated the cost of every check). *)
 let check t cond fmt =
-  Format.kasprintf
-    (fun msg ->
-      if t.cfg.checks then begin
-        t.nchecks <- t.nchecks + 1;
-        if not cond then raise (Violation msg)
-      end)
-    fmt
+  if t.cfg.checks then begin
+    t.nchecks <- t.nchecks + 1;
+    if not cond then Format.kasprintf (fun msg -> raise (Violation msg)) fmt
+    else Format.ikfprintf ignore Format.str_formatter fmt
+  end
+  else Format.ikfprintf ignore Format.str_formatter fmt
 
 let dir_kind_code = Types.kind_code Types.Directory
 
 (* ---- attach ---- *)
+
+let mk_t ov reader config ~ibm ~bbm ~time =
+  {
+    ov;
+    reader;
+    geo = Reader.geometry reader;
+    cfg = config;
+    sb = reader.Reader.sb;
+    ibm;
+    bbm;
+    fds = Hashtbl.create 64;
+    orphans = Hashtbl.create 16;
+    time;
+    nchecks = 0;
+    gen = 0;
+    icache = Hashtbl.create 256;
+    dcache = Hashtbl.create 64;
+    rcache = Hashtbl.create 256;
+    ino_hint = 1;
+    fd_hint = 0;
+    batch = false;
+    sb_dirty = false;
+    ibm_dirty = false;
+    bbm_dirty = false;
+  }
 
 let attach ?(config = default_config) ?tracer dev =
   let ov = Overlay.create dev in
@@ -61,20 +124,7 @@ let attach ?(config = default_config) ?tracer dev =
       | Ok reader -> (
           match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
           | Ok ibm, Ok bbm ->
-              Ok
-                {
-                  ov;
-                  reader;
-                  geo = Reader.geometry reader;
-                  cfg = config;
-                  sb = reader.Reader.sb;
-                  ibm;
-                  bbm;
-                  fds = Hashtbl.create 64;
-                  orphans = Hashtbl.create 16;
-                  time = reader.Reader.sb.Superblock.fs_time;
-                  nchecks = 0;
-                }
+              Ok (mk_t ov reader config ~ibm ~bbm ~time:reader.Reader.sb.Superblock.fs_time)
           | Error e, _ | _, Error e -> Error (Reader.error_to_string e))
   end
   else
@@ -83,20 +133,7 @@ let attach ?(config = default_config) ?tracer dev =
     | Ok reader -> (
         match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
         | Ok ibm, Ok bbm ->
-            Ok
-              {
-                ov;
-                reader;
-                geo = Reader.geometry reader;
-                cfg = config;
-                sb = reader.Reader.sb;
-                ibm;
-                bbm;
-                fds = Hashtbl.create 64;
-                orphans = Hashtbl.create 16;
-                time = reader.Reader.sb.Superblock.fs_time;
-                nchecks = 0;
-              }
+            Ok (mk_t ov reader config ~ibm ~bbm ~time:reader.Reader.sb.Superblock.fs_time)
         | Error e, _ | _, Error e -> Error (Reader.error_to_string e))
 
 (* ---- superblock / bitmap write-back (into the overlay) ---- *)
@@ -122,6 +159,29 @@ let flush_bitmap t which =
   List.iteri (fun i b -> Overlay.write t.ov (start + i) b)
     (Bitmap.to_blocks bm ~block_size:Layout.block_size)
 
+(* On the fast path a bitmap change only marks the bitmap dirty; the
+   serialization into the overlay happens once per mutation (or once per
+   fold window) instead of on every alloc/free.  Aborted mutations that
+   allocated and then freed are net-zero: the overlay keeps its pre-op
+   bitmap blocks, which equal the rolled-back in-memory bitmaps, so the
+   op-boundary invariant "overlay == in-memory" still holds. *)
+let mark_bitmap_dirty t which =
+  if t.cfg.fast_paths then
+    match which with
+    | `Inode -> t.ibm_dirty <- true
+    | `Block -> t.bbm_dirty <- true
+  else flush_bitmap t which
+
+let flush_dirty_bitmaps t =
+  if t.ibm_dirty then begin
+    t.ibm_dirty <- false;
+    flush_bitmap t `Inode
+  end;
+  if t.bbm_dirty then begin
+    t.bbm_dirty <- false;
+    flush_bitmap t `Block
+  end
+
 (* Post-mutation summary invariant: superblock counters must agree with the
    bitmaps — the "validate upon sync" style check the base skips. *)
 let check_summaries t =
@@ -138,7 +198,7 @@ let check_summaries t =
 
 let inode_allocated t ino = ino >= 1 && ino <= t.geo.Layout.ninodes && Bitmap.test t.ibm ino
 
-let read_inode t ino =
+let read_inode_slow t ino =
   check t (inode_allocated t ino) "read of unallocated inode %d" ino;
   let blk, pos = Layout.inode_location t.geo ino in
   let b = Overlay.read t.ov blk in
@@ -150,38 +210,67 @@ let read_inode t ino =
   end
   else Inode.decode_nocheck b ~pos
 
+(* The cache stays coherent because [write_inode] and [free_ino] are the
+   only writers of inode slots, and both update it.  Nothing mutates a
+   cached record in place: every updater builds [{ inode with ... }] and
+   copies the [direct] array before changing it. *)
+let read_inode t ino =
+  if not t.cfg.fast_paths then read_inode_slow t ino
+  else
+    match Hashtbl.find_opt t.icache ino with
+    | Some inode -> inode
+    | None ->
+        let inode = read_inode_slow t ino in
+        Hashtbl.replace t.icache ino inode;
+        inode
+
 let write_inode t ino inode =
   let blk, pos = Layout.inode_location t.geo ino in
-  let b = Overlay.read t.ov blk in
-  Inode.encode inode ~ino b ~pos;
-  Overlay.write t.ov blk b
+  Overlay.rmw t.ov blk (fun b ->
+      Inode.encode inode ~ino b ~pos;
+      true);
+  if t.cfg.fast_paths then Hashtbl.replace t.icache ino inode
 
 let clear_inode_slot t ino =
   let blk, pos = Layout.inode_location t.geo ino in
-  let b = Overlay.read t.ov blk in
-  Bytes.fill b pos Layout.inode_size '\000';
-  Overlay.write t.ov blk b
+  Overlay.rmw t.ov blk (fun b ->
+      Bytes.fill b pos Layout.inode_size '\000';
+      true)
 
 (* ---- allocation ---- *)
 
+(* Namespace generation bump: invalidates every cached resolution. *)
+let bump_gen t = t.gen <- t.gen + 1
+
+(* Still exact lowest-free — the spec/shadow/base agreement depends on
+   that — but the scan starts at the hint, below which every inode is
+   known allocated.  Advancing the hint to the found id is safe even if
+   the caller aborts and never claims it: the invariant only covers ids
+   strictly below the hint. *)
 let alloc_ino t =
-  match Bitmap.find_free t.ibm ~from:1 with
+  let from = if t.cfg.fast_paths then max 1 t.ino_hint else 1 in
+  match Bitmap.find_free t.ibm ~from with
   | None -> Error Errno.ENOSPC
   | Some ino ->
       (match Bitmap.set_result t.ibm ino with
       | Ok () -> ()
       | Error msg -> violation "inode allocation: %s" msg);
+      t.ino_hint <- ino;
       t.sb <- { t.sb with Superblock.free_inodes = t.sb.Superblock.free_inodes - 1 };
-      flush_bitmap t `Inode;
+      mark_bitmap_dirty t `Inode;
       Ok ino
 
 let free_ino t ino =
   (match Bitmap.clear_result t.ibm ino with
   | Ok () -> ()
   | Error msg -> violation "inode free: %s" msg);
+  if ino < t.ino_hint then t.ino_hint <- ino;
+  Hashtbl.remove t.icache ino;
+  Hashtbl.remove t.dcache ino;
+  bump_gen t;
   t.sb <- { t.sb with Superblock.free_inodes = t.sb.Superblock.free_inodes + 1 };
   clear_inode_slot t ino;
-  flush_bitmap t `Inode
+  mark_bitmap_dirty t `Inode
 
 (* Next-fit, mirroring the base's allocator discipline (the rotor starts
    at zero on attach, so a fresh shadow is deterministic).  Constrained-
@@ -199,7 +288,7 @@ let alloc_block t =
       (* A fresh block must read as zeroes regardless of stale medium
          content. *)
       Overlay.write t.ov blk (Bytes.make Layout.block_size '\000');
-      flush_bitmap t `Block;
+      mark_bitmap_dirty t `Block;
       Ok blk
 
 let free_block t blk =
@@ -208,7 +297,7 @@ let free_block t blk =
   | Ok () -> ()
   | Error msg -> violation "block free: %s" msg);
   t.sb <- { t.sb with Superblock.free_blocks = t.sb.Superblock.free_blocks + 1 };
-  flush_bitmap t `Block
+  mark_bitmap_dirty t `Block
 
 (* ---- logical->physical block mapping ---- *)
 
@@ -240,9 +329,9 @@ let set_block t inode idx phys =
       in
       Result.map
         (fun (iblk, inode) ->
-          let b = Overlay.read t.ov iblk in
-          ptr_set b idx1 phys;
-          Overlay.write t.ov iblk b;
+          Overlay.rmw t.ov iblk (fun b ->
+              ptr_set b idx1 phys;
+              true);
           inode)
         ensure
     else
@@ -297,11 +386,11 @@ let shrink_blocks t inode ~keep =
       { inode with Inode.indirect = 0 }
     end
     else begin
-      let b = Overlay.read t.ov inode.Inode.indirect in
-      for i = keep - base1 to ppb - 1 do
-        ptr_set b i 0
-      done;
-      Overlay.write t.ov inode.Inode.indirect b;
+      Overlay.rmw t.ov inode.Inode.indirect (fun b ->
+          for i = keep - base1 to ppb - 1 do
+            ptr_set b i 0
+          done;
+          true);
       inode
     end
   in
@@ -319,13 +408,12 @@ let shrink_blocks t inode ~keep =
             free_block t l1;
             ptr_set db i 0
           end
-          else if (i + 1) * ppb > keep2 then begin
-            let lb = Overlay.read t.ov l1 in
-            for j = keep2 - (i * ppb) to ppb - 1 do
-              ptr_set lb j 0
-            done;
-            Overlay.write t.ov l1 lb
-          end
+          else if (i + 1) * ppb > keep2 then
+            Overlay.rmw t.ov l1 (fun lb ->
+                for j = keep2 - (i * ppb) to ppb - 1 do
+                  ptr_set lb j 0
+                done;
+                true)
         end
       done;
       if keep <= base2 then begin
@@ -355,10 +443,7 @@ let read_range t inode ~off ~len =
       let chunk = min (Layout.block_size - boff) (len - !pos) in
       let phys = get_block t inode idx in
       if phys = 0 then Bytes.fill buf !pos chunk '\000'
-      else begin
-        let b = Overlay.read t.ov phys in
-        Bytes.blit b boff buf !pos chunk
-      end;
+      else Overlay.view t.ov phys (fun b -> Bytes.blit b boff buf !pos chunk);
       pos := !pos + chunk
     done;
     Bytes.to_string buf
@@ -384,9 +469,9 @@ let write_range t inode ~off data =
       match with_block with
       | Error e -> Error e
       | Ok (inode, phys) ->
-          let b = Overlay.read t.ov phys in
-          Bytes.blit_string data pos b boff chunk;
-          Overlay.write t.ov phys b;
+          Overlay.rmw t.ov phys (fun b ->
+              Bytes.blit_string data pos b boff chunk;
+              true);
           go inode (pos + chunk)
     end
   in
@@ -396,10 +481,14 @@ let write_range t inode ~off data =
 
 let dir_nblocks inode = Inode.blocks_for_size inode.Inode.size
 
-let dir_block t inode idx =
+let dir_phys t inode idx =
   let phys = get_block t inode idx in
   check t (phys <> 0) "directory has a hole at block %d" idx;
   if phys = 0 then violation "directory hole at block %d" idx;
+  phys
+
+let dir_block t inode idx =
+  let phys = dir_phys t inode idx in
   (phys, Overlay.read t.ov phys)
 
 let dir_entries_of_block t b =
@@ -411,7 +500,7 @@ let dir_entries_of_block t b =
   end
   else Dirent.list_nocheck b
 
-let dir_find t inode name =
+let dir_scan_find t inode name =
   let n = dir_nblocks inode in
   let rec go idx =
     if idx >= n then None
@@ -433,56 +522,189 @@ let dir_list t inode =
   in
   go 0 []
 
-let dir_is_empty t inode =
-  List.for_all (fun e -> e.Dirent.name = "." || e.Dirent.name = "..") (dir_list t inode)
+(* The lazily built per-directory index.  The backing blocks are validated
+   by [dir_entries_of_block] at build time; afterwards they only change
+   through the mutators below, each of which updates the index in step. *)
+let dir_index t ~dino dinode =
+  match Hashtbl.find_opt t.dcache dino with
+  | Some ix -> ix
+  | None ->
+      let by_name = Hashtbl.create 16 in
+      let loc = Hashtbl.create 16 in
+      let n = dir_nblocks dinode in
+      for idx = 0 to n - 1 do
+        let _, b = dir_block t dinode idx in
+        List.iter
+          (fun e ->
+            Hashtbl.replace by_name e.Dirent.name e;
+            Hashtbl.replace loc e.Dirent.name idx)
+          (dir_entries_of_block t b)
+      done;
+      let ix = { by_name; loc; free_hint = 0; sorted = None } in
+      Hashtbl.replace t.dcache dino ix;
+      ix
+
+let dir_find t ~dino dinode name =
+  if t.cfg.fast_paths then Hashtbl.find_opt (dir_index t ~dino dinode).by_name name
+  else dir_scan_find t dinode name
+
+let dir_is_empty t ~dino dinode =
+  if t.cfg.fast_paths then begin
+    let exception Nonempty in
+    let ix = dir_index t ~dino dinode in
+    try
+      Hashtbl.iter
+        (fun name _ -> if name <> "." && name <> ".." then raise Nonempty)
+        ix.by_name;
+      true
+    with Nonempty -> false
+  end
+  else List.for_all (fun e -> e.Dirent.name = "." || e.Dirent.name = "..") (dir_list t dinode)
+
+(* Names of a directory, "." and ".." excluded, sorted — the readdir view.
+   Memoized on the index until the next entry mutation. *)
+let dir_names t ~dino dinode =
+  if t.cfg.fast_paths then begin
+    let ix = dir_index t ~dino dinode in
+    match ix.sorted with
+    | Some names -> names
+    | None ->
+        let names =
+          Hashtbl.fold
+            (fun name _ acc -> if name = "." || name = ".." then acc else name :: acc)
+            ix.by_name []
+          |> List.sort compare
+        in
+        ix.sorted <- Some names;
+        names
+  end
+  else
+    dir_list t dinode
+    |> List.filter_map (fun e ->
+           if e.Dirent.name = "." || e.Dirent.name = ".." then None else Some e.Dirent.name)
+    |> List.sort compare
+
+(* Index maintenance for the dirent mutators: keep [by_name] in step when
+   an index exists (else it will be rebuilt lazily from the blocks), and
+   always bump the namespace generation. *)
+let note_entry_added t ~dino entry =
+  bump_gen t;
+  match Hashtbl.find_opt t.dcache dino with
+  | None -> ()
+  | Some ix ->
+      Hashtbl.replace ix.by_name entry.Dirent.name entry;
+      ix.sorted <- None
+
+let note_entry_removed t ~dino name =
+  bump_gen t;
+  match Hashtbl.find_opt t.dcache dino with
+  | None -> ()
+  | Some ix ->
+      Hashtbl.remove ix.by_name name;
+      ix.sorted <- None
 
 (* Insert an entry, growing the directory by one block if necessary.
-   Returns the updated directory inode. *)
-let dir_insert t dinode ~name ~ino ~kind_code =
+   Returns the updated directory inode.  On the fast path the scan for a
+   free slot starts at the index's [free_hint] rather than block 0 — a
+   growing directory would otherwise re-walk every full block on every
+   insert, which turned one-directory workloads quadratic. *)
+let dir_insert t ~dino dinode ~name ~ino ~kind_code =
   let n = dir_nblocks dinode in
+  let ix = if t.cfg.fast_paths then Some (dir_index t ~dino dinode) else None in
+  let placed idx =
+    match ix with
+    | Some ix ->
+        ix.free_hint <- idx;
+        Hashtbl.replace ix.loc name idx
+    | None -> ()
+  in
   let rec try_existing idx =
     if idx >= n then None
     else begin
-      let phys, b = dir_block t dinode idx in
-      if Dirent.insert b ~name ~ino ~kind_code then begin
-        Overlay.write t.ov phys b;
+      let phys = dir_phys t dinode idx in
+      let inserted = ref false in
+      Overlay.rmw t.ov phys (fun b ->
+          inserted := Dirent.insert b ~name ~ino ~kind_code;
+          !inserted);
+      if !inserted then begin
+        placed idx;
         Some dinode
       end
       else try_existing (idx + 1)
     end
   in
-  match try_existing 0 with
-  | Some dinode -> Ok dinode
+  let noted r =
+    if Result.is_ok r then note_entry_added t ~dino { Dirent.ino; kind_code; name };
+    r
+  in
+  let start = match ix with Some ix -> min ix.free_hint n | None -> 0 in
+  match try_existing start with
+  | Some dinode -> noted (Ok dinode)
   | None ->
-      Result.bind (alloc_block t) (fun blk ->
-          let b = Dirent.empty_block () in
-          if not (Dirent.insert b ~name ~ino ~kind_code) then violation "empty dir block refused insert";
-          Overlay.write t.ov blk b;
-          Result.map
-            (fun dinode -> { dinode with Inode.size = dinode.Inode.size + Layout.block_size })
-            (set_block t dinode n blk))
+      noted
+        (Result.bind (alloc_block t) (fun blk ->
+             let b = Dirent.empty_block () in
+             if not (Dirent.insert b ~name ~ino ~kind_code) then
+               violation "empty dir block refused insert";
+             Overlay.write t.ov blk b;
+             Result.map
+               (fun dinode ->
+                 placed n;
+                 { dinode with Inode.size = dinode.Inode.size + Layout.block_size })
+               (set_block t dinode n blk)))
 
-let dir_remove t dinode ~name =
+(* Remove an entry.  On the fast path [loc] names the one block holding
+   the slot; the full scan remains as the naive path and as a fallback. *)
+let dir_remove t ~dino dinode ~name =
   let n = dir_nblocks dinode in
-  let rec go idx =
-    if idx >= n then false
+  let remove_at idx =
+    if idx < 0 || idx >= n then false
     else begin
-      let phys, b = dir_block t dinode idx in
-      if Dirent.remove b name then begin
-        Overlay.write t.ov phys b;
-        true
-      end
-      else go (idx + 1)
+      let phys = dir_phys t dinode idx in
+      let removed = ref false in
+      Overlay.rmw t.ov phys (fun b ->
+          removed := Dirent.remove b name;
+          !removed);
+      !removed
     end
   in
-  go 0
+  let removed_at =
+    let located =
+      if t.cfg.fast_paths then
+        match Hashtbl.find_opt (dir_index t ~dino dinode).loc name with
+        | Some idx when remove_at idx -> Some idx
+        | _ -> None
+      else None
+    in
+    match located with
+    | Some _ as r -> r
+    | None ->
+        let rec go idx =
+          if idx >= n then None else if remove_at idx then Some idx else go (idx + 1)
+        in
+        go 0
+  in
+  match removed_at with
+  | None -> false
+  | Some idx ->
+      (if t.cfg.fast_paths then begin
+         let ix = dir_index t ~dino dinode in
+         Hashtbl.remove ix.loc name;
+         if idx < ix.free_hint then ix.free_hint <- idx
+       end);
+      note_entry_removed t ~dino name;
+      true
 
-let dir_set_dotdot t dinode ~parent =
-  let phys, b = dir_block t dinode 0 in
-  if not (Dirent.set_entry_ino b ".." parent) then violation "directory has no \"..\" entry";
-  Overlay.write t.ov phys b
+let dir_set_dotdot t ~dino dinode ~parent =
+  let phys = dir_phys t dinode 0 in
+  let set = ref false in
+  Overlay.rmw t.ov phys (fun b ->
+      set := Dirent.set_entry_ino b ".." parent;
+      !set);
+  if not !set then violation "directory has no \"..\" entry";
+  note_entry_added t ~dino { Dirent.ino = parent; kind_code = dir_kind_code; name = ".." }
 
-(* ---- path resolution (always from the root, no dentry cache) ---- *)
+(* ---- path resolution (from the root, with a generation-guarded cache) ---- *)
 
 let rec walk t ino components ~follow_last ~budget =
   match components with
@@ -492,7 +714,7 @@ let rec walk t ino components ~follow_last ~budget =
       match inode.Inode.kind with
       | Types.Regular | Types.Symlink -> Error Errno.ENOTDIR
       | Types.Directory -> (
-          match dir_find t inode name with
+          match dir_find t ~dino:ino inode name with
           | None -> Error Errno.ENOENT
           | Some entry -> (
               let child = entry.Dirent.ino in
@@ -515,8 +737,24 @@ let rec walk t ino components ~follow_last ~budget =
                           ~budget:(budget - 1))
               | Types.Regular | Types.Directory | Types.Symlink -> walk t child rest ~follow_last ~budget)))
 
+(* Only successful resolutions are cached (a negative entry would also
+   have to be invalidated on creation), and only believed while the
+   namespace generation matches.  Symlink targets are immutable once
+   created, so a cached resolution through a symlink can only go stale
+   via namespace changes — which bump the generation. *)
 let resolve t path ~follow_last =
-  walk t Types.root_ino path ~follow_last ~budget:Types.max_symlink_depth
+  if not t.cfg.fast_paths then walk t Types.root_ino path ~follow_last ~budget:Types.max_symlink_depth
+  else
+    match Hashtbl.find_opt t.rcache (path, follow_last) with
+    | Some (ino, g) when g = t.gen -> Ok ino
+    | Some _ | None -> (
+        let r = walk t Types.root_ino path ~follow_last ~budget:Types.max_symlink_depth in
+        match r with
+        | Ok ino ->
+            if Hashtbl.length t.rcache > 512 then Hashtbl.reset t.rcache;
+            Hashtbl.replace t.rcache (path, follow_last) (ino, t.gen);
+            r
+        | Error _ -> r)
 
 let resolve_parent t path =
   match Path.split_last path with
@@ -531,11 +769,23 @@ let resolve_parent t path =
 
 (* ---- fd table ---- *)
 
+(* Lowest-free, scanning from the hint (below which every fd is in use).
+   [close] lowers the hint; [install_fd] only adds, which cannot break
+   the invariant. *)
 let alloc_fd t =
   let rec go i = if Hashtbl.mem t.fds i then go (i + 1) else i in
-  go 0
+  let fd = go (if t.cfg.fast_paths then max 0 t.fd_hint else 0) in
+  t.fd_hint <- fd;
+  fd
 
-let fd_refs t ino = Hashtbl.fold (fun _ f acc -> acc || f.fino = ino) t.fds false
+(* Early exit on the first hit — the old [Hashtbl.fold] kept scanning the
+   whole table after finding one. *)
+let fd_refs t ino =
+  let exception Found in
+  try
+    Hashtbl.iter (fun _ f -> if f.fino = ino then raise Found) t.fds;
+    false
+  with Found -> true
 
 (* Reclaim a zero-linked file once nothing references it. *)
 let maybe_reclaim t ino =
@@ -553,9 +803,18 @@ let tick t =
   t.time <- Int64.add t.time 1L;
   t.time
 
+(* Mutation epilogue.  Outside a fold window: write back any dirty
+   bitmaps, flush the superblock and re-check the summary invariant.
+   Inside a window ([batch]): just note that an epilogue is owed — the
+   window runs it once at the end, amortizing the write-back and the
+   summary check across the batched ops. *)
 let finish_mutation t =
-  flush_sb t;
-  check_summaries t
+  if t.batch then t.sb_dirty <- true
+  else begin
+    flush_dirty_bitmaps t;
+    flush_sb t;
+    check_summaries t
+  end
 
 let touch t ino ~time =
   let inode = read_inode t ino in
@@ -573,7 +832,7 @@ let create_node t path ~mode ~kind ~content =
   match resolve_parent t path with
   | Error e -> Error e
   | Ok (pino, pinode, name) -> (
-      match dir_find t pinode name with
+      match dir_find t ~dino:pino pinode name with
       | Some _ -> Error Errno.EEXIST
       | None -> (
           match alloc_ino t with
@@ -606,7 +865,7 @@ let create_node t path ~mode ~kind ~content =
                   Error e
               | Ok inode -> (
                   write_inode t ino inode;
-                  match dir_insert t pinode ~name ~ino ~kind_code:(Types.kind_code kind) with
+                  match dir_insert t ~dino:pino pinode ~name ~ino ~kind_code:(Types.kind_code kind) with
                   | Error e ->
                       let inode = shrink_blocks t inode ~keep:0 in
                       ignore inode;
@@ -649,7 +908,7 @@ let unlink t path =
         match resolve_parent t path with
         | Error e -> Error e
         | Ok (pino, pinode, name) -> (
-            match dir_find t pinode name with
+            match dir_find t ~dino:pino pinode name with
             | None -> Error Errno.ENOENT
             | Some entry ->
                 let ino = entry.Dirent.ino in
@@ -657,7 +916,7 @@ let unlink t path =
                 if inode.Inode.kind = Types.Directory then Error Errno.EISDIR
                 else begin
                   let time = tick t in
-                  ignore (dir_remove t pinode ~name);
+                  ignore (dir_remove t ~dino:pino pinode ~name);
                   write_inode t ino { inode with Inode.nlink = inode.Inode.nlink - 1; ctime = time };
                   touch t pino ~time;
                   if inode.Inode.nlink - 1 = 0 then
@@ -674,16 +933,16 @@ let rmdir t path =
         match resolve_parent t path with
         | Error e -> Error e
         | Ok (pino, pinode, name) -> (
-            match dir_find t pinode name with
+            match dir_find t ~dino:pino pinode name with
             | None -> Error Errno.ENOENT
             | Some entry ->
                 let ino = entry.Dirent.ino in
                 let inode = read_inode t ino in
                 if inode.Inode.kind <> Types.Directory then Error Errno.ENOTDIR
-                else if not (dir_is_empty t inode) then Error Errno.ENOTEMPTY
+                else if not (dir_is_empty t ~dino:ino inode) then Error Errno.ENOTEMPTY
                 else begin
                   let time = tick t in
-                  ignore (dir_remove t pinode ~name);
+                  ignore (dir_remove t ~dino:pino pinode ~name);
                   let inode = shrink_blocks t inode ~keep:0 in
                   ignore inode;
                   free_ino t ino;
@@ -727,8 +986,8 @@ let openf t path flags =
         | Error Errno.ENOENT when flags.Types.creat -> (
             match resolve_parent t path with
             | Error e -> Error e
-            | Ok (_, pinode, name) -> (
-                match dir_find t pinode name with
+            | Ok (pino, pinode, name) -> (
+                match dir_find t ~dino:pino pinode name with
                 | Some _ -> Error Errno.ENOENT (* dangling symlink at the final hop *)
                 | None -> (
                     match create_node t path ~mode:0o644 ~kind:Types.Regular ~content:"" with
@@ -745,10 +1004,10 @@ let close t fd =
       | None -> Error Errno.EBADF
       | Some { fino; _ } ->
           Hashtbl.remove t.fds fd;
+          if fd < t.fd_hint then t.fd_hint <- fd;
           if Hashtbl.mem t.orphans fino then begin
             maybe_reclaim t fino;
-            flush_sb t;
-            check_summaries t
+            finish_mutation t
           end;
           Ok ())
 
@@ -828,12 +1087,7 @@ let readdir t path =
       | Ok ino ->
           let inode = read_inode t ino in
           if inode.Inode.kind <> Types.Directory then Error Errno.ENOTDIR
-          else
-            Ok
-              (dir_list t inode
-              |> List.filter_map (fun e ->
-                     if e.Dirent.name = "." || e.Dirent.name = ".." then None else Some e.Dirent.name)
-              |> List.sort compare))
+          else Ok (dir_names t ~dino:ino inode))
 
 let rename t src dst =
   guard (fun () ->
@@ -841,13 +1095,15 @@ let rename t src dst =
       else if Path.equal src dst then (
         match resolve_parent t src with
         | Error e -> Error e
-        | Ok (_, pinode, name) -> (
-            match dir_find t pinode name with None -> Error Errno.ENOENT | Some _ -> Ok ()))
+        | Ok (pino, pinode, name) -> (
+            match dir_find t ~dino:pino pinode name with
+            | None -> Error Errno.ENOENT
+            | Some _ -> Ok ()))
       else
         match resolve_parent t src with
         | Error e -> Error e
         | Ok (spino, spinode, sname) -> (
-            match dir_find t spinode sname with
+            match dir_find t ~dino:spino spinode sname with
             | None -> Error Errno.ENOENT
             | Some sentry -> (
                 let sino = sentry.Dirent.ino in
@@ -858,7 +1114,7 @@ let rename t src dst =
                   match resolve_parent t dst with
                   | Error e -> Error e
                   | Ok (dpino, dpinode, dname) -> (
-                      let dst_existing = dir_find t dpinode dname in
+                      let dst_existing = dir_find t ~dino:dpino dpinode dname in
                       match dst_existing with
                       | Some dentry when dentry.Dirent.ino = sino -> Ok ()
                       | _ -> (
@@ -872,7 +1128,7 @@ let rename t src dst =
                                 match (src_is_dir, dinode.Inode.kind) with
                                 | true, (Types.Regular | Types.Symlink) -> Error Errno.ENOTDIR
                                 | true, Types.Directory ->
-                                    if not (dir_is_empty t dinode) then Error Errno.ENOTEMPTY
+                                    if not (dir_is_empty t ~dino dinode) then Error Errno.ENOTEMPTY
                                     else Ok (`Replace_dir dino)
                                 | false, Types.Directory -> Error Errno.EISDIR
                                 | false, (Types.Regular | Types.Symlink) -> Ok (`Replace_file dino))
@@ -885,14 +1141,14 @@ let rename t src dst =
                               (match disposition with
                               | `Nothing -> ()
                               | `Replace_dir dino ->
-                                  ignore (dir_remove t (read_inode t dpino) ~name:dname);
+                                  ignore (dir_remove t ~dino:dpino (read_inode t dpino) ~name:dname);
                                   let dinode = shrink_blocks t (read_inode t dino) ~keep:0 in
                                   ignore dinode;
                                   free_ino t dino;
                                   let dp = read_inode t dpino in
                                   write_inode t dpino { dp with Inode.nlink = dp.Inode.nlink - 1 }
                               | `Replace_file dino ->
-                                  ignore (dir_remove t (read_inode t dpino) ~name:dname);
+                                  ignore (dir_remove t ~dino:dpino (read_inode t dpino) ~name:dname);
                                   let dinode = read_inode t dino in
                                   write_inode t dino
                                     { dinode with Inode.nlink = dinode.Inode.nlink - 1 };
@@ -901,10 +1157,10 @@ let rename t src dst =
                                     else maybe_reclaim t dino);
                               (* Move the entry. *)
                               let spinode = read_inode t spino in
-                              ignore (dir_remove t spinode ~name:sname);
+                              ignore (dir_remove t ~dino:spino spinode ~name:sname);
                               let dpinode = read_inode t dpino in
                               (match
-                                 dir_insert t dpinode ~name:dname ~ino:sino
+                                 dir_insert t ~dino:dpino dpinode ~name:dname ~ino:sino
                                    ~kind_code:(Types.kind_code sinode.Inode.kind)
                                with
                               | Error e -> Error e
@@ -913,7 +1169,7 @@ let rename t src dst =
                                   (* Cross-parent directory moves: ".." and
                                      parent nlinks. *)
                                   if src_is_dir && spino <> dpino then begin
-                                    dir_set_dotdot t (read_inode t sino) ~parent:dpino;
+                                    dir_set_dotdot t ~dino:sino (read_inode t sino) ~parent:dpino;
                                     let sp = read_inode t spino in
                                     write_inode t spino { sp with Inode.nlink = sp.Inode.nlink - 1 };
                                     let dp = read_inode t dpino in
@@ -970,8 +1226,8 @@ let link t src dst =
       else
         match resolve_parent t src with
         | Error e -> Error e
-        | Ok (_, spinode, sname) -> (
-            match dir_find t spinode sname with
+        | Ok (spino, spinode, sname) -> (
+            match dir_find t ~dino:spino spinode sname with
             | None -> Error Errno.ENOENT
             | Some sentry -> (
                 let sino = sentry.Dirent.ino in
@@ -981,12 +1237,12 @@ let link t src dst =
                   match resolve_parent t dst with
                   | Error e -> Error e
                   | Ok (dpino, dpinode, dname) -> (
-                      match dir_find t dpinode dname with
+                      match dir_find t ~dino:dpino dpinode dname with
                       | Some _ -> Error Errno.EEXIST
                       | None -> (
                           let time = tick t in
                           match
-                            dir_insert t dpinode ~name:dname ~ino:sino
+                            dir_insert t ~dino:dpino dpinode ~name:dname ~ino:sino
                               ~kind_code:(Types.kind_code sinode.Inode.kind)
                           with
                           | Error e ->
@@ -1073,6 +1329,44 @@ let exec_constrained t { Op.op; outcome; seq = _ } =
         let shadow_outcome = exec t op in
         if Op.outcome_equal outcome shadow_outcome then Matches else Divergence shadow_outcome
 
+type window_result = { w_ops : int; w_matches : int; w_divergences : int; w_skipped : int }
+
+(* Execute a whole fold window in one batch: per-op mutation epilogues
+   (superblock flush, bitmap write-back, summary checks) are deferred and
+   run once at the end.  All equivalence comparisons in this repository
+   are view-level (op outcomes, readdir/stat/read views, fd tables), so
+   the only observable difference from per-op execution is the overlay's
+   superblock generation count — which nothing checks for a specific
+   value.  On a [Violation] the pending write-back still runs (so the
+   overlay is not left behind the in-memory state) and the exception
+   propagates; the checkpoint poisons the warm shadow in that case. *)
+let exec_constrained_window t entries =
+  if t.batch then invalid_arg "Shadow.exec_constrained_window: nested window";
+  t.batch <- true;
+  let finish () =
+    t.batch <- false;
+    if t.sb_dirty then begin
+      t.sb_dirty <- false;
+      flush_dirty_bitmaps t;
+      flush_sb t
+    end
+  in
+  let step acc r =
+    match exec_constrained t r with
+    | Matches -> { acc with w_ops = acc.w_ops + 1; w_matches = acc.w_matches + 1 }
+    | Divergence _ -> { acc with w_ops = acc.w_ops + 1; w_divergences = acc.w_divergences + 1 }
+    | Skipped_error | Skipped_sync -> { acc with w_ops = acc.w_ops + 1; w_skipped = acc.w_skipped + 1 }
+  in
+  let zero = { w_ops = 0; w_matches = 0; w_divergences = 0; w_skipped = 0 } in
+  match List.fold_left step zero entries with
+  | res ->
+      finish ();
+      check_summaries t;
+      res
+  | exception e ->
+      finish ();
+      raise e
+
 (* ---- accessors ---- *)
 
 let dirty_blocks t = Overlay.dirty t.ov
@@ -1080,6 +1374,14 @@ let dirty_blocks t = Overlay.dirty t.ov
 let fd_table t =
   Hashtbl.fold (fun fd { fino; fflags } acc -> (fd, fino, fflags) :: acc) t.fds []
   |> List.sort compare
+
+let fd_count t = Hashtbl.length t.fds
+let fd_iter t f = Hashtbl.iter (fun fd { fino; fflags } -> f fd fino fflags) t.fds
+
+let fd_lookup t fd =
+  match Hashtbl.find_opt t.fds fd with
+  | Some { fino; fflags } -> Some (fino, fflags)
+  | None -> None
 
 let install_fd t ~fd ~ino flags =
   if Hashtbl.mem t.fds fd then Error (Printf.sprintf "fd %d already installed" fd)
@@ -1121,21 +1423,7 @@ let attach_from ?(config = default_config) state dev =
       | Ok reader -> (
           match (Reader.load_inode_bitmap reader, Reader.load_block_bitmap reader) with
           | Ok ibm, Ok bbm ->
-              let t =
-                {
-                  ov;
-                  reader;
-                  geo = Reader.geometry reader;
-                  cfg = config;
-                  sb = reader.Reader.sb;
-                  ibm;
-                  bbm;
-                  fds = Hashtbl.create 64;
-                  orphans = Hashtbl.create 16;
-                  time = state.st_time;
-                  nchecks = 0;
-                }
-              in
+              let t = mk_t ov reader config ~ibm ~bbm ~time:state.st_time in
               let rec install = function
                 | [] -> Ok t
                 | (fd, ino, flags) :: rest -> (

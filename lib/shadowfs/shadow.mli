@@ -3,8 +3,14 @@
     The paper's robustness-first alternative implementation (§2.3, §3.3):
 
     - {b single-threaded, synchronous}: every operation runs to completion
-      against the device, no queues, no caches — path lookup always walks
-      from the root inode and scans directory blocks linearly;
+      against the device, no queues, no asynchronous state.  Path lookup
+      conceptually walks from the root inode; with [fast_paths] (the
+      default) the walk is served from in-memory read caches — decoded
+      inodes, per-directory name indexes and a generation-guarded
+      resolution cache — that are provably coherent because every mutation
+      funnels through the same few writers.  Setting [fast_paths] to
+      [false] restores the literal walk-and-scan execution (the two are
+      property-tested equivalent);
     - {b never writes to disk}: all updates land in a copy-on-write
       {!Overlay}; {!dirty_blocks} is the recovery hand-off payload;
     - {b extensive runtime checks}: with [checks] enabled (the default)
@@ -32,6 +38,11 @@ type config = {
           the paper's verified-FSCK liveness requirement (default false
           here; RAE recovery turns it on) *)
   max_fds : int;
+  fast_paths : bool;
+      (** serve lookups from coherent in-memory caches and defer
+          bitmap/superblock write-back to mutation boundaries (default
+          true).  [false] gives the naive walk-everything execution —
+          observably equivalent, and kept as the benchmark baseline. *)
 }
 
 val default_config : config
@@ -64,10 +75,38 @@ val exec_constrained : t -> Rae_vfs.Op.recorded -> constrained_result
     On [Divergence] the shadow's state reflects the shadow's outcome (the
     trusted answer); the caller decides whether to continue. *)
 
+type window_result = {
+  w_ops : int;  (** entries processed (including skips) *)
+  w_matches : int;
+  w_divergences : int;
+  w_skipped : int;  (** error-outcome and sync entries *)
+}
+
+val exec_constrained_window : t -> Rae_vfs.Op.recorded list -> window_result
+(** Batched constrained execution: run a whole checkpoint-fold window in
+    one pass, deferring the per-mutation superblock/bitmap write-back and
+    summary re-check to the end of the window.  Equivalent to folding
+    {!exec_constrained} over the list — every state comparison in this
+    repository is view-level, and the only physical difference is the
+    overlay superblock's generation count.  A {!Violation} raised mid-
+    window still leaves the overlay write-back consistent before
+    propagating.  Windows do not nest. *)
+
 val dirty_blocks : t -> (int * bytes) list
 (** The overlay: every block the shadow would have written. *)
 
 val fd_table : t -> (Rae_vfs.Types.fd * Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) list
+(** Sorted snapshot of the descriptor table.  Comparators should prefer
+    {!fd_count}/{!fd_iter}/{!fd_lookup}, which probe the live table
+    without materializing a list. *)
+
+val fd_count : t -> int
+
+val fd_iter :
+  t -> (Rae_vfs.Types.fd -> Rae_vfs.Types.ino -> Rae_vfs.Types.open_flags -> unit) -> unit
+
+val fd_lookup :
+  t -> Rae_vfs.Types.fd -> (Rae_vfs.Types.ino * Rae_vfs.Types.open_flags) option
 
 val install_fd :
   t -> fd:Rae_vfs.Types.fd -> ino:Rae_vfs.Types.ino -> Rae_vfs.Types.open_flags -> (unit, string) result

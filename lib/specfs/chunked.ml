@@ -1,0 +1,82 @@
+module Imap = Map.Make (Int)
+
+let chunk_size = 4096
+
+(* Invariants (see the .mli): stored chunks are exactly [chunk_size] bytes;
+   an absent chunk reads as zeros; stored bytes at logical offsets >= [size]
+   are zero, so growing the file never has to scrub a stale tail. *)
+type t = { size : int; chunks : string Imap.t }
+
+let empty = { size = 0; chunks = Imap.empty }
+let zeros = String.make chunk_size '\000'
+let length t = t.size
+
+let get_chunk t c = match Imap.find_opt c t.chunks with Some s -> s | None -> zeros
+
+let write t ~off data =
+  if off < 0 then invalid_arg "Chunked.write: negative offset";
+  let len = String.length data in
+  if len = 0 then t
+  else begin
+    let new_size = max t.size (off + len) in
+    let c0 = off / chunk_size and c1 = (off + len - 1) / chunk_size in
+    let chunks = ref t.chunks in
+    for c = c0 to c1 do
+      let cbase = c * chunk_size in
+      let lo = max off cbase and hi = min (off + len) (cbase + chunk_size) in
+      if hi - lo = chunk_size then
+        (* The write covers the whole chunk: no read-modify-write. *)
+        chunks := Imap.add c (String.sub data (lo - off) chunk_size) !chunks
+      else begin
+        let buf = Bytes.of_string (get_chunk t c) in
+        Bytes.blit_string data (lo - off) buf (lo - cbase) (hi - lo);
+        chunks := Imap.add c (Bytes.unsafe_to_string buf) !chunks
+      end
+    done;
+    { size = new_size; chunks = !chunks }
+  end
+
+let read t ~off ~len =
+  if off < 0 || len < 0 then invalid_arg "Chunked.read: negative offset or length";
+  if off >= t.size || len = 0 then ""
+  else begin
+    let len = min len (t.size - off) in
+    let buf = Bytes.create len in
+    let c0 = off / chunk_size and c1 = (off + len - 1) / chunk_size in
+    for c = c0 to c1 do
+      let cbase = c * chunk_size in
+      let lo = max off cbase and hi = min (off + len) (cbase + chunk_size) in
+      match Imap.find_opt c t.chunks with
+      | Some s -> Bytes.blit_string s (lo - cbase) buf (lo - off) (hi - lo)
+      | None -> Bytes.fill buf (lo - off) (hi - lo) '\000'
+    done;
+    Bytes.unsafe_to_string buf
+  end
+
+let to_string t = read t ~off:0 ~len:t.size
+let of_string s = write empty ~off:0 s
+
+let truncate t n =
+  if n < 0 then invalid_arg "Chunked.truncate: negative size";
+  if n >= t.size then { t with size = n }
+  else if n = 0 then empty
+  else begin
+    let last = (n - 1) / chunk_size in
+    let below, _, _ = Imap.split (last + 1) t.chunks in
+    let r = n - (last * chunk_size) in
+    (* Zero the cut tail of the boundary chunk so a later size extension
+       reads zeros there (the >= size invariant). *)
+    let chunks =
+      if r = chunk_size then below
+      else
+        match Imap.find_opt last below with
+        | None -> below
+        | Some s ->
+            let buf = Bytes.of_string s in
+            Bytes.fill buf r (chunk_size - r) '\000';
+            Imap.add last (Bytes.unsafe_to_string buf) below
+    in
+    { size = n; chunks }
+  end
+
+let equal a b = a.size = b.size && String.equal (to_string a) (to_string b)

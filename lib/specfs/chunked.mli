@@ -1,0 +1,47 @@
+(** Persistent chunked file contents.
+
+    The spec used to model file data as a flat [string], which makes every
+    [pwrite] O(file size): the whole string is copied to splice a few bytes
+    in.  This module stores the same logical byte sequence as fixed-size
+    chunks in a persistent map, so a write touches only the chunks it
+    overlaps — O(chunk) per write — while sharing every untouched chunk
+    with prior versions (checkpoint copies stay cheap).
+
+    Invariants:
+    - stored chunks are exactly {!chunk_size} bytes;
+    - a chunk absent from the map reads as zeros;
+    - bytes at logical offsets >= [size] are zero in any stored chunk, so
+      extending the file (truncate up, or a write past EOF) exposes zeros
+      without touching the tail chunk.
+
+    Semantics are observationally identical to the flat string — the
+    [chunked ≡ string] qcheck property in [test_specfs] pins this down at
+    chunk boundaries. *)
+
+type t
+
+val chunk_size : int
+(** Fixed chunk granularity (4096, matching the block size). *)
+
+val empty : t
+
+val of_string : string -> t
+val to_string : t -> string
+
+val length : t -> int
+
+val read : t -> off:int -> len:int -> string
+(** [read t ~off ~len] is pread semantics: the bytes in
+    [\[off, min (off+len) (length t))], or [""] when [off >= length t].
+    [off] and [len] must be non-negative. *)
+
+val write : t -> off:int -> string -> t
+(** [write t ~off data] splices [data] at [off], zero-filling any gap
+    between the old end and [off], and growing the file as needed.
+    [off] must be non-negative. *)
+
+val truncate : t -> int -> t
+(** [truncate t n] shrinks or zero-extends to exactly [n] bytes. *)
+
+val equal : t -> t -> bool
+(** Logical equality of contents. *)

@@ -1,8 +1,13 @@
 open Rae_vfs
 module Imap = Map.Make (Int)
-module Smap = Map.Make (String)
+module Dmap = Map.Make (Int)
 
-type node = File of string | Dir of Types.ino Smap.t | Symlink of string
+(* Directory entries are keyed by interned name symbols (see
+   {!Rae_vfs.Intern}): lookups hash the component once instead of comparing
+   strings down a [Map.Make (String)] spine, and the interner is global and
+   append-only, so interned maps survive [copy] untouched.  File contents
+   are chunked ({!Chunked}) so [pwrite] is O(chunk), not O(file size). *)
+type node = File of Chunked.t | Dir of Types.ino Dmap.t | Symlink of string
 
 type info = { node : node; mode : int; nlink : int; mtime : int64; ctime : int64 }
 
@@ -10,42 +15,85 @@ type fdinfo = { fino : Types.ino; fflags : Types.open_flags }
 
 type state = { nodes : info Imap.t; fds : fdinfo Imap.t; time : int64 }
 
-type t = { mutable st : state; max_fds : int; max_file_size : int }
+type t = {
+  mutable st : state;
+  max_fds : int;
+  max_file_size : int;
+  (* Fast-path machinery.  [gen] counts namespace generations: it bumps on
+     every commit that adds, removes or moves a directory entry, and the
+     resolution cache below is only believed when its recorded generation
+     matches.  [ino_hint]/[fd_hint] are lowest-free allocation hints: every
+     id strictly below the hint is allocated, so the scan starts there
+     instead of at the origin — the allocator still returns the exact
+     lowest free id, which the spec/shadow/base agreement depends on. *)
+  mutable gen : int;
+  rcache : (string list * bool, Types.ino * int) Hashtbl.t;
+  mutable ino_hint : int;
+  mutable fd_hint : int;
+}
 
 let max_symlink_target = 4095
 
-let root_info = { node = Dir Smap.empty; mode = 0o755; nlink = 2; mtime = 0L; ctime = 0L }
+let root_info = { node = Dir Dmap.empty; mode = 0o755; nlink = 2; mtime = 0L; ctime = 0L }
 
 let make ?(max_fds = 1024) ?(max_file_size = Rae_format.Layout.max_file_size) () =
   {
     st = { nodes = Imap.singleton Types.root_ino root_info; fds = Imap.empty; time = 0L };
     max_fds;
     max_file_size;
+    gen = 0;
+    rcache = Hashtbl.create 64;
+    ino_hint = 1;
+    fd_hint = 0;
   }
 
 let time t = t.st.time
 let set_time t v = t.st <- { t.st with time = v }
-let copy t = { t with st = t.st }
+
+(* The state is persistent, so copying is one record.  The resolution
+   cache is the only mutable structure that would otherwise be shared:
+   give the copy a fresh one.  The hints copy by value and remain valid
+   lower bounds for the copied state. *)
+let copy t = { t with st = t.st; rcache = Hashtbl.create 64 }
 
 let open_fds t =
-  Imap.fold (fun fd f acc -> (fd, f.fino, f.fflags) :: acc) t.st.fds [] |> List.rev
+  (* [to_rev_seq] walks descending, so consing yields the ascending list
+     directly — no build-then-[List.rev]. *)
+  Seq.fold_left
+    (fun acc (fd, f) -> (fd, f.fino, f.fflags) :: acc)
+    []
+    (Imap.to_rev_seq t.st.fds)
 
 (* ---- allocation ---- *)
 
-let alloc_ino nodes =
+let alloc_ino t nodes =
   let rec go i = if Imap.mem i nodes then go (i + 1) else i in
-  go 1
+  let i = go (max 1 t.ino_hint) in
+  (* Every id in [1, i) was just observed (or previously known) allocated,
+     so advancing the hint to [i] is safe even if the caller aborts and
+     never claims [i]. *)
+  t.ino_hint <- i;
+  i
 
-let alloc_fd fds =
+let alloc_fd t fds =
   let rec go i = if Imap.mem i fds then go (i + 1) else i in
-  go 0
+  let i = go (max 0 t.fd_hint) in
+  t.fd_hint <- i;
+  i
 
+let note_ino_freed t ino = if ino < t.ino_hint then t.ino_hint <- ino
+let note_fd_freed t fd = if fd < t.fd_hint then t.fd_hint <- fd
+
+(* [Map.exists] already stops at the first hit (the [||] spine
+   short-circuits), so unlike the shadow's old [Hashtbl.fold] version this
+   needs no early-exit fix. *)
 let fd_refs st ino = Imap.exists (fun _ f -> f.fino = ino) st.fds
 
 (* Reclaim a zero-linked, unreferenced non-directory node. *)
-let reclaim st ino =
+let reclaim t st ino =
   match Imap.find_opt ino st.nodes with
   | Some info when info.nlink = 0 && not (fd_refs st ino) ->
+      note_ino_freed t ino;
       { st with nodes = Imap.remove ino st.nodes }
   | Some _ | None -> st
 
@@ -58,6 +106,11 @@ let get_exn st ino =
   | Some info -> info
   | None -> invalid_arg (Printf.sprintf "Spec: dangling inode %d" ino)
 
+(* Probe a directory map without ever growing the intern table: a name
+   nobody ever inserted has no symbol and therefore no entry. *)
+let dir_find entries name =
+  match Intern.find name with None -> None | Some k -> Dmap.find_opt k entries
+
 (* Walk [components] from [ino], following intermediate symlinks always and
    the final one iff [follow_last].  [budget] bounds total symlink
    expansions. *)
@@ -69,7 +122,7 @@ let rec walk st ino components ~follow_last ~budget : (Types.ino, Errno.t) Stdli
       | None -> Error Errno.EIO
       | Some { node = File _; _ } | Some { node = Symlink _; _ } -> Error Errno.ENOTDIR
       | Some { node = Dir entries; _ } -> (
-          match Smap.find_opt name entries with
+          match dir_find entries name with
           | None -> Error Errno.ENOENT
           | Some child_ino -> (
               match get st child_ino with
@@ -87,12 +140,31 @@ let rec walk st ino components ~follow_last ~budget : (Types.ino, Errno.t) Stdli
 let resolve st path ~follow_last =
   walk st Types.root_ino path ~follow_last ~budget:Types.max_symlink_depth
 
+(* Generation-guarded resolution cache.  Only successful resolutions are
+   cached (negative entries would have to be invalidated on creation too);
+   a stale generation means some entry moved since, so fall back to the
+   walk.  Symlink targets are immutable once created, so a cached
+   resolution through a symlink can only be invalidated by namespace
+   changes — which bump [gen]. *)
+let resolve_cached t path ~follow_last =
+  match Hashtbl.find_opt t.rcache (path, follow_last) with
+  | Some (ino, g) when g = t.gen -> Ok ino
+  | Some _ | None -> (
+      let r = resolve t.st path ~follow_last in
+      match r with
+      | Ok ino ->
+          if Hashtbl.length t.rcache > 512 then Hashtbl.reset t.rcache;
+          Hashtbl.replace t.rcache (path, follow_last) (ino, t.gen);
+          r
+      | Error _ -> r)
+
 (* Resolve the parent directory of [path]; returns [(parent_ino, name)]. *)
-let resolve_parent st path =
+let resolve_parent t path =
+  let st = t.st in
   match Path.split_last path with
   | None -> Error Errno.EEXIST (* the root: no parent; callers map as needed *)
   | Some (parent, name) -> (
-      match resolve st parent ~follow_last:true with
+      match resolve_cached t parent ~follow_last:true with
       | Error e -> Error e
       | Ok pino -> (
           match get st pino with
@@ -112,13 +184,13 @@ let touch_parent st pino ~time =
 let add_entry st pino name ino =
   let p = get_exn st pino in
   match p.node with
-  | Dir entries -> put st pino { p with node = Dir (Smap.add name ino entries) }
+  | Dir entries -> put st pino { p with node = Dir (Dmap.add (Intern.id name) ino entries) }
   | File _ | Symlink _ -> invalid_arg "Spec.add_entry: parent is not a directory"
 
 let remove_entry st pino name =
   let p = get_exn st pino in
   match p.node with
-  | Dir entries -> put st pino { p with node = Dir (Smap.remove name entries) }
+  | Dir entries -> put st pino { p with node = Dir (Dmap.remove (Intern.id name) entries) }
   | File _ | Symlink _ -> invalid_arg "Spec.remove_entry: parent is not a directory"
 
 let bump_nlink st ino delta =
@@ -129,25 +201,33 @@ let bump_nlink st ino delta =
 
 let commit t st' = t.st <- st'
 
+(* Commit a state whose directory entries changed: invalidate the
+   resolution cache by bumping the namespace generation. *)
+let commit_ns t st' =
+  t.gen <- t.gen + 1;
+  commit t st'
+
 let create t path ~mode =
   let st = t.st in
   if path = [] then Error Errno.EEXIST
   else if mode land lnot 0o777 <> 0 then Error Errno.EINVAL
   else
-    match resolve_parent st path with
+    match resolve_parent t path with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match dir_entries (get_exn st pino) with
         | None -> Error Errno.ENOTDIR
         | Some entries ->
-            if Smap.mem name entries then Error Errno.EEXIST
+            if dir_find entries name <> None then Error Errno.EEXIST
             else begin
               let time = Int64.add st.time 1L in
-              let ino = alloc_ino st.nodes in
-              let st = put st ino { node = File ""; mode; nlink = 1; mtime = time; ctime = time } in
+              let ino = alloc_ino t st.nodes in
+              let st =
+                put st ino { node = File Chunked.empty; mode; nlink = 1; mtime = time; ctime = time }
+              in
               let st = add_entry st pino name ino in
               let st = touch_parent st pino ~time in
-              commit t { st with time };
+              commit_ns t { st with time };
               Ok ino
             end)
 
@@ -156,23 +236,23 @@ let mkdir t path ~mode =
   if path = [] then Error Errno.EEXIST
   else if mode land lnot 0o777 <> 0 then Error Errno.EINVAL
   else
-    match resolve_parent st path with
+    match resolve_parent t path with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match dir_entries (get_exn st pino) with
         | None -> Error Errno.ENOTDIR
         | Some entries ->
-            if Smap.mem name entries then Error Errno.EEXIST
+            if dir_find entries name <> None then Error Errno.EEXIST
             else begin
               let time = Int64.add st.time 1L in
-              let ino = alloc_ino st.nodes in
+              let ino = alloc_ino t st.nodes in
               let st =
-                put st ino { node = Dir Smap.empty; mode; nlink = 2; mtime = time; ctime = time }
+                put st ino { node = Dir Dmap.empty; mode; nlink = 2; mtime = time; ctime = time }
               in
               let st = add_entry st pino name ino in
               let st = bump_nlink st pino 1 in
               let st = touch_parent st pino ~time in
-              commit t { st with time };
+              commit_ns t { st with time };
               Ok ino
             end)
 
@@ -180,7 +260,7 @@ let find_child st pino name =
   match dir_entries (get_exn st pino) with
   | None -> Error Errno.ENOTDIR
   | Some entries -> (
-      match Smap.find_opt name entries with
+      match dir_find entries name with
       | None -> Error Errno.ENOENT
       | Some ino -> Ok ino)
 
@@ -188,7 +268,7 @@ let unlink t path =
   let st = t.st in
   if path = [] then Error Errno.EISDIR
   else
-    match resolve_parent st path with
+    match resolve_parent t path with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match find_child st pino name with
@@ -201,15 +281,15 @@ let unlink t path =
                 let st = remove_entry st pino name in
                 let st = put st ino { info with nlink = info.nlink - 1; ctime = time } in
                 let st = touch_parent st pino ~time in
-                let st = reclaim st ino in
-                commit t { st with time };
+                let st = reclaim t st ino in
+                commit_ns t { st with time };
                 Ok ()))
 
 let rmdir t path =
   let st = t.st in
   if path = [] then Error Errno.EINVAL
   else
-    match resolve_parent st path with
+    match resolve_parent t path with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match find_child st pino name with
@@ -218,14 +298,15 @@ let rmdir t path =
             match get_exn st ino with
             | { node = File _; _ } | { node = Symlink _; _ } -> Error Errno.ENOTDIR
             | { node = Dir entries; _ } ->
-                if not (Smap.is_empty entries) then Error Errno.ENOTEMPTY
+                if not (Dmap.is_empty entries) then Error Errno.ENOTEMPTY
                 else begin
                   let time = Int64.add st.time 1L in
                   let st = remove_entry st pino name in
                   let st = { st with nodes = Imap.remove ino st.nodes } in
+                  note_ino_freed t ino;
                   let st = bump_nlink st pino (-1) in
                   let st = touch_parent st pino ~time in
-                  commit t { st with time };
+                  commit_ns t { st with time };
                   Ok ()
                 end))
 
@@ -240,7 +321,7 @@ let openf t path flags =
   if not (flags_valid flags) then Error Errno.EINVAL
   else if Imap.cardinal st.fds >= t.max_fds then Error Errno.EMFILE
   else
-    match resolve st path ~follow_last:true with
+    match resolve_cached t path ~follow_last:true with
     | Ok ino -> (
         if flags.excl then Error Errno.EEXIST
         else
@@ -249,18 +330,18 @@ let openf t path flags =
           | { node = Symlink _; _ } -> Error Errno.ELOOP (* unreachable: followed *)
           | { node = File data; _ } as info ->
               let st, time =
-                if flags.trunc && String.length data > 0 then begin
+                if flags.trunc && Chunked.length data > 0 then begin
                   let time = Int64.add st.time 1L in
-                  (put st ino { info with node = File ""; mtime = time; ctime = time }, time)
+                  (put st ino { info with node = File Chunked.empty; mtime = time; ctime = time }, time)
                 end
                 else (st, st.time)
               in
-              let fd = alloc_fd st.fds in
+              let fd = alloc_fd t st.fds in
               let st = { st with fds = Imap.add fd { fino = ino; fflags = flags } st.fds; time } in
               commit t st;
               Ok fd)
     | Error Errno.ENOENT when flags.creat -> (
-        match resolve_parent st path with
+        match resolve_parent t path with
         | Error e -> Error e
         | Ok (pino, name) -> (
             match find_child st pino name with
@@ -270,15 +351,16 @@ let openf t path flags =
                 Error Errno.ENOENT
             | Error Errno.ENOENT ->
                 let time = Int64.add st.time 1L in
-                let ino = alloc_ino st.nodes in
+                let ino = alloc_ino t st.nodes in
                 let st =
-                  put st ino { node = File ""; mode = 0o644; nlink = 1; mtime = time; ctime = time }
+                  put st ino
+                    { node = File Chunked.empty; mode = 0o644; nlink = 1; mtime = time; ctime = time }
                 in
                 let st = add_entry st pino name ino in
                 let st = touch_parent st pino ~time in
-                let fd = alloc_fd st.fds in
+                let fd = alloc_fd t st.fds in
                 let st = { st with fds = Imap.add fd { fino = ino; fflags = flags } st.fds; time } in
-                commit t st;
+                commit_ns t st;
                 Ok fd
             | Error e -> Error e))
     | Error e -> Error e
@@ -289,7 +371,8 @@ let close t fd =
   | None -> Error Errno.EBADF
   | Some { fino; _ } ->
       let st = { st with fds = Imap.remove fd st.fds } in
-      let st = reclaim st fino in
+      note_fd_freed t fd;
+      let st = reclaim t st fino in
       commit t st;
       Ok ()
 
@@ -302,20 +385,8 @@ let pread t fd ~off ~len =
       else if off < 0 || len < 0 then Error Errno.EINVAL
       else
         match get_exn st fino with
-        | { node = File data; _ } ->
-            let size = String.length data in
-            if off >= size then Ok ""
-            else Ok (String.sub data off (min len (size - off)))
+        | { node = File data; _ } -> Ok (Chunked.read data ~off ~len)
         | { node = Dir _; _ } | { node = Symlink _; _ } -> Error Errno.EISDIR)
-
-let splice data ~off ~insert =
-  let size = String.length data in
-  let ilen = String.length insert in
-  let new_size = max size (off + ilen) in
-  let buf = Bytes.make new_size '\000' in
-  Bytes.blit_string data 0 buf 0 size;
-  Bytes.blit_string insert 0 buf off ilen;
-  Bytes.to_string buf
 
 let pwrite t fd ~off data =
   let st = t.st in
@@ -331,25 +402,25 @@ let pwrite t fd ~off data =
             let len = String.length data in
             if len = 0 then Ok 0
             else
-              let eff_off = if fflags.append then String.length old else off in
+              let eff_off = if fflags.append then Chunked.length old else off in
               if eff_off + len > t.max_file_size then Error Errno.EFBIG
               else begin
                 let time = Int64.add st.time 1L in
                 let st =
                   put st fino
-                    { info with node = File (splice old ~off:eff_off ~insert:data); mtime = time; ctime = time }
+                    { info with node = File (Chunked.write old ~off:eff_off data); mtime = time; ctime = time }
                 in
                 commit t { st with time };
                 Ok len
               end)
 
-let lookup t path = resolve t.st path ~follow_last:true
+let lookup t path = resolve_cached t path ~follow_last:true
 
 let stat_of st ino =
   let info = get_exn st ino in
   let kind, size =
     match info.node with
-    | File data -> (Types.Regular, String.length data)
+    | File data -> (Types.Regular, Chunked.length data)
     | Dir _ -> (Types.Directory, 0)
     | Symlink target -> (Types.Symlink, String.length target)
   in
@@ -364,7 +435,7 @@ let stat_of st ino =
   }
 
 let stat t path =
-  match resolve t.st path ~follow_last:true with
+  match resolve_cached t path ~follow_last:true with
   | Error e -> Error e
   | Ok ino -> Ok (stat_of t.st ino)
 
@@ -374,11 +445,16 @@ let fstat t fd =
   | Some { fino; _ } -> Ok (stat_of t.st fino)
 
 let readdir t path =
-  match resolve t.st path ~follow_last:true with
+  match resolve_cached t path ~follow_last:true with
   | Error e -> Error e
   | Ok ino -> (
       match get_exn t.st ino with
-      | { node = Dir entries; _ } -> Ok (List.map fst (Smap.bindings entries))
+      | { node = Dir entries; _ } ->
+          (* Interned keys sort by symbol id, not alphabetically: collect
+             and sort by name to keep the documented ordering. *)
+          Ok
+            (Dmap.fold (fun k _ acc -> Intern.name k :: acc) entries []
+            |> List.sort String.compare)
       | { node = File _; _ } | { node = Symlink _; _ } -> Error Errno.ENOTDIR)
 
 let is_dir st ino = match get st ino with Some { node = Dir _; _ } -> true | _ -> false
@@ -388,12 +464,12 @@ let rename t src dst =
   if src = [] || dst = [] then Error Errno.EINVAL
   else if Path.equal src dst then (
     (* Same path: succeed without change iff the source exists. *)
-    match resolve_parent st src with
+    match resolve_parent t src with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match find_child st pino name with Error e -> Error e | Ok _ -> Ok ()))
   else
-    match resolve_parent st src with
+    match resolve_parent t src with
     | Error e -> Error e
     | Ok (spino, sname) -> (
         match find_child st spino sname with
@@ -401,7 +477,7 @@ let rename t src dst =
         | Ok sino ->
             if is_dir st sino && Path.is_prefix src ~of_:dst then Error Errno.EINVAL
             else (
-              match resolve_parent st dst with
+              match resolve_parent t dst with
               | Error e -> Error e
               | Ok (dpino, dname) -> (
                   let dst_existing = Result.to_option (find_child st dpino dname) in
@@ -425,7 +501,7 @@ let rename t src dst =
                         let st = put st sino { sinfo with ctime = time } in
                         let st = touch_parent st spino ~time in
                         let st = touch_parent st dpino ~time in
-                        commit t { st with time };
+                        commit_ns t { st with time };
                         Ok ()
                       in
                       match dst_existing with
@@ -435,10 +511,11 @@ let rename t src dst =
                           | true, { node = File _; _ } | true, { node = Symlink _; _ } ->
                               Error Errno.ENOTDIR
                           | true, { node = Dir dentries; _ } ->
-                              if not (Smap.is_empty dentries) then Error Errno.ENOTEMPTY
+                              if not (Dmap.is_empty dentries) then Error Errno.ENOTEMPTY
                               else
                                 (* Replace empty dir: drop it first. *)
                                 let st = { st with nodes = Imap.remove dino st.nodes } in
+                                let () = note_ino_freed t dino in
                                 let st = remove_entry st dpino dname in
                                 let st = bump_nlink st dpino (-1) in
                                 proceed st
@@ -446,7 +523,7 @@ let rename t src dst =
                           | false, dinfo ->
                               let st = remove_entry st dpino dname in
                               let st = put st dino { dinfo with nlink = dinfo.nlink - 1 } in
-                              let st = reclaim st dino in
+                              let st = reclaim t st dino in
                               proceed st)))))
 
 let truncate t path ~size =
@@ -454,7 +531,7 @@ let truncate t path ~size =
   if size < 0 then Error Errno.EINVAL
   else if size > t.max_file_size then Error Errno.EFBIG
   else
-    match resolve st path ~follow_last:true with
+    match resolve_cached t path ~follow_last:true with
     | Error e -> Error e
     | Ok ino -> (
         match get_exn st ino with
@@ -462,12 +539,9 @@ let truncate t path ~size =
         | { node = Symlink _; _ } -> Error Errno.EINVAL
         | { node = File data; _ } as info ->
             let time = Int64.add st.time 1L in
-            let new_data =
-              let cur = String.length data in
-              if size <= cur then String.sub data 0 size
-              else data ^ String.make (size - cur) '\000'
+            let st =
+              put st ino { info with node = File (Chunked.truncate data size); mtime = time; ctime = time }
             in
-            let st = put st ino { info with node = File new_data; mtime = time; ctime = time } in
             commit t { st with time };
             Ok ())
 
@@ -475,7 +549,7 @@ let link t src dst =
   let st = t.st in
   if src = [] || dst = [] then Error Errno.EINVAL
   else
-    match resolve_parent st src with
+    match resolve_parent t src with
     | Error e -> Error e
     | Ok (spino, sname) -> (
         match find_child st spino sname with
@@ -483,7 +557,7 @@ let link t src dst =
         | Ok sino ->
             if is_dir st sino then Error Errno.EISDIR
             else (
-              match resolve_parent st dst with
+              match resolve_parent t dst with
               | Error e -> Error e
               | Ok (dpino, dname) -> (
                   match find_child st dpino dname with
@@ -494,7 +568,7 @@ let link t src dst =
                       let sinfo = get_exn st sino in
                       let st = put st sino { sinfo with nlink = sinfo.nlink + 1; ctime = time } in
                       let st = touch_parent st dpino ~time in
-                      commit t { st with time };
+                      commit_ns t { st with time };
                       Ok ()
                   | Error e -> Error e)))
 
@@ -504,26 +578,26 @@ let symlink t ~target path =
   else if String.length target = 0 then Error Errno.ENOENT
   else if String.length target > max_symlink_target then Error Errno.ENAMETOOLONG
   else
-    match resolve_parent st path with
+    match resolve_parent t path with
     | Error e -> Error e
     | Ok (pino, name) -> (
         match find_child st pino name with
         | Ok _ -> Error Errno.EEXIST
         | Error Errno.ENOENT ->
             let time = Int64.add st.time 1L in
-            let ino = alloc_ino st.nodes in
+            let ino = alloc_ino t st.nodes in
             let st =
               put st ino { node = Symlink target; mode = 0o777; nlink = 1; mtime = time; ctime = time }
             in
             let st = add_entry st pino name ino in
             let st = touch_parent st pino ~time in
-            commit t { st with time };
+            commit_ns t { st with time };
             Ok ino
         | Error e -> Error e)
 
 let readlink t path =
   let st = t.st in
-  match resolve st path ~follow_last:false with
+  match resolve_cached t path ~follow_last:false with
   | Error e -> Error e
   | Ok ino -> (
       match get_exn st ino with
@@ -534,7 +608,7 @@ let chmod t path ~mode =
   let st = t.st in
   if mode land lnot 0o777 <> 0 then Error Errno.EINVAL
   else
-    match resolve st path ~follow_last:true with
+    match resolve_cached t path ~follow_last:true with
     | Error e -> Error e
     | Ok ino ->
         let time = Int64.add st.time 1L in
@@ -654,7 +728,7 @@ let snapshot t =
     let info = get_exn st ino in
     let kind, size, content =
       match info.node with
-      | File data -> (Types.Regular, String.length data, data)
+      | File data -> (Types.Regular, Chunked.length data, Chunked.to_string data)
       | Dir _ -> (Types.Directory, 0, "")
       | Symlink target -> (Types.Symlink, String.length target, target)
     in
@@ -671,8 +745,10 @@ let snapshot t =
       :: !entries;
     match info.node with
     | Dir children ->
-        Smap.iter
-          (fun name child -> visit (if path = "/" then "/" ^ name else path ^ "/" ^ name) child)
+        Dmap.iter
+          (fun k child ->
+            let name = Intern.name k in
+            visit (if path = "/" then "/" ^ name else path ^ "/" ^ name) child)
           children
     | File _ | Symlink _ -> ()
   in
@@ -683,7 +759,7 @@ let snapshot t =
       if not (Hashtbl.mem reached ino) then begin
         let kind, size, content =
           match info.node with
-          | File data -> (Types.Regular, String.length data, data)
+          | File data -> (Types.Regular, Chunked.length data, Chunked.to_string data)
           | Dir _ -> (Types.Directory, 0, "")
           | Symlink target -> (Types.Symlink, String.length target, target)
         in
@@ -702,7 +778,9 @@ let snapshot t =
     st.nodes;
   let entries = List.sort (fun a b -> compare a.State.e_path b.State.e_path) !entries in
   let fds =
-    Imap.fold (fun fd f acc -> { State.f_fd = fd; f_ino = f.fino; f_flags = f.fflags } :: acc) st.fds []
-    |> List.rev
+    Seq.fold_left
+      (fun acc (fd, f) -> { State.f_fd = fd; f_ino = f.fino; f_flags = f.fflags } :: acc)
+      []
+      (Imap.to_rev_seq st.fds)
   in
   { State.entries; fds; time = st.time }

@@ -1,0 +1,28 @@
+(** Global path-component interner.
+
+    Maps path components (and symlink targets, or any other short string)
+    to small dense integers so that directory maps can be keyed by [int]
+    instead of [string].  The table is append-only and process-global:
+    symbols are never recycled, so an id obtained anywhere stays valid for
+    the lifetime of the process and equal strings always intern to equal
+    ids.  This is what makes it safe to share the table between the spec,
+    the shadow and any number of checkpoint copies — an interned directory
+    map survives {!Rae_specfs.Spec.copy} verbatim.
+
+    Interning is cheap (one hash lookup) but not free, so read paths that
+    merely probe for a name should use {!find}, which never grows the
+    table: a lookup of a name nobody ever inserted cannot allocate an id
+    (and therefore adversarial lookups cannot balloon the table). *)
+
+val id : string -> int
+(** Intern [s], allocating a fresh id on first sight. *)
+
+val find : string -> int option
+(** The id of [s] if it was ever interned; never allocates. *)
+
+val name : int -> string
+(** The string for an id previously returned by {!id}.
+    @raise Invalid_argument on an id this process never allocated. *)
+
+val count : unit -> int
+(** Number of symbols interned so far (diagnostics). *)

@@ -241,6 +241,102 @@ let test_profile_traces_equivalent () =
         ops)
     Rae_workload.Workload.all_profiles
 
+(* ---- fast paths vs naive execution ---- *)
+
+let naive_config = { Shadow.default_config with Shadow.fast_paths = false }
+
+let run_fast_vs_naive ~seed ~count =
+  let rng = Rae_util.Rng.create seed in
+  let ops = Rae_workload.Workload.uniform rng ~count in
+  let _d1, fast = mk_shadow () in
+  let _d2, naive = mk_shadow ~config:naive_config () in
+  List.iteri
+    (fun i op ->
+      let fo = Shadow.exec fast op in
+      let no = Shadow.exec naive op in
+      if not (Op.outcome_equal fo no) then
+        Alcotest.failf "op %d %s: fast %s, naive %s" i (Op.to_string op)
+          (Format.asprintf "%a" Op.pp_outcome fo)
+          (Format.asprintf "%a" Op.pp_outcome no))
+    ops;
+  if snapshot_shadow fast <> snapshot_shadow naive then
+    Alcotest.failf "fast/naive final states differ after %d ops (seed %Ld)" count seed
+
+let prop_fast_equals_naive =
+  QCheck2.Test.make ~name:"fast_paths == naive walk on random traces" ~count:30
+    QCheck2.Gen.(pair ui64 (int_range 20 200))
+    (fun (seed, count) ->
+      run_fast_vs_naive ~seed ~count;
+      true)
+
+let test_cache_invalidation_adversary () =
+  (* Interleave lookups (cache warmers) with every namespace mutation that
+     could leave a resolution or dirent-index entry stale. *)
+  let _disk, sh = mk_shadow () in
+  let expect_enoent what r =
+    match r with
+    | Error Errno.ENOENT -> ()
+    | Ok _ -> Alcotest.failf "%s: stale cached resolution survived" what
+    | Error e -> Alcotest.failf "%s: expected ENOENT, got %s" what (Errno.to_string e)
+  in
+  ignore (ok (Shadow.mkdir sh (p "/a") ~mode:0o755));
+  ignore (ok (Shadow.mkdir sh (p "/a/b") ~mode:0o755));
+  ignore (ok (Shadow.create sh (p "/a/b/f") ~mode:0o644));
+  ignore (ok (Shadow.lookup sh (p "/a/b/f")));
+  ignore (ok (Shadow.stat sh (p "/a/b")));
+  (* Rename the middle component out from under the cached resolution. *)
+  ignore (ok (Shadow.rename sh (p "/a/b") (p "/a/c")));
+  expect_enoent "lookup after dir rename" (Shadow.lookup sh (p "/a/b/f"));
+  ignore (ok (Shadow.lookup sh (p "/a/c/f")));
+  (* Unlink, then recreate the same name as a different kind. *)
+  ignore (ok (Shadow.unlink sh (p "/a/c/f")));
+  expect_enoent "lookup after unlink" (Shadow.lookup sh (p "/a/c/f"));
+  ignore (ok (Shadow.mkdir sh (p "/a/c/f") ~mode:0o755));
+  let st = ok (Shadow.stat sh (p "/a/c/f")) in
+  (match st.Types.st_kind with
+  | Types.Directory -> ()
+  | _ -> Alcotest.fail "recreated entry resolved to the stale file inode");
+  (* rmdir frees the inode: both the resolution and the dirent index must drop. *)
+  ignore (ok (Shadow.rmdir sh (p "/a/c/f")));
+  expect_enoent "readdir of removed dir" (Shadow.readdir sh (p "/a/c/f"));
+  Alcotest.(check (list string)) "parent listing updated" [] (ok (Shadow.readdir sh (p "/a/c")));
+  (* Symlink replacement: the new link must be followed, not the cached one. *)
+  ignore (ok (Shadow.symlink sh ~target:"/a/c" (p "/ln")));
+  ignore (ok (Shadow.stat sh (p "/ln")));
+  ignore (ok (Shadow.unlink sh (p "/ln")));
+  ignore (ok (Shadow.symlink sh ~target:"/nowhere" (p "/ln")));
+  expect_enoent "stat through replaced symlink" (Shadow.stat sh (p "/ln"))
+
+let test_window_equals_per_op () =
+  (* Record a trace autonomously, then fold it both per-op and as one
+     batched window on fresh twins: identical tallies and identical state. *)
+  let rng = Rae_util.Rng.create 11L in
+  let ops = Rae_workload.Workload.uniform rng ~count:150 in
+  let _dr, recorder = mk_shadow () in
+  let recorded = List.mapi (fun i op -> { Op.op; outcome = Shadow.exec recorder op; seq = i }) ops in
+  let _d1, per_op = mk_shadow () in
+  let m, d, s =
+    List.fold_left
+      (fun (m, d, s) r ->
+        match Shadow.exec_constrained per_op r with
+        | Shadow.Matches -> (m + 1, d, s)
+        | Shadow.Divergence _ -> (m, d + 1, s)
+        | Shadow.Skipped_error | Shadow.Skipped_sync -> (m, d, s + 1))
+      (0, 0, 0) recorded
+  in
+  let _d2, windowed = mk_shadow () in
+  let w = Shadow.exec_constrained_window windowed recorded in
+  Alcotest.(check int) "ops" (List.length recorded) w.Shadow.w_ops;
+  Alcotest.(check int) "matches" m w.Shadow.w_matches;
+  Alcotest.(check int) "divergences" d w.Shadow.w_divergences;
+  Alcotest.(check int) "skipped" s w.Shadow.w_skipped;
+  if snapshot_shadow per_op <> snapshot_shadow windowed then
+    Alcotest.fail "windowed and per-op folds reached different states";
+  (* The window amortizes the per-mutation epilogue, so it must do strictly
+     fewer runtime checks than per-op replay of the same trace. *)
+  Alcotest.(check bool) "window amortizes checks" true
+    (Shadow.checks_performed windowed < Shadow.checks_performed per_op)
+
 let test_fd_table_exposed () =
   let _disk, sh = mk_shadow () in
   ignore (ok (Shadow.create sh (p "/f") ~mode:0o644));
@@ -282,5 +378,11 @@ let () =
           Alcotest.test_case "fixed seeds" `Quick test_equivalence_seeds;
           Alcotest.test_case "profile traces" `Quick test_profile_traces_equivalent;
           q prop_shadow_equals_spec;
+        ] );
+      ( "fast-paths",
+        [
+          Alcotest.test_case "cache invalidation adversary" `Quick test_cache_invalidation_adversary;
+          Alcotest.test_case "window == per-op fold" `Quick test_window_equals_per_op;
+          q prop_fast_equals_naive;
         ] );
     ]

@@ -456,6 +456,92 @@ let prop_failed_ops_pure =
           | Ok _ -> true)
         ops)
 
+(* ---- chunked contents ≡ flat string model ---- *)
+
+module Chunked = Rae_specfs.Chunked
+
+(* The reference model: file contents as one flat string, writes splice,
+   gaps zero-fill — exactly what [Spec] used before chunking. *)
+let model_write s ~off data =
+  let len = String.length data in
+  if len = 0 then s
+  else begin
+    let n = max (String.length s) (off + len) in
+    let b = Bytes.make n '\000' in
+    Bytes.blit_string s 0 b 0 (String.length s);
+    Bytes.blit_string data 0 b off len;
+    Bytes.unsafe_to_string b
+  end
+
+let model_truncate s n =
+  if n <= String.length s then String.sub s 0 n
+  else s ^ String.make (n - String.length s) '\000'
+
+let model_read s ~off ~len =
+  if off >= String.length s || len = 0 then ""
+  else String.sub s off (min len (String.length s - off))
+
+let prop_chunked_equals_string =
+  let open QCheck2.Gen in
+  let cs = Chunked.chunk_size in
+  (* Offsets and lengths hug the chunk seams: exact multiples +/- a couple
+     of bytes, where a splice bug would live. *)
+  let boundary = map2 (fun c d -> max 0 ((c * cs) + d)) (int_range 0 3) (int_range (-2) 2) in
+  let action =
+    oneof
+      [
+        map2 (fun off len -> `Write (off, len)) boundary (int_range 0 ((2 * cs) + 3));
+        map (fun n -> `Truncate n) boundary;
+      ]
+  in
+  QCheck2.Test.make ~name:"chunked contents == string model" ~count:150
+    (list_size (int_range 1 12) action)
+    (fun actions ->
+      let fill = "abcdefghijklmnopqrstuvwxyz0123456789" in
+      let payload len salt = String.init len (fun i -> fill.[(i + salt) mod String.length fill]) in
+      let _, c, s =
+        List.fold_left
+          (fun (i, c, s) -> function
+            | `Write (off, len) ->
+                let d = payload len i in
+                (i + 1, Chunked.write c ~off d, model_write s ~off d)
+            | `Truncate n -> (i + 1, Chunked.truncate c n, model_truncate s n))
+          (0, Chunked.empty, "") actions
+      in
+      Chunked.length c = String.length s
+      && String.equal (Chunked.to_string c) s
+      && List.for_all
+           (fun off ->
+             List.for_all
+               (fun len -> String.equal (Chunked.read c ~off ~len) (model_read s ~off ~len))
+               [ 0; 1; cs - 1; cs; cs + 1 ])
+           [ 0; 1; cs - 1; cs; cs + 1; 2 * cs ])
+
+let test_pwrite_chunk_boundaries () =
+  (* The same seams through the public [Spec] API. *)
+  let cs = Chunked.chunk_size in
+  let t = fs () in
+  let fd = ok (Spec.openf t (p "/f") Types.flags_create) in
+  (* Straddle the first seam; the hole before it reads as zeros. *)
+  Alcotest.(check int) "straddling write" 3 (ok (Spec.pwrite t fd ~off:(cs - 1) "XYZ"));
+  Alcotest.check str_r "straddling read" (Ok "XYZ") (Spec.pread t fd ~off:(cs - 1) ~len:3);
+  Alcotest.(check int) "size" (cs + 2) (ok (Spec.fstat t fd)).Types.st_size;
+  Alcotest.check str_r "hole zeros" (Ok (String.make 5 '\000')) (Spec.pread t fd ~off:100 ~len:5);
+  (* Overwrite exactly one aligned chunk; neighbours stay intact. *)
+  Alcotest.(check int) "aligned write" cs (ok (Spec.pwrite t fd ~off:cs (String.make cs 'A')));
+  Alcotest.check str_r "left neighbour intact" (Ok "X") (Spec.pread t fd ~off:(cs - 1) ~len:1);
+  Alcotest.check str_r "chunk head" (Ok "AA") (Spec.pread t fd ~off:cs ~len:2);
+  (* Truncate mid-chunk, then extend: the cut tail must re-read as zeros. *)
+  ignore (ok (Spec.close t fd));
+  ignore (ok (Spec.truncate t (p "/f") ~size:(cs + 10)));
+  ignore (ok (Spec.truncate t (p "/f") ~size:(cs + 100)));
+  let fd = ok (Spec.openf t (p "/f") Types.flags_ro) in
+  Alcotest.check str_r "cut tail zeroed" (Ok (String.make 90 '\000'))
+    (Spec.pread t fd ~off:(cs + 10) ~len:90);
+  Alcotest.check str_r "survivors intact" (Ok ("X" ^ String.make 9 'A'))
+    (Spec.pread t fd ~off:(cs - 1) ~len:10);
+  ignore (ok (Spec.close t fd))
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rae_specfs"
@@ -490,6 +576,8 @@ let () =
           Alcotest.test_case "permissions" `Quick test_rw_permissions;
           Alcotest.test_case "EFBIG" `Quick test_efbig;
           Alcotest.test_case "truncate" `Quick test_truncate;
+          Alcotest.test_case "chunk boundaries" `Quick test_pwrite_chunk_boundaries;
+          q prop_chunked_equals_string;
         ] );
       ( "rename",
         [
