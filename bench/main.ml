@@ -40,6 +40,11 @@ let reps r = if !quick then 1 else r
 let json_samples : (string * string * string * float) list ref = ref []
 let json_note ~sec ~name ~unit v = json_samples := (sec, name, unit, v) :: !json_samples
 
+(* One metrics-registry snapshot (Rae_obs.Metrics.to_json), captured by
+   E-obs/b from a post-recovery controller, embedded next to the
+   provenance block so a BENCH_*.json can be read cold. *)
+let json_metrics : string option ref = ref None
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -111,6 +116,7 @@ let write_json path =
   (* Monotonic across runs on one host: wall-clock nanoseconds. *)
   out "  \"run_id\": %.0f,\n" (Unix.gettimeofday () *. 1e9);
   out "  \"config\": %s,\n" (json_config ());
+  out "  \"metrics\": %s,\n" (match !json_metrics with Some m -> m | None -> "{}");
   out "  \"sections\": [\n";
   List.iteri
     (fun si sec ->
@@ -1159,10 +1165,10 @@ let e_oplog () =
 
 let e_obs () =
   section "E-obs | Observability: instrumentation overhead and trace well-formedness";
-  subsection "E-obs/a | common-path throughput: obs off / registered / traced";
+  subsection "E-obs/a | common-path throughput: obs off / registered / traced / recorder";
   (* The claim is "within noise", so the noise floor has to sit well under
      the couple-percent acceptance band.  Machine speed drifts over seconds,
-     which would bias three back-to-back [time_runs] calls; instead the three
+     which would bias back-to-back [time_runs] calls; instead the
      configurations are interleaved within each repetition so drift hits all
      of them equally, and the per-config median is taken across rounds. *)
   let ops = W.ops W.Varmail (Rae_util.Rng.create 11L) ~count:(sc 16_000) in
@@ -1184,7 +1190,15 @@ let e_obs () =
     run_ops Controller.exec ctl ops;
     ignore (Rae_obs.Metrics.snapshot reg)
   in
-  let configs = [| run_off; run_cfg ~traced:false; run_cfg ~traced:true |] in
+  (* The always-on flight recorder: every op completion lands in the
+     pre-allocated ring.  This arm prices exactly that write. *)
+  let run_recorder () =
+    let _, dev, b = fresh_base () in
+    let events = Rae_obs.Events.create ~capacity:1024 () in
+    let ctl = Controller.make ~events ~device:dev b in
+    run_ops Controller.exec ctl ops
+  in
+  let configs = [| run_off; run_cfg ~traced:false; run_cfg ~traced:true; run_recorder |] in
   Array.iter (fun f -> f ()) configs;
   Gc.compact ();
   let rounds = reps 5 in
@@ -1202,18 +1216,28 @@ let e_obs () =
     let sorted = List.sort compare !(samples.(i)) in
     List.nth sorted (rounds / 2)
   in
-  let t_off = median 0 and t_reg = median 1 and t_trace = median 2 in
+  let t_off = median 0 and t_reg = median 1 and t_trace = median 2 and t_rec = median 3 in
   let pct t = (t -. t_off) /. t_off *. 100. in
   Printf.printf "%-28s %12.0f ops/s\n" "obs off" (n /. t_off);
   Printf.printf "%-28s %12.0f ops/s  (%+.1f%%)\n" "registry + disabled tracer" (n /. t_reg)
     (pct t_reg);
   Printf.printf "%-28s %12.0f ops/s  (%+.1f%%)\n" "tracing enabled" (n /. t_trace) (pct t_trace);
+  Printf.printf "%-28s %12.0f ops/s  (%+.1f%%)\n" "flight recorder on" (n /. t_rec) (pct t_rec);
   json_note ~sec:"E-obs" ~name:"off" ~unit:"ops_per_s" (n /. t_off);
   json_note ~sec:"E-obs" ~name:"registered" ~unit:"ops_per_s" (n /. t_reg);
   json_note ~sec:"E-obs" ~name:"traced" ~unit:"ops_per_s" (n /. t_trace);
+  json_note ~sec:"E-obs" ~name:"recorder" ~unit:"ops_per_s" (n /. t_rec);
   json_note ~sec:"E-obs" ~name:"registered-overhead" ~unit:"pct" (pct t_reg);
   json_note ~sec:"E-obs" ~name:"traced-overhead" ~unit:"pct" (pct t_trace);
-  subsection "E-obs/b | recovery trace: emit, validate, check phase coverage";
+  json_note ~sec:"E-obs" ~name:"recorder-overhead" ~unit:"pct" (pct t_rec);
+  (* The recorder is meant to be always-on: enforce the "within noise"
+     claim on full runs (quick runs take one unpaired sample per arm, far
+     too noisy for a floor). *)
+  if (not !quick) && pct t_rec > 10. then begin
+    Printf.eprintf "E-obs: flight recorder overhead %.1f%% exceeds the 10%% floor\n" (pct t_rec);
+    exit 1
+  end;
+  subsection "E-obs/b | recovery trace + black box: emit, validate, check coverage";
   let bugs =
     Bug_registry.arm
       [
@@ -1237,9 +1261,33 @@ let e_obs () =
   in
   let tracer = Rae_obs.Tracer.create ~clock () in
   Rae_obs.Tracer.enable tracer;
-  let ctl = Controller.make ~tracer ~device:dev b in
+  let events = Rae_obs.Events.create ~capacity:1024 () in
+  let ctl =
+    Controller.make ~tracer ~events ~bundle_dir:"bench-bundles" ~run_id:"bench-e-obs" ~device:dev
+      b
+  in
+  let reg = Rae_obs.Metrics.create () in
+  Controller.register_obs reg ctl;
   run_ops Controller.exec ctl (W.ops W.Metadata (Rae_util.Rng.create 3L) ~count:(sc 400));
   ignore (Controller.exec ctl (Op.Create (p "/trigger", 0o644)));
+  (* The recovery must have left a validating black-box bundle behind. *)
+  (match Controller.bundles ctl with
+  | [] ->
+      prerr_endline "E-obs: recovery emitted no black-box bundle";
+      exit 1
+  | path :: _ -> (
+      match Rae_obs.Blackbox.check_file path with
+      | Ok summary ->
+          Printf.printf "black box: %s validates (%d events, health %s)\n"
+            (Filename.basename path) summary.Rae_obs.Blackbox.s_events
+            summary.Rae_obs.Blackbox.s_health;
+          json_note ~sec:"E-obs" ~name:"bundle-events" ~unit:"count"
+            (float_of_int summary.Rae_obs.Blackbox.s_events)
+      | Error violations ->
+          Printf.eprintf "E-obs: bundle %s is invalid:\n" path;
+          List.iter (fun v -> Printf.eprintf "  - %s\n" v) violations;
+          exit 1));
+  json_metrics := Some (Rae_obs.Metrics.to_json reg);
   let trace = Rae_obs.Tracer.to_chrome tracer in
   (match Rae_obs.Tracer.validate_chrome trace with
   | Ok nev ->
@@ -1360,16 +1408,16 @@ let pl_setup hub i =
   st.plc_send (SWire.encode (SWire.Hello { version = SWire.protocol_version }));
   pl_await hub st (function SWire.Hello_ok _ -> Some () | _ -> None);
   let path = p (Printf.sprintf "/srv%d" i) in
-  st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; op = Op.Create (path, 0o644) }));
+  st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; corr = 0; op = Op.Create (path, 0o644) }));
   pl_await hub st (function SWire.Op_reply _ -> Some () | _ -> None);
   st.plc_send
-    (SWire.encode (SWire.Op_req { req = pl_req st; op = Op.Open (path, Rae_vfs.Types.flags_rw) }));
+    (SWire.encode (SWire.Op_req { req = pl_req st; corr = 0; op = Op.Open (path, Rae_vfs.Types.flags_rw) }));
   st.plc_vfd <-
     pl_await hub st (function
       | SWire.Op_reply { outcome = Ok (Op.Fd fd); _ } -> Some fd
       | SWire.Op_reply _ -> failwith "e-srv: setup open failed"
       | _ -> None);
-  st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; op = Op.Pwrite (st.plc_vfd, 0, pl_data) }));
+  st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; corr = 0; op = Op.Pwrite (st.plc_vfd, 0, pl_data) }));
   pl_await hub st (function SWire.Op_reply _ -> Some () | _ -> None);
   st
 
@@ -1379,7 +1427,7 @@ let pl_issue st =
       if st.plc_remaining land 1 = 0 then Op.Fstat st.plc_vfd
       else Op.Pread (st.plc_vfd, st.plc_remaining * 256 mod 65536, 256)
     in
-    st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; op }));
+    st.plc_send (SWire.encode (SWire.Op_req { req = pl_req st; corr = 0; op }));
     st.plc_remaining <- st.plc_remaining - 1;
     st.plc_inflight <- st.plc_inflight + 1
   done

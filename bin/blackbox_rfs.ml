@@ -1,0 +1,96 @@
+(* blackbox_rfs: validate, inspect and compare postmortem black-box
+   bundles written by the RAE controller.
+
+   Default mode prints a one-line summary per bundle; --print dumps the
+   re-serialized (pretty, key-normalized) JSON; --check validates every
+   bundle against the schema and exits non-zero on the first invalid one
+   (the CI hook); --diff compares two bundles field by field. *)
+
+open Cmdliner
+module Blackbox = Rae_obs.Blackbox
+module Jsonx = Rae_obs.Jsonx
+
+let load path =
+  match Blackbox.read_file path with
+  | Error msg ->
+      Printf.eprintf "blackbox_rfs: %s: %s\n" path msg;
+      exit 1
+  | Ok data -> (
+      match Jsonx.parse data with
+      | Error msg ->
+          Printf.eprintf "blackbox_rfs: %s: JSON parse error: %s\n" path msg;
+          exit 1
+      | Ok json -> json)
+
+let check_one ~quiet path =
+  match Blackbox.check_file path with
+  | Ok summary ->
+      if not quiet then Format.printf "%a@." Blackbox.pp_summary summary;
+      true
+  | Error violations ->
+      Printf.eprintf "blackbox_rfs: %s: INVALID\n" path;
+      List.iter (fun v -> Printf.eprintf "  - %s\n" v) violations;
+      false
+
+(* A directory argument stands for every bundle in it, oldest first. *)
+let expand path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.filter_map (fun name ->
+           if String.starts_with ~prefix:"blackbox-" name && Filename.check_suffix name ".json"
+           then Some (Filename.concat path name)
+           else None)
+  else [ path ]
+
+let run check print diff paths =
+  let paths = List.concat_map expand paths in
+  match (diff, paths) with
+  | true, [ a; b ] -> (
+      match Blackbox.diff (load a) (load b) with
+      | [] ->
+          Printf.printf "bundles are identical\n";
+          0
+      | lines ->
+          List.iter (fun l -> Printf.printf "%s\n" l) lines;
+          1)
+  | true, _ ->
+      Printf.eprintf "blackbox_rfs: --diff needs exactly two bundle files\n";
+      2
+  | false, [] ->
+      Printf.eprintf "blackbox_rfs: no bundle files given\n";
+      2
+  | false, paths ->
+      if print then begin
+        List.iter (fun p -> print_string (Jsonx.to_string ~pretty:true (load p) ^ "\n")) paths;
+        0
+      end
+      else begin
+        (* Summary and --check are the same walk — every bundle is
+           validated and every violation reported; --check only makes
+           the intent explicit at call sites (CI). *)
+        let ok = List.fold_left (fun acc p -> check_one ~quiet:check p && acc) true paths in
+        if ok then 0 else 1
+      end
+
+let check_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:"Validate each bundle against the schema; exit 1 if any is invalid (CI mode).")
+
+let print_arg =
+  Arg.(value & flag & info [ "print" ] ~doc:"Pretty-print each bundle's JSON instead of a summary.")
+
+let diff_arg =
+  Arg.(
+    value & flag
+    & info [ "diff" ] ~doc:"Compare exactly two bundles field by field; exit 1 if they differ.")
+
+let paths_arg = Arg.(value & pos_all file [] & info [] ~docv:"BUNDLE")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "blackbox_rfs" ~doc:"Validate, print and diff RAE postmortem black-box bundles")
+    Term.(const run $ check_arg $ print_arg $ diff_arg $ paths_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -190,6 +190,54 @@ let cmd_timeline file =
               | _ -> ())
             evs)
 
+(* Dump the flight-recorder tail embedded in a postmortem black-box
+   bundle: one line per event, oldest first, with the non-scalar fields
+   the recorder captured (kind, errno, latency, correlation id, ...). *)
+let cmd_events file last =
+  let json =
+    match Rae_obs.Blackbox.read_file file with
+    | Error msg ->
+        Printf.eprintf "cannot read %s: %s\n" file msg;
+        exit 2
+    | Ok data -> (
+        match Rae_obs.Jsonx.parse data with
+        | Error msg ->
+            Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+            exit 1
+        | Ok j -> j)
+  in
+  let module J = Rae_obs.Jsonx in
+  match Option.bind (J.member "events" json) J.to_list_opt with
+  | None ->
+      Printf.eprintf "%s: no \"events\" list (not a black-box bundle?)\n" file;
+      exit 1
+  | Some events ->
+      let events =
+        match last with
+        | Some n when n >= 0 && List.length events > n ->
+            List.filteri (fun i _ -> i >= List.length events - n) events
+        | _ -> events
+      in
+      List.iter
+        (fun ev ->
+          let int k =
+            match Option.bind (J.member k ev) J.to_int_opt with Some v -> v | None -> 0
+          in
+          let str k =
+            match Option.bind (J.member k ev) J.to_str_opt with Some s -> s | None -> ""
+          in
+          let fields =
+            List.filter_map
+              (fun (k, v) ->
+                match k with
+                | "seq" | "ts_ns" | "kind" -> None
+                | _ -> Some (Printf.sprintf "%s=%s" k (J.to_string v)))
+              (match J.to_obj_opt ev with Some kvs -> kvs | None -> [])
+          in
+          Printf.printf "%6d %12d %-16s %s\n" (int "seq") (int "ts_ns") (str "kind")
+            (String.concat " " fields))
+        events
+
 let image_arg idx = Arg.(required & pos idx (some file) None & info [] ~docv:"IMAGE")
 let path_arg idx = Arg.(required & pos idx (some string) None & info [] ~docv:"PATH")
 
@@ -208,6 +256,15 @@ let cmds =
       Term.(
         const cmd_timeline
         $ Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE.json"));
+    Cmd.v
+      (Cmd.info "events" ~doc:"Dump the flight-recorder tail from a black-box bundle")
+      Term.(
+        const cmd_events
+        $ Arg.(required & pos 0 (some file) None & info [] ~docv:"BUNDLE.json")
+        $ Arg.(
+            value
+            & opt (some int) None
+            & info [ "last" ] ~docv:"N" ~doc:"Only the last N events."));
   ]
 
 let () =

@@ -153,14 +153,20 @@ let dial path () =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       None
 
-let run_client path do_ping do_stats =
+let run_client path do_ping do_stats do_metrics do_bundles fetch =
   match Srv_client.connect ~dial:(dial path) () with
   | Error msg ->
       Printf.eprintf "rfsd: cannot attach to %s: %s\n" path msg;
       exit 1
   | Ok c ->
+      let failed = ref false in
+      let err fmt =
+        failed := true;
+        Printf.eprintf fmt
+      in
       Printf.printf "attached: session %d\n" (Srv_client.session c);
-      if do_ping then Printf.printf "ping: %s\n" (if Srv_client.ping c then "ok" else "FAILED");
+      (if do_ping then
+         if Srv_client.ping c then Printf.printf "ping: ok\n" else err "ping: FAILED\n");
       (if do_stats then
          match Srv_client.server_stats c with
          | Ok s ->
@@ -169,12 +175,28 @@ let run_client path do_ping do_stats =
                s.Rae_srv.Wire.ws_recoveries
                (if s.Rae_srv.Wire.ws_recoveries = 1 then "y" else "ies")
                (if s.Rae_srv.Wire.ws_degraded then " [DEGRADED]" else "")
-         | Error e -> Printf.printf "stats: error %s\n" (Rae_vfs.Errno.to_string e));
-      Srv_client.detach c
+         | Error e -> err "stats: error %s\n" (Rae_vfs.Errno.to_string e));
+      (if do_metrics then
+         match Srv_client.metrics c with
+         | Ok text -> print_string text
+         | Error e -> err "metrics: error %s\n" (Rae_vfs.Errno.to_string e));
+      (if do_bundles then
+         match Srv_client.bundles c with
+         | Ok [] -> Printf.printf "no bundles\n"
+         | Ok names -> List.iter (fun n -> Printf.printf "%s\n" n) names
+         | Error e -> err "bundles: error %s\n" (Rae_vfs.Errno.to_string e));
+      (match fetch with
+      | None -> ()
+      | Some name -> (
+          match Srv_client.fetch_bundle c name with
+          | Ok data -> print_string data
+          | Error e -> err "bundle %s: error %s\n" name (Rae_vfs.Errno.to_string e)));
+      Srv_client.detach c;
+      if !failed then exit 1
 
 (* ---- daemon mode ---- *)
 
-let run_daemon path bug_ids seed batch_max =
+let run_daemon path bug_ids seed batch_max bundle_dir =
   let specs =
     List.map
       (fun id ->
@@ -197,9 +219,21 @@ let run_daemon path bug_ids seed batch_max =
   (* Warm-shadow checkpointing keeps recovery replay O(Δ): clients see
      shorter Busy windows when a bug fires mid-serving. *)
   let policy = { Controller.default_policy with Controller.ckpt_enabled = true } in
-  let ctl = Controller.make ~policy ~device:dev base in
+  (* Always-on observability: a bounded tracer (the ring cap holds the
+     daemon's memory constant no matter how long it serves), the flight
+     recorder, and a bundle directory for postmortems. *)
+  let tracer = Rae_obs.Tracer.create ~max_events:65536 () in
+  let events = Rae_obs.Events.create ~capacity:4096 () in
+  let run_id = Printf.sprintf "rfsd-%d-%.0f" (Unix.getpid ()) (Unix.time ()) in
+  let ctl =
+    Controller.make ~policy ~tracer ~events ?bundle_dir ~run_id ~device:dev base
+  in
   let config = { Server.default_config with Server.batch_max } in
   let server = Server.create ~config ctl in
+  let reg = Rae_obs.Metrics.create () in
+  Controller.register_obs reg ctl;
+  Server.register_obs reg server;
+  Server.set_metrics_source server (fun () -> Rae_obs.Metrics.to_prometheus reg);
   let transport = Socket_transport.create ~path ~timeout:0.1 in
   let d = Drive.create transport server in
   let handle = Sys.Signal_handle (fun _ -> stop := true) in
@@ -216,9 +250,10 @@ let run_daemon path bug_ids seed batch_max =
     (if cs.Controller.recoveries = 1 then "y" else "ies");
   (try Unix.unlink path with Unix.Unix_error _ -> ())
 
-let run path bug_ids seed batch_max do_ping do_stats =
-  if do_ping || do_stats then run_client path do_ping do_stats
-  else run_daemon path bug_ids seed batch_max
+let run path bug_ids seed batch_max bundle_dir do_ping do_stats do_metrics do_bundles fetch =
+  if do_ping || do_stats || do_metrics || do_bundles || fetch <> None then
+    run_client path do_ping do_stats do_metrics do_bundles fetch
+  else run_daemon path bug_ids seed batch_max bundle_dir
 
 let socket_arg =
   Arg.(
@@ -246,10 +281,38 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Client mode: attach to a running daemon and print server stats.")
 
+let bundle_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundle-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write a postmortem black-box bundle here on every recovery completion and fail-stop \
+           entry (daemon mode; omitting the flag disables bundles).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Client mode: fetch and print the daemon's Prometheus metrics exposition.")
+
+let bundles_arg =
+  Arg.(
+    value & flag
+    & info [ "bundles" ] ~doc:"Client mode: list the daemon's black-box bundle names.")
+
+let bundle_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "bundle" ] ~docv:"NAME"
+        ~doc:"Client mode: fetch one black-box bundle by name and print its JSON.")
+
 let cmd =
   Cmd.v
     (Cmd.info "rfsd" ~doc:"Serve an RAE-supervised rfs image over a Unix domain socket")
     Term.(
-      const run $ socket_arg $ bugs_arg $ seed_arg $ batch_arg $ ping_arg $ stats_arg)
+      const run $ socket_arg $ bugs_arg $ seed_arg $ batch_arg $ bundle_dir_arg $ ping_arg
+      $ stats_arg $ metrics_arg $ bundles_arg $ bundle_arg)
 
 let () = exit (Cmd.eval cmd)

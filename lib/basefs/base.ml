@@ -90,6 +90,7 @@ type t = {
   mutable s_validations : int;
   mutable commit_hooks : (commit_seq:int64 -> unit) list;
   mutable tracer : Rae_obs.Tracer.t option;
+  mutable events : Rae_obs.Events.t option;  (* flight recorder; bug triggers land here *)
 }
 
 let dir_kind_code = Types.kind_code Types.Directory
@@ -168,6 +169,7 @@ let mount ?(config = default_config) ?(bugs = Bug_registry.none) dev =
                           s_validations = 0;
                           commit_hooks = [];
                           tracer = None;
+                          events = None;
                         }
                       in
                       Ok t))))
@@ -1275,7 +1277,14 @@ let exec t op =
   t.s_ops <- t.s_ops + 1;
   let fired = Bug_registry.fire t.bug_reg op in
   (match fired with
-  | Some (spec, consequence) -> apply_corruption t spec consequence op
+  | Some (spec, consequence) ->
+      (* The registry trigger is the ground truth a postmortem wants next
+         to the recovery it caused; spec ids are catalog literals, so the
+         recorder write stays allocation-free. *)
+      (match t.events with
+      | Some ev -> Rae_obs.Events.record_bug_fired ev ~id:spec.Bug_registry.id
+      | None -> ());
+      apply_corruption t spec consequence op
   | None -> ());
   let outcome =
     try D.exec t op
@@ -1500,6 +1509,8 @@ let mq_stats t = Blkmq.stats t.mq
 let set_tracer t tr =
   t.tracer <- Some tr;
   Blkmq.set_tracer t.mq tr
+
+let set_events t ev = t.events <- Some ev
 
 let register_obs reg t =
   let module M = Rae_obs.Metrics in

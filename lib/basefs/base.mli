@@ -129,6 +129,11 @@ val set_tracer : t -> Rae_obs.Tracer.t -> unit
     replay during contained reboot a [journal.replay] span, and the queue
     layer (re-attached across contained reboots) its destage spans. *)
 
+val set_events : t -> Rae_obs.Events.t -> unit
+(** Attach a flight recorder: every injected-bug trigger records a
+    [Bug_fired] event with the catalog id, so a postmortem bundle shows
+    the fault next to the recovery it caused. *)
+
 val register_obs : Rae_obs.Metrics.t -> t -> unit
 (** Register the base's counters and gauges — op/commit/validation counts,
     detector warnings, all three caches, the journal, and the blk-mq layer

@@ -21,6 +21,7 @@ type t = {
   device : Rae_block.Device.t;
   config : Shadow.config;
   tracer : Rae_obs.Tracer.t option;
+  events : Rae_obs.Events.t option;
   fold_interval : int;
   mutable warm : Shadow.t option;  (* None: poisoned or never cut *)
   mutable cursor : int;  (* first oplog seq the warm shadow has NOT folded *)
@@ -34,7 +35,7 @@ type t = {
   mutable s_poisons : int;
 }
 
-let create ?tracer ?(fast_paths = true) ~shadow_checks ~fold_interval device =
+let create ?tracer ?events ?(fast_paths = true) ~shadow_checks ~fold_interval device =
   {
     device;
     (* Never fsck on the warm path: the cut re-reads only the superblock
@@ -49,6 +50,7 @@ let create ?tracer ?(fast_paths = true) ~shadow_checks ~fold_interval device =
         fast_paths;
       };
     tracer;
+    events;
     fold_interval = max 1 fold_interval;
     warm = None;
     cursor = 0;
@@ -72,7 +74,8 @@ let with_span t name f =
 let poison t =
   if t.warm <> None then begin
     t.warm <- None;
-    t.s_poisons <- t.s_poisons + 1
+    t.s_poisons <- t.s_poisons + 1;
+    match t.events with Some ev -> Rae_obs.Events.record_ckpt_poison ev | None -> ()
   end
 
 (* ---- cut: re-base the checkpoint on a freshly committed S0 ---- *)
@@ -105,6 +108,9 @@ let cut t ~window ~fds ~next_seq ~commit_seq =
                 t.cursor <- next_seq;
                 t.base_seq <- commit_seq;
                 t.s_cuts <- t.s_cuts + 1;
+                (match t.events with
+                | Some ev -> Rae_obs.Events.record_ckpt_cut ev
+                | None -> ());
                 Ok ()))
 
 (* ---- fold: advance the warm shadow through the recorded suffix ---- *)
@@ -129,7 +135,10 @@ let fold t ~entries ~next_seq =
             t.cursor <- next_seq;
             t.s_folds <- t.s_folds + 1;
             t.s_folded_ops <- t.s_folded_ops + res.Shadow.w_ops;
-            t.s_fold_divergences <- t.s_fold_divergences + res.Shadow.w_divergences
+            t.s_fold_divergences <- t.s_fold_divergences + res.Shadow.w_divergences;
+            match t.events with
+            | Some ev -> Rae_obs.Events.record_ckpt_fold ev ~ops:res.Shadow.w_ops
+            | None -> ()
           with Shadow.Violation _ ->
             (* The warm replica refuses the fold — don't disturb the hot
                path; recovery will take the cold route until the next cut. *)

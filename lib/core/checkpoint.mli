@@ -38,6 +38,7 @@ type stats = {
 
 val create :
   ?tracer:Rae_obs.Tracer.t ->
+  ?events:Rae_obs.Events.t ->
   ?fast_paths:bool ->
   shadow_checks:bool ->
   fold_interval:int ->
@@ -48,7 +49,9 @@ val create :
     without fsck (the fold's continuous validation substitutes).
     [fast_paths] (default [true]) controls the warm shadow's caching fast
     paths — disabling it reproduces the naive shadow, which the benches
-    use to price the fold before/after the fast-path work. *)
+    use to price the fold before/after the fast-path work.  [events] is
+    the flight recorder: cuts, folds and poisons land in it as
+    [Ckpt_cut]/[Ckpt_fold]/[Ckpt_poison] events. *)
 
 val cut :
   t ->

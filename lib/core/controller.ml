@@ -13,6 +13,7 @@ type policy = {
   ckpt_enabled : bool;
   ckpt_fold_interval : int;
   ckpt_fast_paths : bool;
+  slow_op_ns : int;
 }
 
 let default_policy =
@@ -26,6 +27,7 @@ let default_policy =
     ckpt_enabled = false;
     ckpt_fold_interval = 32;
     ckpt_fast_paths = true;
+    slow_op_ns = 10_000_000;
   }
 
 type stats = {
@@ -67,6 +69,15 @@ type t = {
   recovery_hist : Rae_obs.Metrics.histogram;
   ph_hists : (string * Rae_obs.Metrics.histogram) list;
   ckpt : Checkpoint.t option;
+  events : Rae_obs.Events.t option;  (* flight recorder, shared with base/ckpt/srv *)
+  run_id : string;
+  rev : string;  (* resolved once; "" when bundles are off *)
+  bundle_dir : string option;
+  mutable bundle_seq : int;
+  mutable bundle_log : string list;  (* written bundle paths, newest first *)
+  mutable bundle_extra : (unit -> (string * Rae_obs.Jsonx.t) list) option;
+  mutable metrics : Rae_obs.Metrics.t option;  (* set by register_obs, embedded in bundles *)
+  mutable in_recovery : bool;
   mutable last_commit_seq : int64;
   mutable committed_during_op : bool;
   mutable degraded : string option;
@@ -75,18 +86,25 @@ type t = {
   mutable s_recoveries : int;
   mutable s_failed : int;
   mutable s_discrepancies : int;
+  mutable s_bundles : int;
+  mutable s_bundle_errors : int;
 }
 
-let make ?(policy = default_policy) ?tracer ~device base =
+let make ?(policy = default_policy) ?tracer ?events ?bundle_dir ?(run_id = "") ~device base =
   let now =
     match tracer with
     | Some tr -> fun () -> Rae_obs.Tracer.now tr
     | None -> fun () -> Int64.of_float (Sys.time () *. 1e9)
   in
+  (* The recorder shares the controller's clock so recovery spans and op
+     events land on one timeline. *)
+  (match events with
+  | Some ev -> Rae_obs.Events.set_clock ev (fun () -> Int64.to_int (now ()))
+  | None -> ());
   let ckpt =
     if policy.ckpt_enabled then
       Some
-        (Checkpoint.create ?tracer ~fast_paths:policy.ckpt_fast_paths
+        (Checkpoint.create ?tracer ?events ~fast_paths:policy.ckpt_fast_paths
            ~shadow_checks:policy.shadow_checks ~fold_interval:policy.ckpt_fold_interval device)
     else None
   in
@@ -101,6 +119,15 @@ let make ?(policy = default_policy) ?tracer ~device base =
       recovery_hist = Rae_obs.Metrics.histogram ();
       ph_hists = List.map (fun n -> (n, Rae_obs.Metrics.histogram ())) phase_names;
       ckpt;
+      events;
+      run_id;
+      rev = (match bundle_dir with Some _ -> Rae_obs.Blackbox.git_rev () | None -> "");
+      bundle_dir;
+      bundle_seq = 0;
+      bundle_log = [];
+      bundle_extra = None;
+      metrics = None;
+      in_recovery = false;
       last_commit_seq = 0L;
       committed_during_op = false;
       degraded = None;
@@ -109,9 +136,12 @@ let make ?(policy = default_policy) ?tracer ~device base =
       s_recoveries = 0;
       s_failed = 0;
       s_discrepancies = 0;
+      s_bundles = 0;
+      s_bundle_errors = 0;
     }
   in
   (match tracer with Some tr -> Base.set_tracer base tr | None -> ());
+  (match events with Some ev -> Base.set_events base ev | None -> ());
   Base.on_commit base (fun ~commit_seq ->
       t.committed_during_op <- true;
       t.last_commit_seq <- commit_seq);
@@ -124,6 +154,156 @@ let make ?(policy = default_policy) ?tracer ~device base =
 
 let base t = t.base
 let degraded t = t.degraded
+let events t = t.events
+let bundle_dir t = t.bundle_dir
+
+(* Derived liveness: FAILSTOP dominates, then an in-progress recovery,
+   then a last recovery that left cross-check discrepancies. *)
+let health t =
+  if t.degraded <> None then Rae_obs.Events.Failstop
+  else if t.in_recovery then Rae_obs.Events.Recovering
+  else
+    match t.recovery_log with
+    | r :: _ when r.Report.r_discrepancies <> [] -> Rae_obs.Events.Degraded
+    | _ -> Rae_obs.Events.Healthy
+
+let set_bundle_context t f = t.bundle_extra <- Some f
+let bundles t = List.rev t.bundle_log
+
+(* ---- black-box bundle assembly ----
+
+   The obs layer owns only the container ({!Rae_obs.Blackbox}); the
+   content — report, checkpoint stats, journal window, policy — is
+   serialized here where the core types live. *)
+
+module J = Rae_obs.Jsonx
+
+let policy_json p =
+  J.Obj
+    [
+      ("treat_warnings_as_errors", J.Bool p.treat_warnings_as_errors);
+      ("fsck_before_recovery", J.Bool p.fsck_before_recovery);
+      ("cross_check", J.Bool p.cross_check);
+      ("abort_on_discrepancy", J.Bool p.abort_on_discrepancy);
+      ("max_recovery_attempts", J.Int p.max_recovery_attempts);
+      ("shadow_checks", J.Bool p.shadow_checks);
+      ("ckpt_enabled", J.Bool p.ckpt_enabled);
+      ("ckpt_fold_interval", J.Int p.ckpt_fold_interval);
+      ("ckpt_fast_paths", J.Bool p.ckpt_fast_paths);
+      ("slow_op_ns", J.Int p.slow_op_ns);
+    ]
+
+let report_json (r : Report.recovery) =
+  let outcome, error =
+    match r.Report.r_outcome with
+    | Report.Recovered -> ("recovered", J.Null)
+    | Report.Recovery_failed msg -> ("failed", J.Str msg)
+  in
+  J.Obj
+    [
+      ("trigger", J.Str (Report.trigger_to_string r.Report.r_trigger));
+      ("outcome", J.Str outcome);
+      ("error", error);
+      ("window", J.Int r.Report.r_window);
+      ("replayed", J.Int r.Report.r_replayed);
+      ("skipped", J.Int r.Report.r_skipped);
+      ( "discrepancies",
+        J.List
+          (List.map
+             (fun d ->
+               J.Obj
+                 [
+                   ("seq", J.Int d.Report.d_seq);
+                   ("op", J.Str (Op.kind_to_string (Op.kind d.Report.d_op)));
+                 ])
+             r.Report.r_discrepancies) );
+      ("handoff_blocks", J.Int r.Report.r_handoff_blocks);
+      ("delegated_sync", J.Bool r.Report.r_delegated_sync);
+      ("seeded", J.Bool r.Report.r_seeded);
+      ("wall_seconds", J.Float r.Report.r_wall_seconds);
+      ( "phases",
+        J.List
+          (List.map
+             (fun ph ->
+               J.Obj
+                 [
+                   ("name", J.Str ph.Report.ph_name);
+                   ("ns", J.Int (Int64.to_int ph.Report.ph_ns));
+                 ])
+             r.Report.r_phases) );
+    ]
+
+let ckpt_json t =
+  match t.ckpt with
+  | None -> J.Null
+  | Some c ->
+      let s = Checkpoint.stats c in
+      J.Obj
+        [
+          ("valid", J.Bool (Checkpoint.valid c));
+          ("cursor", J.Int (Checkpoint.cursor c));
+          ("base_seq", J.Int (Int64.to_int (Checkpoint.base_seq c)));
+          ("cuts", J.Int s.Checkpoint.cuts);
+          ("folds", J.Int s.Checkpoint.folds);
+          ("folded_ops", J.Int s.Checkpoint.folded_ops);
+          ("fold_divergences", J.Int s.Checkpoint.fold_divergences);
+          ("seeded", J.Int s.Checkpoint.seeded);
+          ("fallbacks", J.Int s.Checkpoint.fallbacks);
+          ("poisons", J.Int s.Checkpoint.poisons);
+        ]
+
+let journal_json t =
+  J.Obj
+    [
+      ("window", J.Int (Oplog.length t.oplog));
+      ("next_seq", J.Int (Oplog.next_seq t.oplog));
+      ("commit_seq", J.Int (Int64.to_int t.last_commit_seq));
+      ("open_fds", J.Int (List.length (Oplog.fd_snapshot t.oplog)));
+      ("total_recorded", J.Int (Oplog.total_recorded t.oplog));
+      ("total_discarded", J.Int (Oplog.total_discarded t.oplog));
+      ("max_window", J.Int (Oplog.max_window t.oplog));
+    ]
+
+let bundle_json t ~kind ~report =
+  let extra = match t.bundle_extra with Some f -> f () | None -> [] in
+  let impacted =
+    match List.assoc_opt "impacted_sessions" extra with Some v -> v | None -> J.List []
+  in
+  let extra = List.filter (fun (k, _) -> k <> "impacted_sessions") extra in
+  J.Obj
+    ([
+       ("schema", J.Str Rae_obs.Blackbox.schema_version);
+       ("kind", J.Str kind);
+       ("seq", J.Int (t.bundle_seq + 1));
+       ("ts_ns", J.Int (Int64.to_int (t.now ())));
+       ("rev", J.Str t.rev);
+       ("run_id", J.Str t.run_id);
+       ("health", J.Str (Rae_obs.Events.health_to_string (health t)));
+       ("policy", policy_json t.policy);
+       ("recovery", report_json report);
+       ("checkpoint", ckpt_json t);
+       ("journal", journal_json t);
+       ( "metrics",
+         match t.metrics with Some reg -> Rae_obs.Metrics.json reg | None -> J.Obj [] );
+       ("events", match t.events with Some ev -> Rae_obs.Events.to_json ev | None -> J.List []);
+       ("impacted_sessions", impacted);
+     ]
+    @ extra)
+
+let emit_bundle t ~kind ~report =
+  match t.bundle_dir with
+  | None -> ()
+  | Some dir -> (
+      let json = bundle_json t ~kind ~report in
+      t.bundle_seq <- t.bundle_seq + 1;
+      match Rae_obs.Blackbox.write ~dir ~seq:t.bundle_seq ~kind json with
+      | Ok path ->
+          t.s_bundles <- t.s_bundles + 1;
+          t.bundle_log <- path :: t.bundle_log
+      | Error _ ->
+          (* A failed write must never take recovery down with it; the
+             error is visible through rae_blackbox_errors_total. *)
+          t.s_bundle_errors <- t.s_bundle_errors + 1)
 
 (* Re-base the warm checkpoint; sound only when the window is empty (both
    call sites run right after an oplog prune). *)
@@ -184,6 +364,11 @@ let recover t ~trigger ~inflight ~attempt =
   let started = Sys.time () in
   let t0 = t.now () in
   t.s_recoveries <- t.s_recoveries + 1;
+  t.in_recovery <- true;
+  (match t.events with
+  | Some ev ->
+      Rae_obs.Events.record_recovery_begin ev ~trigger:(Report.trigger_to_string trigger)
+  | None -> ());
   let entries = Oplog.entries t.oplog in
   let window = List.length entries in
   let phases = ref [] in
@@ -198,6 +383,9 @@ let recover t ~trigger ~inflight ~attempt =
         (match t.tracer with Some tr -> Rae_obs.Tracer.span_end tr | None -> ());
         let d = Int64.sub (t.now ()) p0 in
         phases := { Report.ph_name = name; ph_ns = d } :: !phases;
+        (match t.events with
+        | Some ev -> Rae_obs.Events.record_recovery_phase ev ~phase:name ~ns:(Int64.to_int d)
+        | None -> ());
         match List.assoc_opt name t.ph_hists with
         | Some h -> Rae_obs.Metrics.observe h d
         | None -> ())
@@ -280,6 +468,14 @@ let recover t ~trigger ~inflight ~attempt =
         ~seeded
     in
     append report;
+    (* Recovery-completion hook: close the recorder's recovery bracket
+       first so the bundle's health gauge reflects the post-recovery
+       state, then snapshot everything into a black-box bundle. *)
+    t.in_recovery <- false;
+    (match t.events with
+    | Some ev -> Rae_obs.Events.record_recovery_end ev ~ok:true ~seeded ~replayed
+    | None -> ());
+    emit_bundle t ~kind:Rae_obs.Blackbox.kind_recovery ~report;
     (* 8. Delegated sync: re-issue on the recovered base. *)
     if delegated then begin
       ignore attempt;
@@ -356,6 +552,15 @@ let recover t ~trigger ~inflight ~attempt =
           ~delegated:false ~seeded:false
       in
       append report;
+      (* Fail-stop hook: the last thing a dying controller does is leave
+         a black box behind. *)
+      t.in_recovery <- false;
+      (match t.events with
+      | Some ev ->
+          Rae_obs.Events.record_degraded ev ~reason:msg;
+          Rae_obs.Events.record_recovery_end ev ~ok:false ~seeded:false ~replayed:0
+      | None -> ());
+      emit_bundle t ~kind:Rae_obs.Blackbox.kind_failstop ~report;
       Error Errno.EIO
   in
   match t.tracer with
@@ -411,11 +616,38 @@ and recover_and_maybe_retry t op ~attempt trigger =
   t.committed_during_op <- false;
   recover t ~trigger ~inflight:op ~attempt:(attempt + 1)
 
-let exec t op =
+(* [exec] with an origin: [corr] is the client-supplied correlation id
+   (0 = none), [session] the serving-layer session (0 = local/embedded).
+   With a recorder attached every completion lands in the ring; the
+   strings stored are the constant [kind]/[errno] literals, so the added
+   fast-path cost is two clock reads and one ring write. *)
+let exec_for t ~corr ~session op =
   t.s_ops <- t.s_ops + 1;
   match t.degraded with
-  | Some _ -> Error Errno.EIO
-  | None -> exec_attempt t op ~attempt:0
+  | Some _ ->
+      (match t.events with
+      | Some ev ->
+          Rae_obs.Events.record_op ev
+            ~kind:(Op.kind_to_string (Op.kind op))
+            ~errno:(Errno.to_string Errno.EIO) ~lat_ns:0 ~corr ~session
+      | None -> ());
+      Error Errno.EIO
+  | None -> (
+      match t.events with
+      | None -> exec_attempt t op ~attempt:0
+      | Some ev ->
+          let t0 = Int64.to_int (t.now ()) in
+          let outcome = exec_attempt t op ~attempt:0 in
+          let lat_ns = Int64.to_int (t.now ()) - t0 in
+          let kind = Op.kind_to_string (Op.kind op) in
+          let errno = match outcome with Ok _ -> "" | Error e -> Errno.to_string e in
+          Rae_obs.Events.record_op ev ~kind ~errno ~lat_ns ~corr ~session;
+          if lat_ns >= t.policy.slow_op_ns then
+            Rae_obs.Events.record_slow_op ev ~kind ~lat_ns ~threshold_ns:t.policy.slow_op_ns ~corr
+              ~session;
+          outcome)
+
+let exec t op = exec_for t ~corr:0 ~session:0 op
 
 (* ---- the named API, routed through exec ---- *)
 
@@ -491,6 +723,26 @@ let last_recovery t = match t.recovery_log with [] -> None | r :: _ -> Some r
 
 let register_obs reg t =
   let module M = Rae_obs.Metrics in
+  (* Remember the registry: bundles embed its snapshot at emission time. *)
+  t.metrics <- Some reg;
+  M.register_gauge reg ~help:"derived health: 0 OK, 1 RECOVERING, 2 DEGRADED, 3 FAILSTOP"
+    "rae_health" (fun () -> float_of_int (Rae_obs.Events.health_code (health t)));
+  M.register_counter reg ~help:"black-box bundles written"
+    ~reset:(fun () -> t.s_bundles <- 0)
+    "rae_blackbox_written_total"
+    (fun () -> t.s_bundles);
+  M.register_counter reg ~help:"black-box bundle write failures"
+    ~reset:(fun () -> t.s_bundle_errors <- 0)
+    "rae_blackbox_errors_total"
+    (fun () -> t.s_bundle_errors);
+  (match t.events with
+  | Some ev ->
+      M.register_counter reg ~help:"flight-recorder events recorded" "rae_flight_events_total"
+        (fun () -> Rae_obs.Events.total ev);
+      M.register_counter reg ~help:"flight-recorder events overwritten (ring wrap)"
+        "rae_flight_dropped_total"
+        (fun () -> Rae_obs.Events.dropped ev)
+  | None -> ());
   M.register_counter reg ~help:"operations executed through the controller"
     ~reset:(fun () -> t.s_ops <- 0)
     "rae_ops_total"

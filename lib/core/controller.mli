@@ -57,6 +57,10 @@ type policy = {
       (** let the warm shadow use its caching fast paths while folding
           (default true); disabling reproduces the naive shadow for
           overhead measurements *)
+  slow_op_ns : int;
+      (** flight-recorder threshold: an op completing slower than this
+          earns a [Slow_op] event next to its [Op_done]
+          (default 10ms) *)
 }
 
 val default_policy : policy
@@ -75,16 +79,38 @@ type stats = {
 type t
 
 val make :
-  ?policy:policy -> ?tracer:Rae_obs.Tracer.t -> device:Rae_block.Device.t -> Rae_basefs.Base.t -> t
+  ?policy:policy ->
+  ?tracer:Rae_obs.Tracer.t ->
+  ?events:Rae_obs.Events.t ->
+  ?bundle_dir:string ->
+  ?run_id:string ->
+  device:Rae_block.Device.t ->
+  Rae_basefs.Base.t ->
+  t
 (** Wrap a mounted base.  The controller registers itself on the base's
     commit hook to prune the oplog.  When [tracer] is given it is also
     attached to the base (commit/destage/replay spans), and every recovery
     emits one [recovery] span containing one child span per §3.2 phase
-    plus per-op replay spans. *)
+    plus per-op replay spans.
+
+    When [events] is given the flight recorder is attached to the whole
+    stack (controller op/recovery events, checkpoint cut/fold/poison,
+    base bug-registry triggers) and its clock is slaved to the
+    controller's.  When [bundle_dir] is given, every recovery completion
+    and every fail-stop entry writes a postmortem black-box bundle there
+    (see {!Rae_obs.Blackbox}); [run_id] is stamped into each bundle. *)
 
 val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
 (** Execute one operation with transparent recovery.  Never raises the
-    base's runtime-error exceptions. *)
+    base's runtime-error exceptions.  Equivalent to
+    [exec_for ~corr:0 ~session:0]. *)
+
+val exec_for : t -> corr:int -> session:int -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
+(** {!exec} with an origin for the flight recorder: [corr] is the
+    client-supplied end-to-end correlation id (0 = none), [session] the
+    serving-layer session id (0 = local).  Both land in the [Op_done] /
+    [Slow_op] events so a postmortem bundle can name the requests a
+    recovery impacted. *)
 
 include Rae_vfs.Fs_intf.S with type t := t
 (** The full filesystem API, routed through {!exec}. *)
@@ -92,6 +118,27 @@ include Rae_vfs.Fs_intf.S with type t := t
 val base : t -> Rae_basefs.Base.t
 val degraded : t -> string option
 (** [Some reason] once the controller has entered fail-stop mode. *)
+
+val events : t -> Rae_obs.Events.t option
+(** The attached flight recorder, if any. *)
+
+val health : t -> Rae_obs.Events.health
+(** Derived liveness: [Failstop] once degraded, [Recovering] inside a
+    recovery, [Degraded] when the last recovery left cross-check
+    discrepancies, [Healthy] otherwise.  Exported as the [rae_health]
+    gauge by {!register_obs}. *)
+
+val bundles : t -> string list
+(** Paths of every black-box bundle written so far, oldest first. *)
+
+val bundle_dir : t -> string option
+
+val set_bundle_context : t -> (unit -> (string * Rae_obs.Jsonx.t) list) -> unit
+(** Register a provider of embedder-specific bundle fields, sampled at
+    emission time.  An ["impacted_sessions"] key replaces the bundle's
+    (otherwise empty) impacted-sessions list — the serving layer uses
+    this to name the sessions and in-flight requests a recovery hit;
+    any other keys are appended to the bundle object as-is. *)
 
 val stats : t -> stats
 val recoveries : t -> Report.recovery list

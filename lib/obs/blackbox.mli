@@ -1,0 +1,50 @@
+(** Postmortem black-box bundles.
+
+    On every recovery completion and every fail-stop entry the
+    controller emits one self-contained JSON file — flight-recorder
+    tail, metrics snapshot, recovery report, checkpoint stats, journal
+    window summary, policy and provenance — so the event can be triaged
+    long after the process is gone.  This module owns the {e container}
+    (schema constant, durable write, validation, diff); the controller
+    assembles the content, keeping the obs layer free of core types. *)
+
+val schema_version : string
+(** Current bundle schema, ["rae-blackbox/1"]. *)
+
+val kind_recovery : string
+val kind_failstop : string
+
+type summary = {
+  s_path : string;  (** source path, [""] when checked from memory *)
+  s_schema : string;
+  s_kind : string;
+  s_seq : int;
+  s_rev : string;
+  s_health : string;
+  s_events : int;
+  s_trigger : string option;
+  s_outcome : string;
+  s_sessions : int;  (** impacted sessions named in the bundle *)
+}
+
+val git_rev : unit -> string
+(** Commit hash of the enclosing checkout (walks up to [.git/HEAD]),
+    or ["unknown"]. *)
+
+val bundle_name : seq:int -> kind:string -> string
+
+val write : dir:string -> seq:int -> kind:string -> Jsonx.t -> (string, string) result
+(** Create [dir] if needed and durably write
+    [blackbox-<seq>-<kind>.json] (temp file + rename).  Returns the
+    path.  Never raises: bundle emission must not take down serving. *)
+
+val check : ?path:string -> Jsonx.t -> (summary, string list) result
+(** Validate a bundle against the schema; returns every violation. *)
+
+val check_file : string -> (summary, string list) result
+val read_file : string -> (string, string) result
+val pp_summary : Format.formatter -> summary -> unit
+
+val diff : Jsonx.t -> Jsonx.t -> string list
+(** Structural field-wise diff, one ["path: a vs b"] line per leaf
+    difference. *)

@@ -146,3 +146,54 @@ let to_prometheus t =
           Buffer.add_string b (Printf.sprintf "%s_count %d\n" pname count))
     (names t);
   Buffer.contents b
+
+(* ---- JSON snapshot export ---- *)
+
+let value_json v =
+  match v with
+  | Counter n -> Jsonx.Obj [ ("type", Jsonx.Str "counter"); ("value", Jsonx.Int n) ]
+  | Gauge g -> Jsonx.Obj [ ("type", Jsonx.Str "gauge"); ("value", Jsonx.Float g) ]
+  | Histo { count; sum; p50; p90; p99; max } ->
+      Jsonx.Obj
+        [
+          ("type", Jsonx.Str "histogram");
+          ("count", Jsonx.Int count);
+          ("sum", Jsonx.Float sum);
+          ("p50", Jsonx.Float p50);
+          ("p90", Jsonx.Float p90);
+          ("p99", Jsonx.Float p99);
+          ("max", Jsonx.Float max);
+        ]
+
+let json t = Jsonx.Obj (List.map (fun (name, v) -> (name, value_json v)) (snapshot t))
+let to_json t = Jsonx.to_string (json t)
+
+let value_of_json j =
+  let num f = Jsonx.to_float_opt f in
+  match Jsonx.member "type" j with
+  | Some (Jsonx.Str "counter") -> Option.map (fun n -> Counter n) (Option.bind (Jsonx.member "value" j) Jsonx.to_int_opt)
+  | Some (Jsonx.Str "gauge") -> Option.map (fun g -> Gauge g) (Option.bind (Jsonx.member "value" j) num)
+  | Some (Jsonx.Str "histogram") -> (
+      match
+        ( Option.bind (Jsonx.member "count" j) Jsonx.to_int_opt,
+          Option.bind (Jsonx.member "sum" j) num,
+          Option.bind (Jsonx.member "p50" j) num,
+          Option.bind (Jsonx.member "p90" j) num,
+          Option.bind (Jsonx.member "p99" j) num,
+          Option.bind (Jsonx.member "max" j) num )
+      with
+      | Some count, Some sum, Some p50, Some p90, Some p99, Some max ->
+          Some (Histo { count; sum; p50; p90; p99; max })
+      | _ -> None)
+  | _ -> None
+
+let snapshot_of_json j =
+  match j with
+  | Jsonx.Obj fields ->
+      let rec go acc = function
+        | [] -> Some (List.rev acc)
+        | (name, v) :: rest -> (
+            match value_of_json v with Some v -> go ((name, v) :: acc) rest | None -> None)
+      in
+      go [] fields
+  | _ -> None

@@ -73,3 +73,19 @@ val to_prometheus : t -> string
 (** Prometheus text exposition: counters and gauges as single samples,
     histograms as summaries ([_count]/[_sum] plus 0.5/0.9/0.99 quantile
     lines).  Metric names are sanitised to [[a-zA-Z0-9_:]]. *)
+
+(** {1 JSON snapshot export} *)
+
+val value_json : value -> Jsonx.t
+
+val json : t -> Jsonx.t
+(** {!snapshot} as a JSON object keyed by metric name; counters and
+    gauges carry a [value], histograms their count/sum/quantiles.  This
+    is what black-box bundles embed. *)
+
+val to_json : t -> string
+
+val value_of_json : Jsonx.t -> value option
+val snapshot_of_json : Jsonx.t -> (string * value) list option
+(** Inverse of {!json}, for tools reading a bundle back; [None] on any
+    shape mismatch. *)

@@ -8,6 +8,9 @@ type t = {
   mutable on : bool;
   mutable buf : event array;
   mutable len : int;
+  mutable start : int;  (* index of the oldest retained event *)
+  max_events : int;  (* 0 = unbounded *)
+  mutable s_dropped : int;
   (* (name, was_recorded): the stack stays balanced across enable/disable
      toggles — a span opened while disabled must not emit an E on close. *)
   mutable stack : (string * bool) list;
@@ -16,8 +19,18 @@ type t = {
 
 let default_clock () = Int64.of_float (Sys.time () *. 1e9)
 
-let create ?(clock = default_clock) () =
-  { clock; on = false; buf = [||]; len = 0; stack = []; last_ts = 0L }
+let create ?(clock = default_clock) ?(max_events = 0) () =
+  {
+    clock;
+    on = false;
+    buf = [||];
+    len = 0;
+    start = 0;
+    max_events = (if max_events <= 0 then 0 else max 16 max_events);
+    s_dropped = 0;
+    stack = [];
+    last_ts = 0L;
+  }
 
 let set_clock t clock = t.clock <- clock
 let enable t = t.on <- true
@@ -32,14 +45,30 @@ let now t =
   t.last_ts
 
 let push t ev =
-  if t.len = Array.length t.buf then begin
-    let cap = max 64 (2 * t.len) in
-    let buf = Array.make cap ev in
-    Array.blit t.buf 0 buf 0 t.len;
-    t.buf <- buf
-  end;
-  t.buf.(t.len) <- ev;
-  t.len <- t.len + 1
+  let cap = Array.length t.buf in
+  if t.len < cap then begin
+    t.buf.((t.start + t.len) mod cap) <- ev;
+    t.len <- t.len + 1
+  end
+  else if t.max_events > 0 && cap >= t.max_events then begin
+    (* At the cap the buffer becomes a ring: overwrite the oldest event
+       and advance — a long soak run holds [max_events] slots, forever. *)
+    t.buf.(t.start) <- ev;
+    t.start <- (t.start + 1) mod cap;
+    t.s_dropped <- t.s_dropped + 1
+  end
+  else begin
+    let ncap = max 64 (2 * t.len) in
+    let ncap = if t.max_events > 0 then min ncap t.max_events else ncap in
+    let buf = Array.make ncap ev in
+    for i = 0 to t.len - 1 do
+      buf.(i) <- t.buf.((t.start + i) mod cap)
+    done;
+    t.buf <- buf;
+    t.start <- 0;
+    t.buf.(t.len) <- ev;
+    t.len <- t.len + 1
+  end
 
 let span_begin t ?(cat = "rae") name =
   if t.on then begin
@@ -61,11 +90,19 @@ let with_span t ?cat name f =
 
 let instant t ?(cat = "rae") name = if t.on then push t (Instant { name; cat; ts = now t })
 let depth t = List.length t.stack
-let events t = Array.to_list (Array.sub t.buf 0 t.len)
+
+let nth_event t i =
+  let cap = Array.length t.buf in
+  t.buf.((t.start + i) mod cap)
+
+let events t = List.init t.len (fun i -> nth_event t i)
+let dropped t = t.s_dropped
 
 let clear t =
   t.buf <- [||];
-  t.len <- 0
+  t.len <- 0;
+  t.start <- 0;
+  t.s_dropped <- 0
 
 (* ---- Chrome trace_event export ---- *)
 
@@ -97,17 +134,28 @@ let to_chrome t =
     if !first then first := false else Buffer.add_string b ",\n";
     Buffer.add_string b line
   in
+  (* [open_spans] mirrors the B/E bracketing of what we actually emit:
+     after a capped ring wraps, the tail can start with E events whose B
+     was overwritten — those are dropped so the export stays balanced,
+     and only spans whose B survived are synthetically closed at the
+     end. *)
+  let open_spans = ref [] in
   for i = 0 to t.len - 1 do
-    match t.buf.(i) with
-    | Begin { name; cat; ts } -> emit (event_line ~ph:'B' ~name ~cat ~ts)
-    | End { name; ts } -> emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts)
+    match nth_event t i with
+    | Begin { name; cat; ts } ->
+        open_spans := name :: !open_spans;
+        emit (event_line ~ph:'B' ~name ~cat ~ts)
+    | End { name; ts } -> (
+        match !open_spans with
+        | top :: rest when top = name ->
+            open_spans := rest;
+            emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts)
+        | _ -> ())
     | Instant { name; cat; ts } -> emit (event_line ~ph:'i' ~name ~cat ~ts)
   done;
   (* Close anything still open so the trace always balances. *)
   let ts = now t in
-  List.iter
-    (fun (name, recorded) -> if recorded then emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts))
-    t.stack;
+  List.iter (fun name -> emit (event_line ~ph:'E' ~name ~cat:"rae" ~ts)) !open_spans;
   Buffer.add_string b "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents b
 

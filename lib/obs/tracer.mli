@@ -17,9 +17,15 @@ type event =
   | End of { name : string; ts : int64 }
   | Instant of { name : string; cat : string; ts : int64 }
 
-val create : ?clock:(unit -> int64) -> unit -> t
+val create : ?clock:(unit -> int64) -> ?max_events:int -> unit -> t
 (** [clock] supplies nanosecond timestamps; defaults to CPU time
-    ([Sys.time]).  The tracer starts {e disabled}. *)
+    ([Sys.time]).  The tracer starts {e disabled}.
+
+    [max_events] caps the buffer: once full it becomes a ring that
+    overwrites the oldest events, so a long soak run (e.g. an [rfsd]
+    daemon) holds bounded memory.  Default [0] keeps the historical
+    unbounded doubling, which bench runs rely on for complete traces.
+    Values below 16 are clamped to 16. *)
 
 val set_clock : t -> (unit -> int64) -> unit
 
@@ -46,7 +52,11 @@ val depth : t -> int
 (** Number of currently open spans. *)
 
 val events : t -> event list
-(** Recorded events, oldest first. *)
+(** Recorded events, oldest first (the retained window when capped). *)
+
+val dropped : t -> int
+(** Events overwritten by the ring since creation (always [0] when
+    unbounded). *)
 
 val clear : t -> unit
 (** Drop recorded events (open-span bookkeeping is kept). *)
@@ -56,8 +66,9 @@ val clear : t -> unit
 val to_chrome : t -> string
 (** Serialise to Chrome [trace_event] JSON ([{"traceEvents":[...]}], one
     event per line, timestamps in microseconds).  Spans still open at
-    export time are closed at the current clock so the output is always
-    balanced. *)
+    export time are closed at the current clock, and [E] events whose
+    [B] was overwritten by a capped ring are dropped, so the output is
+    always balanced. *)
 
 val write_chrome : t -> string -> unit
 (** [write_chrome t path] writes {!to_chrome} output to [path]. *)

@@ -36,6 +36,7 @@ type stats = {
 type conn = {
   cid : int;
   mutable session : Session.t option;  (* None until Hello *)
+  mutable version : int;  (* negotiated at Hello; replies use this framing *)
   mutable rx : string;  (* undecoded byte backlog *)
   tx : Buffer.t;
   enc : Wire.encoder;  (* reused across frames: no per-frame allocation *)
@@ -46,6 +47,9 @@ type t = {
   ctl : Controller.t;
   config : config;
   now : unit -> int64;
+  events : Rae_obs.Events.t option;  (* the controller's flight recorder *)
+  mutable metrics_src : (unit -> string) option;  (* Prometheus text for Metrics_req *)
+  mutable dispatching : (int * int * int) option;  (* (session, req, corr) mid-dispatch *)
   conns : (int, conn) Hashtbl.t;
   mutable order : int list;  (* conn ids, attach order, for round-robin *)
   mutable cursor : int;  (* rotates the round-robin start point *)
@@ -65,12 +69,63 @@ type t = {
   mutable s_proto_errors : int;
 }
 
+let attached_sessions t =
+  List.filter_map
+    (fun cid ->
+      match Hashtbl.find_opt t.conns cid with
+      | Some conn when (not conn.closed) && conn.session <> None -> Some conn
+      | _ -> None)
+    t.order
+
+let record_session t action ~session =
+  match t.events with Some ev -> Rae_obs.Events.record_session ev action ~session | None -> ()
+
+(* What a postmortem bundle reports as the sessions a recovery impacted:
+   every attached session with its queued (req, corr) pairs — plus the
+   request being dispatched right now, which is by construction the one
+   whose op triggered the recovery — and the distinct client correlation
+   ids across them. *)
+let impacted_sessions_json t =
+  let module J = Rae_obs.Jsonx in
+  let one conn =
+    match conn.session with
+    | None -> None
+    | Some s ->
+        let sid = Session.id s in
+        let inflight =
+          (match t.dispatching with
+          | Some (d_sid, req, corr) when d_sid = sid -> [ (req, corr) ]
+          | _ -> [])
+          @ Session.pending_entries s
+        in
+        let corrs =
+          List.sort_uniq compare (List.filter_map (fun (_, c) -> if c = 0 then None else Some c) inflight)
+        in
+        Some
+          (J.Obj
+             [
+               ("session", J.Int sid);
+               ("open_fds", J.Int (Session.fd_count s));
+               ( "inflight",
+                 J.List
+                   (List.map
+                      (fun (req, corr) -> J.Obj [ ("req", J.Int req); ("corr", J.Int corr) ])
+                      inflight) );
+               ("corr_ids", J.List (List.map (fun c -> J.Int c) corrs));
+             ])
+  in
+  J.List (List.filter_map one (attached_sessions t))
+
 let create ?(config = default_config) ?now ctl =
   let now = match now with Some f -> f | None -> fun () -> Int64.of_float (Sys.time () *. 1e9) in
+  let t =
   {
     ctl;
     config;
     now;
+    events = Controller.events ctl;
+    metrics_src = None;
+    dispatching = None;
     conns = Hashtbl.create 32;
     order = [];
     cursor = 0;
@@ -89,22 +144,22 @@ let create ?(config = default_config) ?now ctl =
     s_evicted = 0;
     s_proto_errors = 0;
   }
+  in
+  (* Postmortem bundles written by this controller name the sessions and
+     in-flight requests the recovery hit. *)
+  Controller.set_bundle_context ctl (fun () ->
+      [ ("impacted_sessions", impacted_sessions_json t) ]);
+  t
+
+let set_metrics_source t f = t.metrics_src <- Some f
 
 (* ---- frame emission ---- *)
 
 let send t conn frame =
   if not conn.closed then begin
-    Wire.encode_into conn.enc frame conn.tx;
+    Wire.encode_into ~version:conn.version conn.enc frame conn.tx;
     t.s_frames_out <- t.s_frames_out + 1
   end
-
-let attached_sessions t =
-  List.filter_map
-    (fun cid ->
-      match Hashtbl.find_opt t.conns cid with
-      | Some conn when (not conn.closed) && conn.session <> None -> Some conn
-      | _ -> None)
-    t.order
 
 let release_session t conn =
   match conn.session with
@@ -126,7 +181,15 @@ let open_conn t =
   t.next_cid <- cid + 1;
   t.s_conns_total <- t.s_conns_total + 1;
   Hashtbl.replace t.conns cid
-    { cid; session = None; rx = ""; tx = Buffer.create 256; enc = Wire.encoder (); closed = false };
+    {
+      cid;
+      session = None;
+      version = Wire.protocol_version;
+      rx = "";
+      tx = Buffer.create 256;
+      enc = Wire.encoder ();
+      closed = false;
+    };
   t.order <- t.order @ [ cid ];
   cid
 
@@ -146,7 +209,7 @@ let handle_frame t conn frame =
   match (frame : Wire.frame) with
   | Wire.Hello { version } ->
       if conn.session <> None then protocol_error t conn "duplicate hello"
-      else if version <> Wire.protocol_version then begin
+      else if version < Wire.min_protocol_version || version > Wire.protocol_version then begin
         t.s_proto_errors <- t.s_proto_errors + 1;
         send t conn
           (Wire.Err
@@ -164,7 +227,11 @@ let handle_frame t conn frame =
         let session = Session.create ~id:conn.cid t.config.session in
         Session.touch session ~tick:t.tick;
         conn.session <- Some session;
-        send t conn (Wire.Hello_ok { session = conn.cid; version = Wire.protocol_version })
+        (* Negotiate down to the client's version: every later frame on
+           this connection — replies and pushes alike — uses it. *)
+        conn.version <- version;
+        record_session t `Attach ~session:conn.cid;
+        send t conn (Wire.Hello_ok { session = conn.cid; version })
       end
   | Wire.Ping { token } -> send t conn (Wire.Pong { token })
   | Wire.Stats_req ->
@@ -179,20 +246,43 @@ let handle_frame t conn frame =
              ws_degraded = Controller.degraded t.ctl <> None;
            })
   | Wire.Detach ->
+      (match conn.session with
+      | Some session -> record_session t `Detach ~session:(Session.id session)
+      | None -> ());
       send t conn Wire.Detach_ok;
       drop t conn
-  | Wire.Op_req { req; op } -> (
+  | Wire.Op_req { req; corr; op } -> (
       match conn.session with
       | None -> protocol_error t conn "operation before hello"
       | Some session -> (
-          match Session.enqueue session ~req op with
+          match Session.enqueue session ~req ~corr op with
           | `Queued -> ()
           | `Busy ->
               Session.note_busy session;
               t.s_busy <- t.s_busy + 1;
+              record_session t `Retry ~session:(Session.id session);
               send t conn (Wire.Busy { req; retry_after_ms = t.config.retry_after_ms })))
+  | Wire.Metrics_req ->
+      let text = match t.metrics_src with Some f -> f () | None -> "" in
+      send t conn (Wire.Metrics_reply { text })
+  | Wire.Bundles_req ->
+      let names = List.map Filename.basename (Controller.bundles t.ctl) in
+      send t conn (Wire.Bundles_reply { names })
+  | Wire.Bundle_req { name } -> (
+      (* Serve only bundles this controller wrote, matched by basename —
+         the client never names a server path. *)
+      let path =
+        List.find_opt (fun p -> Filename.basename p = name) (Controller.bundles t.ctl)
+      in
+      match path with
+      | None -> send t conn (Wire.Err { errno = Errno.ENOENT; msg = "no such bundle: " ^ name })
+      | Some p -> (
+          match Rae_obs.Blackbox.read_file p with
+          | Ok data -> send t conn (Wire.Bundle_reply { name; data })
+          | Error msg -> send t conn (Wire.Err { errno = Errno.EIO; msg })))
   | Wire.Hello_ok _ | Wire.Detach_ok | Wire.Pong _ | Wire.Stats_reply _ | Wire.Op_reply _
-  | Wire.Busy _ | Wire.Err _ | Wire.Note_degraded _ | Wire.Note_recovered _ ->
+  | Wire.Busy _ | Wire.Err _ | Wire.Note_degraded _ | Wire.Note_recovered _
+  | Wire.Metrics_reply _ | Wire.Bundles_reply _ | Wire.Bundle_reply _ ->
       protocol_error t conn "server-only frame from client"
 
 let feed t cid bytes =
@@ -244,13 +334,21 @@ let close_conn t cid =
 
 (* Execute one request on the controller, translating virtual fds on the
    way in and binding/releasing them on the way out. *)
-let dispatch t conn session (req, op) =
+let dispatch t conn session (req, corr, op) =
   let outcome =
     match Session.translate session op with
     | Error e -> Error e
     | Ok real_op -> (
+        let sid = Session.id session in
+        (* Visible to the bundle context while the controller runs: if
+           this op triggers a recovery, the postmortem names it. *)
+        t.dispatching <- Some (sid, req, corr);
         let t0 = t.now () in
-        let out = Controller.exec t.ctl real_op in
+        let out =
+          Fun.protect
+            ~finally:(fun () -> t.dispatching <- None)
+            (fun () -> Controller.exec_for t.ctl ~corr ~session:sid real_op)
+        in
         Metrics.observe t.op_hist (Int64.sub (t.now ()) t0);
         match (op, out) with
         | Op.Open _, Ok (Op.Fd real) -> Ok (Op.Fd (Session.bind_fd session ~real))
@@ -335,6 +433,7 @@ let evict_idle t =
           when Session.pending session = 0
                && t.tick - Session.last_active session > t.config.idle_timeout ->
             t.s_evicted <- t.s_evicted + 1;
+            record_session t `Evict ~session:(Session.id session);
             drop t conn
         | Some _ | None -> ())
       (attached_sessions t)

@@ -15,8 +15,10 @@
     retry-after hint and is dropped; server memory per session is bounded
     by [max_inflight] decoded requests plus transport buffers.
 
-    Recovery transparency: requests dispatch through {!Rae_core.Controller.exec},
-    so an operation that trips a base runtime error returns the shadow's
+    Recovery transparency: requests dispatch through
+    {!Rae_core.Controller.exec_for} (tagged with the session id and the
+    client's correlation id for the flight recorder), so an operation
+    that trips a base runtime error returns the shadow's
     answer and queued requests drain after hand-off.  After every turn the
     server compares the controller's recovery count against its watermark
     and pushes one [Note_recovered] frame (sequence number, trigger,
@@ -52,7 +54,19 @@ type t
 
 val create : ?config:config -> ?now:(unit -> int64) -> Rae_core.Controller.t -> t
 (** [now] feeds the per-op latency histogram (defaults to a CPU-time
-    clock). *)
+    clock).
+
+    The server adopts the controller's flight recorder (if any): session
+    attach/evict/retry/detach land in it, dispatched ops carry their
+    session id and the client's correlation id, and it registers itself
+    as the controller's bundle context so postmortem bundles name the
+    attached sessions and their in-flight [(req, corr)] pairs. *)
+
+val set_metrics_source : t -> (unit -> string) -> unit
+(** Provide the Prometheus exposition text served to [Metrics_req]
+    frames (typically [fun () -> Rae_obs.Metrics.to_prometheus reg] over
+    the registry everything is registered in).  Unset, [Metrics_req]
+    answers with empty text. *)
 
 (** {1 Transport edge} — one connection per client, identified by the id
     {!open_conn} returns.  All functions are total over ids: unknown or

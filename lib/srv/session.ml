@@ -7,7 +7,7 @@ let default_config = { max_fds = 64; max_inflight = 16; max_ops_per_turn = 8 }
 type t = {
   sid : int;
   config : config;
-  queue : (int * Op.t) Queue.t;
+  queue : (int * int * Op.t) Queue.t;  (* req, corr, op *)
   mutable queued : int;
   fd_map : (int, int) Hashtbl.t;  (* virtual fd -> controller fd *)
   mutable next_vfd : int;
@@ -31,10 +31,10 @@ let create ~id config =
 
 let id t = t.sid
 
-let enqueue t ~req op =
+let enqueue t ~req ~corr op =
   if t.queued >= t.config.max_inflight then `Busy
   else begin
-    Queue.add (req, op) t.queue;
+    Queue.add (req, corr, op) t.queue;
     t.queued <- t.queued + 1;
     `Queued
   end
@@ -47,6 +47,7 @@ let dequeue t =
       Some entry
 
 let pending t = t.queued
+let pending_entries t = Queue.fold (fun acc (req, corr, _op) -> (req, corr) :: acc) [] t.queue |> List.rev
 
 let real_fd t vfd = Hashtbl.find_opt t.fd_map vfd
 

@@ -23,13 +23,20 @@ val id : t -> int
 
 (** {1 Request queue (bounded)} *)
 
-val enqueue : t -> req:int -> Rae_vfs.Op.t -> [ `Queued | `Busy ]
+val enqueue : t -> req:int -> corr:int -> Rae_vfs.Op.t -> [ `Queued | `Busy ]
 (** Admit a decoded request, or refuse it when [max_inflight] requests are
     already pending — the refusal is the backpressure signal; nothing is
-    buffered for a refused request. *)
+    buffered for a refused request.  [corr] is the client's correlation
+    id (0 = none), carried to dispatch and into the flight recorder. *)
 
-val dequeue : t -> (int * Rae_vfs.Op.t) option
+val dequeue : t -> (int * int * Rae_vfs.Op.t) option
+(** [(req, corr, op)]. *)
+
 val pending : t -> int
+
+val pending_entries : t -> (int * int) list
+(** [(req, corr)] of every queued request, oldest first — what a
+    postmortem bundle reports as the session's impacted in-flight ops. *)
 
 (** {1 Descriptor virtualization} *)
 

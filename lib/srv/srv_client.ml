@@ -31,6 +31,7 @@ type t = {
   mutable rx : string;  (* undecoded byte backlog *)
   mutable sid : int;
   mutable next_req : int;
+  mutable corr : int;  (* correlation id stamped on every Op_req; 0 = none *)
   fds : (int, fd_rec) Hashtbl.t;  (* public fd -> record *)
   mutable notices_rev : notice list;
   mutable n_recovered : int;
@@ -103,7 +104,7 @@ let fresh_req t =
    session-virtual descriptors. *)
 let roundtrip t io op =
   let req = fresh_req t in
-  io.io_send (Wire.encode (Wire.Op_req { req; op }));
+  io.io_send (Wire.encode (Wire.Op_req { req; corr = t.corr; op }));
   await t io (function
     | Wire.Op_reply { req = r; outcome } when r = req -> Some (`Reply outcome)
     | Wire.Busy { req = r; retry_after_ms = _ } when r = req -> Some `Busy
@@ -258,6 +259,7 @@ let connect ?(config = default_config) ~dial () =
           rx = "";
           sid = 0;
           next_req = 1;
+          corr = 0;
           fds = Hashtbl.create 16;
           notices_rev = [];
           n_recovered = 0;
@@ -275,6 +277,8 @@ let connect ?(config = default_config) ~dial () =
           Error msg)
 
 let session t = t.sid
+let set_corr t corr = t.corr <- corr
+let corr t = t.corr
 
 let ping t =
   match t.io with
@@ -305,6 +309,33 @@ let server_stats t =
           io.io_close ();
           t.io <- None;
           Error Errno.EIO)
+
+(* One control request/reply over the live connection; connection loss
+   or timeout closes the link (same policy as [server_stats]), but a
+   served [Err] — e.g. ENOENT for an unknown bundle — leaves it open. *)
+let control t frame matcher =
+  match t.io with
+  | None -> Error Errno.EIO
+  | Some io -> (
+      io.io_send (Wire.encode frame);
+      match await t io matcher with
+      | Ok v -> Ok v
+      | Error (`Srv (errno, _)) -> Error errno
+      | Error (`Lost | `Timeout) ->
+          io.io_close ();
+          t.io <- None;
+          Error Errno.EIO)
+
+let metrics t =
+  control t Wire.Metrics_req (function Wire.Metrics_reply { text } -> Some text | _ -> None)
+
+let bundles t =
+  control t Wire.Bundles_req (function Wire.Bundles_reply { names } -> Some names | _ -> None)
+
+let fetch_bundle t name =
+  control t
+    (Wire.Bundle_req { name })
+    (function Wire.Bundle_reply { name = n; data } when n = name -> Some data | _ -> None)
 
 let detach t =
   (match t.io with

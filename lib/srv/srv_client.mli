@@ -50,6 +50,15 @@ val connect : ?config:config -> dial:(unit -> io option) -> unit -> (t, string) 
 val session : t -> int
 (** Server-assigned session id (of the current attachment). *)
 
+val set_corr : t -> int -> unit
+(** Set the correlation id stamped on every subsequent request (0 = none,
+    the default).  The id rides the wire's v2 [Op_req] extension into the
+    server's flight recorder, so a postmortem bundle can name the
+    client-side request a recovery impacted — set it per logical
+    application request for end-to-end correlation. *)
+
+val corr : t -> int
+
 val exec : t -> Rae_vfs.Op.t -> Rae_vfs.Op.outcome
 (** Execute one operation remotely.  File descriptors in [op] and its
     outcome are client-side public descriptors; translation to the wire's
@@ -60,6 +69,18 @@ include Rae_vfs.Fs_intf.S with type t := t
 
 val ping : t -> bool
 val server_stats : t -> (Wire.server_stats, Rae_vfs.Errno.t) result
+
+(** {1 Observability verbs (protocol v2)} *)
+
+val metrics : t -> (string, Rae_vfs.Errno.t) result
+(** The server's Prometheus exposition text. *)
+
+val bundles : t -> (string list, Rae_vfs.Errno.t) result
+(** Names of the black-box bundles the server has written. *)
+
+val fetch_bundle : t -> string -> (string, Rae_vfs.Errno.t) result
+(** Fetch one bundle's JSON by name ([ENOENT] if unknown; the connection
+    stays up). *)
 
 val detach : t -> unit
 (** Orderly close: sends [Detach], waits briefly for the ack, closes the

@@ -6,7 +6,12 @@ open Rae_vfs
 module Codec = Rae_util.Codec
 module Checksum = Rae_util.Checksum
 
-let protocol_version = 1
+(* v1: the PR 4 baseline.  v2 appends a correlation id to [Op_req] and
+   adds the metrics/bundle observability frames; v1 frames still decode
+   (corr reads back as 0) and [encode_into ~version:1] still emits
+   byte-identical v1 frames, so old peers interoperate. *)
+let protocol_version = 2
+let min_protocol_version = 1
 let magic = 0x5253 (* "RS" *)
 let header_bytes = 12
 let max_payload = 4 * 1024 * 1024
@@ -28,12 +33,20 @@ type frame =
   | Pong of { token : int }
   | Stats_req
   | Stats_reply of server_stats
-  | Op_req of { req : int; op : Op.t }
+  | Op_req of { req : int; corr : int; op : Op.t }
+      (** [corr] is the client-supplied correlation id (0 = none); v1
+          frames carry no corr bytes and decode with [corr = 0]. *)
   | Op_reply of { req : int; outcome : Op.outcome }
   | Busy of { req : int; retry_after_ms : int }
   | Err of { errno : Errno.t; msg : string }
   | Note_degraded of { reason : string }
   | Note_recovered of { seq : int; trigger : string; wall_us : int }
+  | Metrics_req
+  | Metrics_reply of { text : string }  (** Prometheus text exposition *)
+  | Bundles_req
+  | Bundles_reply of { names : string list }  (** black-box bundle directory listing *)
+  | Bundle_req of { name : string }
+  | Bundle_reply of { name : string; data : string }  (** one bundle's JSON *)
 
 type error =
   | Bad_magic
@@ -62,13 +75,20 @@ let pp_frame ppf = function
   | Stats_reply s ->
       Format.fprintf ppf "stats(sessions=%d served=%d busy=%d recoveries=%d degraded=%b)"
         s.ws_sessions s.ws_served s.ws_busy s.ws_recoveries s.ws_degraded
-  | Op_req { req; op } -> Format.fprintf ppf "op_req(#%d %a)" req Op.pp op
+  | Op_req { req; corr; op } -> Format.fprintf ppf "op_req(#%d corr=%d %a)" req corr Op.pp op
   | Op_reply { req; outcome } -> Format.fprintf ppf "op_reply(#%d %a)" req Op.pp_outcome outcome
   | Busy { req; retry_after_ms } -> Format.fprintf ppf "busy(#%d retry_after=%dms)" req retry_after_ms
   | Err { errno; msg } -> Format.fprintf ppf "err(%a, %S)" Errno.pp errno msg
   | Note_degraded { reason } -> Format.fprintf ppf "note_degraded(%S)" reason
   | Note_recovered { seq; trigger; wall_us } ->
       Format.fprintf ppf "note_recovered(#%d %s %dus)" seq trigger wall_us
+  | Metrics_req -> Format.pp_print_string ppf "metrics_req"
+  | Metrics_reply { text } -> Format.fprintf ppf "metrics_reply(%d bytes)" (String.length text)
+  | Bundles_req -> Format.pp_print_string ppf "bundles_req"
+  | Bundles_reply { names } -> Format.fprintf ppf "bundles_reply(%d)" (List.length names)
+  | Bundle_req { name } -> Format.fprintf ppf "bundle_req(%S)" name
+  | Bundle_reply { name; data } ->
+      Format.fprintf ppf "bundle_reply(%S, %d bytes)" name (String.length data)
 
 let equal_frame a b =
   match (a, b) with
@@ -94,6 +114,16 @@ let tag_of_frame = function
   | Err _ -> 12
   | Note_degraded _ -> 13
   | Note_recovered _ -> 14
+  | Metrics_req -> 15
+  | Metrics_reply _ -> 16
+  | Bundles_req -> 17
+  | Bundles_reply _ -> 18
+  | Bundle_req _ -> 19
+  | Bundle_reply _ -> 20
+
+(* Observability frames only exist from v2 on; Op_req's corr suffix is
+   the other v2 extension. *)
+let tag_min_version tag = if tag >= 15 then 2 else 1
 
 (* ---- payload encoding ---- *)
 
@@ -240,7 +270,7 @@ let add_outcome b = function
       add_u8 b 1;
       add_u8 b (Errno.to_wire e)
 
-let add_payload b = function
+let add_payload b ~version = function
   | Hello { version } -> add_u16 b version
   | Hello_ok { session; version } ->
       add_u32 b session;
@@ -254,9 +284,12 @@ let add_payload b = function
       add_int b s.ws_busy;
       add_u32 b s.ws_recoveries;
       add_u8 b (if s.ws_degraded then 1 else 0)
-  | Op_req { req; op } ->
+  | Op_req { req; corr; op } ->
       add_u32 b req;
-      add_op b op
+      add_op b op;
+      (* The corr id rides as a trailing extension so a v1 payload stays
+         byte-identical: old decoders never see the extra field. *)
+      if version >= 2 then add_u32 b corr
   | Op_reply { req; outcome } ->
       add_u32 b req;
       add_outcome b outcome
@@ -271,6 +304,15 @@ let add_payload b = function
       add_u32 b seq;
       add_str16 b trigger;
       add_int b wall_us
+  | Metrics_req | Bundles_req -> ()
+  | Metrics_reply { text } -> add_str32 b text
+  | Bundles_reply { names } ->
+      add_u16 b (List.length names);
+      List.iter (fun n -> add_str16 b n) names
+  | Bundle_req { name } -> add_str16 b name
+  | Bundle_reply { name; data } ->
+      add_str16 b name;
+      add_str32 b data
 
 (* A reusable encoder: one payload buffer and one growable scratch area
    per connection, so the steady-state serving path allocates nothing per
@@ -279,16 +321,16 @@ type encoder = { payload : Buffer.t; mutable scratch : Bytes.t }
 
 let encoder () = { payload = Buffer.create 256; scratch = Bytes.create 256 }
 
-let encode_into enc frame out =
+let encode_into ?(version = protocol_version) enc frame out =
   Buffer.clear enc.payload;
-  add_payload enc.payload frame;
+  add_payload enc.payload ~version frame;
   let plen = Buffer.length enc.payload in
   let need = header_bytes + plen in
   if Bytes.length enc.scratch < need then
     enc.scratch <- Bytes.create (max need (2 * Bytes.length enc.scratch));
   let b = enc.scratch in
   Codec.set_u16 b 0 magic;
-  Codec.set_u8 b 2 protocol_version;
+  Codec.set_u8 b 2 version;
   Codec.set_u8 b 3 (tag_of_frame frame);
   Codec.set_u32_int b 4 plen;
   Buffer.blit enc.payload 0 b header_bytes plen;
@@ -297,9 +339,9 @@ let encode_into enc frame out =
   Codec.set_i32 b 8 crc;
   Buffer.add_subbytes out b 0 need
 
-let encode frame =
+let encode ?version frame =
   let out = Buffer.create 64 in
-  encode_into (encoder ()) frame out;
+  encode_into ?version (encoder ()) frame out;
   Buffer.contents out
 
 (* ---- payload decoding ---- *)
@@ -425,7 +467,9 @@ let read_outcome c : Op.outcome =
   | 1 -> Error (Errno.of_wire (Codec.Cursor.read_u8 c))
   | t -> fail "unknown outcome tag %d" t
 
-let read_payload c tag =
+let read_payload c ~version tag =
+  if version < tag_min_version tag then
+    fail "frame tag %d requires protocol version >= %d" tag (tag_min_version tag);
   match tag with
   | 1 -> Hello { version = Codec.Cursor.read_u16 c }
   | 2 ->
@@ -450,7 +494,9 @@ let read_payload c tag =
       Stats_reply { ws_sessions; ws_served; ws_busy; ws_recoveries; ws_degraded }
   | 9 ->
       let req = Codec.Cursor.read_u32_int c in
-      Op_req { req; op = read_op c }
+      let op = read_op c in
+      let corr = if version >= 2 then Codec.Cursor.read_u32_int c else 0 in
+      Op_req { req; corr; op }
   | 10 ->
       let req = Codec.Cursor.read_u32_int c in
       Op_reply { req; outcome = read_outcome c }
@@ -465,6 +511,16 @@ let read_payload c tag =
       let seq = Codec.Cursor.read_u32_int c in
       let trigger = read_str16 c in
       Note_recovered { seq; trigger; wall_us = read_int c }
+  | 15 -> Metrics_req
+  | 16 -> Metrics_reply { text = read_str32 c }
+  | 17 -> Bundles_req
+  | 18 ->
+      let n = Codec.Cursor.read_u16 c in
+      Bundles_reply { names = read_list n (fun () -> read_str16 c) }
+  | 19 -> Bundle_req { name = read_str16 c }
+  | 20 ->
+      let name = read_str16 c in
+      Bundle_reply { name; data = read_str32 c }
   | t -> fail "unknown frame tag %d" t
 
 let decode buf ~pos ~len =
@@ -473,7 +529,8 @@ let decode buf ~pos ~len =
   else if len < header_bytes then Need_more
   else
     let version = Codec.get_u8 buf (pos + 2) in
-    if version <> protocol_version then Fail (Bad_version version)
+    if version < min_protocol_version || version > protocol_version then
+      Fail (Bad_version version)
     else
       let plen = Codec.get_u32_int buf (pos + 4) in
       if plen > max_payload then Fail (Bad_length plen)
@@ -485,7 +542,7 @@ let decode buf ~pos ~len =
         else
           let tag = Codec.get_u8 buf (pos + 3) in
           let c = Codec.Cursor.of_bytes ~pos:(pos + header_bytes) buf in
-          match read_payload c tag with
+          match read_payload c ~version tag with
           | frame ->
               if Codec.Cursor.pos c <> pos + header_bytes + plen then
                 Fail (Bad_payload "trailing bytes in payload")

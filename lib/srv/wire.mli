@@ -1,6 +1,6 @@
 (** The rfs serving-layer wire protocol.
 
-    Version-1 binary framing for the full {!Rae_vfs.Op} surface plus the
+    Binary framing for the full {!Rae_vfs.Op} surface plus the
     session-control frames the server speaks (attach, detach, ping, stats,
     backpressure and recovery notifications).  Frames are length-prefixed
     with a checksummed header:
@@ -8,12 +8,19 @@
     {v
     offset  size  field
     0       2     magic 0x5253 ("RS")
-    2       1     protocol version (1)
+    2       1     protocol version (1 or 2)
     3       1     frame type tag
     4       4     payload length (bytes)
     8       4     CRC32C over header bytes 0..7 ++ payload
     12      len   payload
     v}
+
+    Version 2 appends a client-supplied {e correlation id} to [Op_req]
+    (a trailing u32 extension, so v1 payloads are byte-identical and
+    decode with [corr = 0]) and adds the observability frames
+    ([Metrics_req]/[Bundles_req]/[Bundle_req] and replies).  Both
+    versions decode; {!encode_into} takes the version to emit, so a
+    server answers a v1 peer in v1 frames.
 
     Decoding is total: any malformed input — bad magic, unknown version or
     frame tag, inconsistent lengths, checksum mismatch, crafted path
@@ -23,6 +30,14 @@
     scan. *)
 
 val protocol_version : int
+(** Newest version this codec speaks (2). *)
+
+val min_protocol_version : int
+(** Oldest version still decoded (1). *)
+
+val tag_min_version : int -> int
+(** Lowest protocol version in which a frame tag exists. *)
+
 val header_bytes : int
 val max_payload : int
 (** Upper bound on a frame payload; a length field above this is rejected
@@ -45,7 +60,10 @@ type frame =
   | Pong of { token : int }
   | Stats_req
   | Stats_reply of server_stats
-  | Op_req of { req : int; op : Rae_vfs.Op.t }
+  | Op_req of { req : int; corr : int; op : Rae_vfs.Op.t }
+      (** [corr] is the client-supplied correlation id threaded end to
+          end (flight recorder, postmortem bundles); [0] means none.
+          v1 frames decode with [corr = 0]. *)
   | Op_reply of { req : int; outcome : Rae_vfs.Op.outcome }
   | Busy of { req : int; retry_after_ms : int }
       (** backpressure: the request was *not* queued; retry after the hint *)
@@ -57,6 +75,12 @@ type frame =
       (** server push: recovery [seq] (1-based controller recovery count)
           completed; [trigger]/[wall_us] come from {!Rae_core.Report} so
           clients can correlate with server-side logs *)
+  | Metrics_req  (** v2: ask for the server's Prometheus exposition *)
+  | Metrics_reply of { text : string }
+  | Bundles_req  (** v2: list available black-box bundles *)
+  | Bundles_reply of { names : string list }
+  | Bundle_req of { name : string }  (** v2: fetch one bundle by name *)
+  | Bundle_reply of { name : string; data : string }
 
 type error =
   | Bad_magic
@@ -84,13 +108,15 @@ type encoder
 
 val encoder : unit -> encoder
 
-val encode_into : encoder -> frame -> Buffer.t -> unit
+val encode_into : ?version:int -> encoder -> frame -> Buffer.t -> unit
 (** Serialize one frame, header included, appending the bytes to the
     given output buffer (typically the connection's tx buffer).  The
     encoder's scratch state is clobbered; one encoder must not be shared
-    across connections that encode concurrently. *)
+    across connections that encode concurrently.  [version] (default
+    {!protocol_version}) selects the emitted frame version — a server
+    talking to a v1 peer passes its negotiated version. *)
 
-val encode : frame -> string
+val encode : ?version:int -> frame -> string
 (** Serialize one frame, header included.  Convenience wrapper over
     {!encode_into} with a throwaway encoder (tests, client one-shots);
     servers should hold an {!encoder} per connection instead. *)

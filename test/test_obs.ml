@@ -5,12 +5,27 @@
 open Rae_vfs
 module Metrics = Rae_obs.Metrics
 module Tracer = Rae_obs.Tracer
+module Events = Rae_obs.Events
+module Blackbox = Rae_obs.Blackbox
+module Jsonx = Rae_obs.Jsonx
 module Base = Rae_basefs.Base
 module Bug_registry = Rae_basefs.Bug_registry
 module Controller = Rae_core.Controller
 module Report = Rae_core.Report
 
 let p = Path.parse_exn
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A fresh directory path for bundle-emission tests; Blackbox.write
+   creates it on first use. *)
+let tmpdir () =
+  let path = Filename.temp_file "rae-test-bundles" "" in
+  Sys.remove path;
+  path
 
 (* ---- histograms ---- *)
 
@@ -244,7 +259,7 @@ let armed_panic () =
       };
     ]
 
-let mk_stack () =
+let mk_stack ?bundle_dir () =
   let disk =
     Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
       ~block_size:Rae_format.Layout.block_size ~nblocks:4096 ()
@@ -254,11 +269,12 @@ let mk_stack () =
   let base = Result.get_ok (Base.mount ~bugs:(armed_panic ()) dev) in
   let tracer = Tracer.create () in
   Tracer.enable tracer;
-  let ctl = Controller.make ~tracer ~device:dev base in
-  (ctl, tracer)
+  let events = Events.create ~capacity:256 () in
+  let ctl = Controller.make ~tracer ~events ?bundle_dir ~run_id:"test-obs" ~device:dev base in
+  (ctl, tracer, events)
 
 let test_recovery_phases_and_spans () =
-  let ctl, tracer = mk_stack () in
+  let ctl, tracer, _ = mk_stack () in
   ignore (Controller.create ctl (p "/a") ~mode:0o644);
   ignore (Controller.mkdir ctl (p "/d") ~mode:0o755);
   ignore (Controller.create ctl (p "/boom") ~mode:0o644);
@@ -298,7 +314,7 @@ let test_recovery_phases_and_spans () =
        (Tracer.events tracer))
 
 let test_register_obs_and_reset () =
-  let ctl, _ = mk_stack () in
+  let ctl, _, _ = mk_stack () in
   let reg = Metrics.create () in
   Controller.register_obs reg ctl;
   ignore (Controller.create ctl (p "/a") ~mode:0o644);
@@ -326,6 +342,261 @@ let test_register_obs_and_reset () =
   match Metrics.find reg "rae_ops_total" with
   | Some (Metrics.Counter 0) -> ()
   | _ -> Alcotest.fail "registry reset did not zero controller counters"
+
+(* ---- flight recorder ---- *)
+
+let test_recorder_wraparound () =
+  let now = ref 0 in
+  let ev = Events.create ~capacity:3 (* rounds up to 4 *) ~clock:(fun () -> !now) () in
+  Alcotest.(check int) "power-of-two capacity" 4 (Events.capacity ev);
+  for i = 0 to 9 do
+    now := i * 10;
+    Events.record_op ev ~kind:"create" ~errno:"" ~lat_ns:i ~corr:i ~session:1
+  done;
+  Alcotest.(check int) "total" 10 (Events.total ev);
+  Alcotest.(check int) "retained" 4 (Events.retained ev);
+  Alcotest.(check int) "dropped" 6 (Events.dropped ev);
+  let tail = Events.tail ev in
+  Alcotest.(check (list int)) "oldest-first survivors" [ 6; 7; 8; 9 ]
+    (List.map (fun e -> e.Events.seq) tail);
+  (match List.rev tail with
+  | { Events.ts_ns = 90; body = Events.Op_done { corr = 9; lat_ns = 9; _ }; _ } :: _ -> ()
+  | _ -> Alcotest.fail "newest slot holds the last record's payload");
+  Alcotest.(check int) "n above retained clamps" 4 (List.length (Events.tail ~n:100 ev));
+  Alcotest.(check (list int)) "n takes the newest" [ 8; 9 ]
+    (List.map (fun e -> e.Events.seq) (Events.tail ~n:2 ev));
+  Events.clear ev;
+  Alcotest.(check int) "clear empties" 0 (Events.retained ev)
+
+let test_recorder_json () =
+  let ev = Events.create ~capacity:8 ~clock:(fun () -> 42) () in
+  Events.record_op ev ~kind:"mkdir" ~errno:"ENOSPC" ~lat_ns:7 ~corr:3 ~session:2;
+  Events.record_bug_fired ev ~id:"b-1";
+  Events.record_session ev `Attach ~session:5;
+  let s = Jsonx.to_string (Events.to_json ev) in
+  match Jsonx.parse s with
+  | Error m -> Alcotest.failf "recorder json does not reparse: %s" m
+  | Ok (Jsonx.List [ op; bug; sess ]) ->
+      let str k j =
+        match Option.bind (Jsonx.member k j) Jsonx.to_str_opt with Some s -> s | None -> "?"
+      in
+      Alcotest.(check string) "op kind" "op" (str "kind" op);
+      Alcotest.(check string) "op errno" "ENOSPC" (str "errno" op);
+      Alcotest.(check (option int)) "op corr" (Some 3)
+        (Option.bind (Jsonx.member "corr" op) Jsonx.to_int_opt);
+      Alcotest.(check string) "bug kind" "bug-fired" (str "kind" bug);
+      Alcotest.(check string) "bug id" "b-1" (str "bug" bug);
+      Alcotest.(check string) "session kind" "session-attach" (str "kind" sess)
+  | Ok _ -> Alcotest.fail "expected a three-event list"
+
+let test_record_during_recovery () =
+  let ctl, _, ev = mk_stack () in
+  ignore (Controller.create ctl (p "/a") ~mode:0o644);
+  ignore (Controller.create ctl (p "/boom") ~mode:0o644);
+  Alcotest.(check bool) "healthy after recovery" true (Controller.health ctl = Events.Healthy);
+  let bodies = List.map (fun e -> e.Events.body) (Events.tail ev) in
+  let has f = List.exists f bodies in
+  Alcotest.(check bool) "bug trigger recorded" true
+    (has (function Events.Bug_fired { id = "test-panic" } -> true | _ -> false));
+  Alcotest.(check bool) "recovery begin recorded" true
+    (has (function Events.Recovery_begin _ -> true | _ -> false));
+  Alcotest.(check bool) "replay phase recorded" true
+    (has (function
+      | Events.Recovery_phase { phase = "constrained-replay"; _ } -> true
+      | _ -> false));
+  (match
+     List.filter_map (function Events.Recovery_end { ok; _ } -> Some ok | _ -> None) bodies
+   with
+  | [ ok ] -> Alcotest.(check bool) "recovery succeeded" true ok
+  | l -> Alcotest.failf "expected one recovery-end, saw %d" (List.length l));
+  Alcotest.(check bool) "op completions recorded" true
+    (has (function Events.Op_done _ -> true | _ -> false))
+
+(* ---- black-box bundles ---- *)
+
+let test_bundle_on_recovery () =
+  let dir = tmpdir () in
+  let ctl, _, _ = mk_stack ~bundle_dir:dir () in
+  ignore (Controller.create ctl (p "/a") ~mode:0o644);
+  Alcotest.(check (list Alcotest.string)) "no bundle before recovery" []
+    (Controller.bundles ctl);
+  ignore (Controller.create ctl (p "/boom") ~mode:0o644);
+  match Controller.bundles ctl with
+  | [ path ] -> (
+      match Blackbox.check_file path with
+      | Error vs -> Alcotest.failf "bundle invalid: %s" (String.concat "; " vs)
+      | Ok s ->
+          Alcotest.(check string) "schema" Blackbox.schema_version s.Blackbox.s_schema;
+          Alcotest.(check string) "kind" Blackbox.kind_recovery s.Blackbox.s_kind;
+          Alcotest.(check int) "seq" 1 s.Blackbox.s_seq;
+          Alcotest.(check string) "health" "OK" s.Blackbox.s_health;
+          Alcotest.(check bool) "flight-recorder tail embedded" true (s.Blackbox.s_events > 0);
+          Alcotest.(check bool) "trigger named" true (s.Blackbox.s_trigger <> None))
+  | l -> Alcotest.failf "expected exactly one bundle, got %d" (List.length l)
+
+let test_failstop_bundle () =
+  (* The unrecoverable-image scenario from test_core, observed through
+     the black box: corrupt the on-disk root so fsck refuses S0, and the
+     failed recovery must leave a FAILSTOP bundle plus degradation
+     events in the recorder. *)
+  let dir = tmpdir () in
+  let disk =
+    Rae_block.Disk.create ~latency:Rae_block.Disk.zero_latency
+      ~block_size:Rae_format.Layout.block_size ~nblocks:4096 ()
+  in
+  let dev = Rae_block.Device.of_disk disk in
+  Result.get_ok (Base.mkfs dev ~ninodes:256 ());
+  let base = Result.get_ok (Base.mount dev) in
+  let events = Events.create ~capacity:256 () in
+  let ctl = Controller.make ~events ~bundle_dir:dir ~run_id:"test-failstop" ~device:dev base in
+  ignore (Controller.create ctl (p "/x") ~mode:0o644);
+  ignore (Controller.sync ctl);
+  let g =
+    (Result.get_ok (Rae_format.Reader.attach (fun blk -> Rae_block.Disk.read disk blk)))
+      .Rae_format.Reader.sb
+      .Rae_format.Superblock.geometry
+  in
+  Rae_block.Disk.corrupt_byte disk ~block:g.Rae_format.Layout.data_start ~offset:4 (fun _ -> '\000');
+  Rae_block.Disk.corrupt_byte disk ~block:g.Rae_format.Layout.data_start ~offset:5 (fun _ -> '\000');
+  ignore (Result.get_ok (Base.contained_reboot (Controller.base ctl)));
+  (match Controller.lookup ctl (p "/x") with
+  | Error Errno.EIO -> ()
+  | _ -> Alcotest.fail "degraded controller must answer EIO");
+  Alcotest.(check bool) "health FAILSTOP" true (Controller.health ctl = Events.Failstop);
+  (match Controller.bundles ctl with
+  | [ path ] -> (
+      match Blackbox.check_file path with
+      | Error vs -> Alcotest.failf "fail-stop bundle invalid: %s" (String.concat "; " vs)
+      | Ok s ->
+          Alcotest.(check string) "kind" Blackbox.kind_failstop s.Blackbox.s_kind;
+          Alcotest.(check string) "health" "FAILSTOP" s.Blackbox.s_health)
+  | l -> Alcotest.failf "expected exactly one bundle, got %d" (List.length l));
+  let bodies = List.map (fun e -> e.Events.body) (Events.tail events) in
+  Alcotest.(check bool) "degradation recorded" true
+    (List.exists (function Events.Degradation _ -> true | _ -> false) bodies);
+  Alcotest.(check bool) "failed recovery-end recorded" true
+    (List.exists (function Events.Recovery_end { ok = false; _ } -> true | _ -> false) bodies)
+
+let test_blackbox_check_rejects () =
+  (match Blackbox.check (Jsonx.Obj [ ("schema", Jsonx.Str "bogus/9") ]) with
+  | Ok _ -> Alcotest.fail "bogus bundle must not validate"
+  | Error vs ->
+      Alcotest.(check bool) "several violations reported" true (List.length vs >= 2));
+  match Blackbox.check (Jsonx.Int 3) with
+  | Ok _ -> Alcotest.fail "non-object must not validate"
+  | Error _ -> ()
+
+let test_blackbox_diff () =
+  let a =
+    Jsonx.Obj
+      [ ("x", Jsonx.Int 1); ("nest", Jsonx.Obj [ ("z", Jsonx.Str "same") ]);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 2 ]) ]
+  in
+  let b =
+    Jsonx.Obj
+      [ ("x", Jsonx.Int 2); ("nest", Jsonx.Obj [ ("z", Jsonx.Str "same") ]);
+        ("l", Jsonx.List [ Jsonx.Int 1; Jsonx.Int 3 ]) ]
+  in
+  Alcotest.(check (list string)) "self-diff empty" [] (Blackbox.diff a a);
+  let lines = Blackbox.diff a b in
+  Alcotest.(check int) "one line per differing leaf" 2 (List.length lines);
+  Alcotest.(check bool) "names the scalar path" true
+    (List.exists (fun l -> has_sub l "x") lines)
+
+(* ---- tracer ring cap ---- *)
+
+let test_tracer_ring_cap () =
+  let now = ref 0L in
+  let t = Tracer.create ~clock:(fun () -> !now) ~max_events:16 () in
+  Tracer.enable t;
+  for i = 1 to 40 do
+    now := Int64.of_int (i * 10);
+    Tracer.instant t "tick"
+  done;
+  Alcotest.(check int) "capped at max_events" 16 (List.length (Tracer.events t));
+  Alcotest.(check int) "overflow counted" 24 (Tracer.dropped t);
+  (* A span whose B was overwritten must not leave a dangling E. *)
+  Tracer.span_begin t "doomed";
+  for i = 21 to 40 do
+    now := Int64.of_int (i * 10);
+    Tracer.instant t "tick"
+  done;
+  Tracer.span_end t;
+  match Tracer.validate_chrome (Tracer.to_chrome t) with
+  | Ok _ -> ()
+  | Error m -> Alcotest.failf "capped trace must stay exportable: %s" m
+
+(* ---- JSON: grammar round-trip and metrics snapshots ---- *)
+
+let gen_json =
+  let open QCheck2.Gen in
+  sized
+  @@ fix (fun self n ->
+         let leaf =
+           oneof
+             [
+               return Jsonx.Null;
+               map (fun b -> Jsonx.Bool b) bool;
+               map (fun i -> Jsonx.Int i) (int_range (-1_000_000) 1_000_000);
+               map (fun s -> Jsonx.Str s) (string_size ~gen:printable (int_bound 12));
+             ]
+         in
+         if n <= 0 then leaf
+         else
+           oneof
+             [
+               leaf;
+               map (fun l -> Jsonx.List l) (list_size (int_bound 4) (self (n / 2)));
+               map
+                 (fun l -> Jsonx.Obj l)
+                 (list_size (int_bound 4)
+                    (pair (string_size ~gen:printable (int_bound 8)) (self (n / 2))));
+             ])
+
+let prop_jsonx_roundtrip =
+  QCheck2.Test.make ~name:"jsonx print/parse round-trip (compact and pretty)" ~count:300
+    ~print:(fun j -> Jsonx.to_string j)
+    gen_json
+    (fun j ->
+      Jsonx.parse (Jsonx.to_string j) = Ok j
+      && Jsonx.parse (Jsonx.to_string ~pretty:true j) = Ok j)
+
+let test_jsonx_errors () =
+  let bad s = match Jsonx.parse s with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "bare brace" true (bad "{");
+  Alcotest.(check bool) "missing value" true (bad "{\"a\":}");
+  Alcotest.(check bool) "unterminated list" true (bad "[1,2");
+  Alcotest.(check bool) "trailing garbage" true (bad "1 x");
+  Alcotest.(check bool) "nan prints as null" true (Jsonx.to_string (Jsonx.Float Float.nan) = "null");
+  Alcotest.(check bool) "float survives" true
+    (Jsonx.parse (Jsonx.to_string (Jsonx.Float 1.5)) = Ok (Jsonx.Float 1.5))
+
+let test_metrics_json_roundtrip () =
+  let reg = Metrics.create () in
+  Metrics.register_counter reg ~help:"ops" "m_ops" (fun () -> 42);
+  Metrics.register_gauge reg "m_depth" (fun () -> 1.5);
+  let h = Metrics.histogram () in
+  Metrics.observe h 100L;
+  Metrics.observe h 10_000L;
+  Metrics.register_histogram reg "m_lat" h;
+  (match Jsonx.parse (Metrics.to_json reg) with
+  | Error m -> Alcotest.failf "metrics snapshot does not reparse: %s" m
+  | Ok j -> (
+      match Metrics.snapshot_of_json j with
+      | None -> Alcotest.fail "snapshot_of_json rejected its own output"
+      | Some kvs -> (
+          Alcotest.(check int) "entries" 3 (List.length kvs);
+          match
+            (List.assoc "m_ops" kvs, List.assoc "m_depth" kvs, List.assoc "m_lat" kvs)
+          with
+          | Metrics.Counter 42, Metrics.Gauge g, Metrics.Histo { count = 2; _ } ->
+              Alcotest.(check (float 0.)) "gauge value" 1.5 g
+          | _ -> Alcotest.fail "values did not round-trip")));
+  (* Shape mismatches answer None, never an exception. *)
+  Alcotest.(check bool) "non-object" true (Metrics.snapshot_of_json (Jsonx.Int 3) = None);
+  Alcotest.(check bool) "bad entry" true
+    (Metrics.snapshot_of_json (Jsonx.Obj [ ("x", Jsonx.Str "?") ]) = None)
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
@@ -356,6 +627,27 @@ let () =
           Alcotest.test_case "round-trip" `Quick test_chrome_roundtrip;
           Alcotest.test_case "open spans closed" `Quick test_chrome_open_spans_closed_at_export;
           Alcotest.test_case "rejects malformed" `Quick test_chrome_rejects_malformed;
+          Alcotest.test_case "ring cap drops oldest, stays exportable" `Quick
+            test_tracer_ring_cap;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "wraparound" `Quick test_recorder_wraparound;
+          Alcotest.test_case "event json" `Quick test_recorder_json;
+          Alcotest.test_case "records through a recovery" `Quick test_record_during_recovery;
+        ] );
+      ( "blackbox",
+        [
+          Alcotest.test_case "recovery emits a valid bundle" `Quick test_bundle_on_recovery;
+          Alcotest.test_case "fail-stop emits a FAILSTOP bundle" `Quick test_failstop_bundle;
+          Alcotest.test_case "checker rejects non-bundles" `Quick test_blackbox_check_rejects;
+          Alcotest.test_case "structural diff" `Quick test_blackbox_diff;
+        ] );
+      ( "json",
+        [
+          q prop_jsonx_roundtrip;
+          Alcotest.test_case "parser rejects malformed" `Quick test_jsonx_errors;
+          Alcotest.test_case "metrics snapshot round-trip" `Quick test_metrics_json_roundtrip;
         ] );
       ( "stack",
         [

@@ -27,14 +27,21 @@ let ok_or name = function
 let arm ids =
   Bug_registry.arm ~rng:(Rae_util.Rng.create 7L) (List.filter_map Bug_registry.find ids)
 
-let mk_ctl ?bugs () =
+let mk_ctl ?bugs ?bundle_dir ?events () =
   let disk =
     Disk.create ~latency:Disk.zero_latency ~block_size:Layout.block_size ~nblocks:2048 ()
   in
   let dev = Device.of_disk disk in
   ignore (Result.get_ok (Base.mkfs dev ~ninodes:256 ()));
   let base = Result.get_ok (Base.mount ?bugs dev) in
-  Controller.make ~device:dev base
+  Controller.make ?events ?bundle_dir ~run_id:"test-srv" ~device:dev base
+
+(* A fresh directory path for bundle-emission tests; the controller's
+   bundle writer creates it on first use. *)
+let tmpdir () =
+  let path = Filename.temp_file "rae-test-bundles" "" in
+  Sys.remove path;
+  path
 
 (* ---- wire generators ---- *)
 
@@ -143,7 +150,7 @@ let gen_frame =
         let* ws_recoveries = int_bound 1000 in
         let+ ws_degraded = bool in
         Wire.Stats_reply { ws_sessions; ws_served; ws_busy; ws_recoveries; ws_degraded } );
-      map2 (fun req op -> Wire.Op_req { req; op }) gen_small gen_op;
+      map3 (fun req corr op -> Wire.Op_req { req; corr; op }) gen_small gen_small gen_op;
       map2 (fun req outcome -> Wire.Op_reply { req; outcome }) gen_small gen_outcome;
       map2
         (fun req retry_after_ms -> Wire.Busy { req; retry_after_ms })
@@ -154,6 +161,12 @@ let gen_frame =
         let* trigger = gen_str in
         let+ wall_us = gen_small in
         Wire.Note_recovered { seq; trigger; wall_us } );
+      return Wire.Metrics_req;
+      map (fun text -> Wire.Metrics_reply { text }) gen_str;
+      return Wire.Bundles_req;
+      map (fun names -> Wire.Bundles_reply { names }) (list_size (int_bound 5) gen_str);
+      map (fun name -> Wire.Bundle_req { name }) gen_str;
+      map2 (fun name data -> Wire.Bundle_reply { name; data }) gen_str gen_str;
     ]
 
 let frame_to_string = Format.asprintf "%a" Wire.pp_frame
@@ -221,7 +234,7 @@ let prop_chunked =
       Printf.sprintf "%d frames, %d-byte chunks" (List.length fs) chunk)
     QCheck2.Gen.(pair (list_size (int_range 1 6) gen_frame) (int_range 1 13))
     (fun (frames, chunk) ->
-      let s = String.concat "" (List.map Wire.encode frames) in
+      let s = String.concat "" (List.map (fun f -> Wire.encode f) frames) in
       let got = ref [] in
       let backlog = ref "" in
       let pos = ref 0 in
@@ -278,6 +291,31 @@ let test_decode_garbage () =
     | Wire.Frame _ | Wire.Need_more | Wire.Fail _ -> ()
   done
 
+(* ---- protocol versioning: the corr-id extension ---- *)
+
+let test_wire_corr_versioning () =
+  let f = Wire.Op_req { req = 7; corr = 0xbeef; op = Op.Sync } in
+  (* v2 (the default) round-trips the correlation id. *)
+  (match Wire.decode_string (Wire.encode f) with
+  | Wire.Frame (Wire.Op_req { req = 7; corr = 0xbeef; op = Op.Sync }, _) -> ()
+  | _ -> Alcotest.fail "v2 must round-trip corr");
+  (* A v1 frame carries no corr bytes: it decodes with corr = 0 and is
+     byte-identical to the pre-extension encoding. *)
+  let v1 = Wire.encode ~version:Wire.min_protocol_version f in
+  (match Wire.decode_string v1 with
+  | Wire.Frame (Wire.Op_req { req = 7; corr = 0; op = Op.Sync }, _) -> ()
+  | _ -> Alcotest.fail "v1 must decode with corr = 0");
+  Alcotest.(check string) "v1 encoding ignores corr" v1
+    (Wire.encode ~version:Wire.min_protocol_version
+       (Wire.Op_req { req = 7; corr = 0; op = Op.Sync }));
+  Alcotest.(check bool) "corr costs bytes only in v2" true
+    (String.length (Wire.encode f) > String.length v1);
+  (* Observability frames do not exist in v1: a v1-framed Metrics_req is
+     rejected at decode, never mis-parsed. *)
+  match Wire.decode_string (Wire.encode ~version:Wire.min_protocol_version Wire.Metrics_req) with
+  | Wire.Fail _ -> ()
+  | Wire.Frame _ | Wire.Need_more -> Alcotest.fail "v2-only tag must not decode as v1"
+
 (* ---- session unit tests ---- *)
 
 let test_session_translate_ebadf () =
@@ -313,11 +351,11 @@ let test_session_fd_quota () =
 
 let test_session_inflight_quota () =
   let s = Session.create ~id:1 { Session.default_config with Session.max_inflight = 2 } in
-  Alcotest.(check bool) "first queued" true (Session.enqueue s ~req:1 Op.Sync = `Queued);
-  Alcotest.(check bool) "second queued" true (Session.enqueue s ~req:2 Op.Sync = `Queued);
-  Alcotest.(check bool) "third refused" true (Session.enqueue s ~req:3 Op.Sync = `Busy);
+  Alcotest.(check bool) "first queued" true (Session.enqueue s ~req:1 ~corr:0 Op.Sync = `Queued);
+  Alcotest.(check bool) "second queued" true (Session.enqueue s ~req:2 ~corr:0 Op.Sync = `Queued);
+  Alcotest.(check bool) "third refused" true (Session.enqueue s ~req:3 ~corr:0 Op.Sync = `Busy);
   ignore (Session.dequeue s);
-  Alcotest.(check bool) "slot freed" true (Session.enqueue s ~req:4 Op.Sync = `Queued)
+  Alcotest.(check bool) "slot freed" true (Session.enqueue s ~req:4 ~corr:0 Op.Sync = `Queued)
 
 (* ---- raw-frame server tests ---- *)
 
@@ -354,7 +392,7 @@ let test_server_bad_hello () =
 let test_server_op_before_hello () =
   let server = Server.create (mk_ctl ()) in
   let cid = Server.open_conn server in
-  Server.feed server cid (Wire.encode (Wire.Op_req { req = 1; op = Op.Sync }));
+  Server.feed server cid (Wire.encode (Wire.Op_req { req = 1; corr = 0; op = Op.Sync }));
   Alcotest.(check bool) "connection dropped" true (Server.conn_closed server cid)
 
 let test_server_corrupt_stream_drops () =
@@ -370,7 +408,7 @@ let test_server_backpressure () =
   let burst = inflight + 4 in
   let blob = Buffer.create 1024 in
   for r = 1 to burst do
-    Buffer.add_string blob (Wire.encode (Wire.Op_req { req = r; op = Op.Sync }))
+    Buffer.add_string blob (Wire.encode (Wire.Op_req { req = r; corr = 0; op = Op.Sync }))
   done;
   Server.feed server cid (Buffer.contents blob);
   while Server.step server > 0 do
@@ -401,10 +439,10 @@ let test_server_fairness () =
   let quota = Server.default_config.Server.session.Session.max_ops_per_turn in
   let blob = Buffer.create 1024 in
   for r = 1 to 2 * quota do
-    Buffer.add_string blob (Wire.encode (Wire.Op_req { req = r; op = Op.Sync }))
+    Buffer.add_string blob (Wire.encode (Wire.Op_req { req = r; corr = 0; op = Op.Sync }))
   done;
   Server.feed server flooder (Buffer.contents blob);
-  Server.feed server light (Wire.encode (Wire.Op_req { req = 1; op = Op.Sync }));
+  Server.feed server light (Wire.encode (Wire.Op_req { req = 1; corr = 0; op = Op.Sync }));
   (* One turn: round-robin dispatch must reach the light session despite the
      flood, and the flooder must not exceed its per-turn quota. *)
   let served = Server.step server in
@@ -528,6 +566,173 @@ let test_client_detach_then_eio () =
   | Error Errno.EIO -> ()
   | Ok _ | Error _ -> Alcotest.fail "operations after detach must be EIO"
 
+(* ---- observability verbs: metrics, bundle listing, bundle fetch ---- *)
+
+let has_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let test_obs_verbs () =
+  let dir = tmpdir () in
+  let ctl =
+    mk_ctl ~bugs:(arm [ "crafted-name-panic" ]) ~bundle_dir:dir
+      ~events:(Rae_obs.Events.create ~capacity:128 ()) ()
+  in
+  let server = Server.create ctl in
+  Server.set_metrics_source server (fun () -> "# HELP x_total test\nx_total 1\n");
+  let hub = Loopback.create server in
+  let c =
+    match Client.connect ~dial:(Loopback.dial hub) () with
+    | Ok c -> c
+    | Error m -> Alcotest.failf "connect: %s" m
+  in
+  (match Client.metrics c with
+  | Ok text -> Alcotest.(check bool) "prometheus text served" true (has_sub text "x_total 1")
+  | Error e -> Alcotest.failf "metrics: %s" (Errno.to_string e));
+  (match Client.bundles c with
+  | Ok [] -> ()
+  | Ok l -> Alcotest.failf "expected no bundles yet, got %d" (List.length l)
+  | Error e -> Alcotest.failf "bundles: %s" (Errno.to_string e));
+  (match Client.fetch_bundle c "no-such-bundle.json" with
+  | Error Errno.ENOENT -> ()
+  | Ok _ | Error _ -> Alcotest.fail "unknown bundle must answer ENOENT");
+  Alcotest.(check bool) "connection survives the ENOENT" true (Client.ping c);
+  (* Trip the armed bug; the recovery bundle becomes fetchable over the
+     same protocol, and what arrives validates against the schema. *)
+  Client.set_corr c 77;
+  ignore (ok_or "trigger" (Client.create c (p "/pwn") ~mode:0o644));
+  (match Client.bundles c with
+  | Ok [ name ] -> (
+      match Client.fetch_bundle c name with
+      | Error e -> Alcotest.failf "fetch_bundle: %s" (Errno.to_string e)
+      | Ok data -> (
+          match Rae_obs.Jsonx.parse data with
+          | Error m -> Alcotest.failf "served bundle is not JSON: %s" m
+          | Ok j -> (
+              match Rae_obs.Blackbox.check j with
+              | Ok s ->
+                  Alcotest.(check bool) "bundle names a session" true
+                    (s.Rae_obs.Blackbox.s_sessions >= 1)
+              | Error vs ->
+                  Alcotest.failf "served bundle invalid: %s" (String.concat "; " vs))))
+  | Ok l -> Alcotest.failf "expected one bundle, got %d" (List.length l)
+  | Error e -> Alcotest.failf "bundles: %s" (Errno.to_string e));
+  Client.detach c
+
+(* ---- the acceptance scenario: a 4-session recovery bundle names every
+   impacted session via its client correlation id ---- *)
+
+let test_bundle_names_impacted_sessions () =
+  let dir = tmpdir () in
+  let ctl =
+    mk_ctl ~bugs:(arm [ "crafted-name-panic" ]) ~bundle_dir:dir
+      ~events:(Rae_obs.Events.create ~capacity:256 ()) ()
+  in
+  let server = Server.create ctl in
+  let attach_sid () =
+    let cid = Server.open_conn server in
+    Server.feed server cid (Wire.encode (Wire.Hello { version = Wire.protocol_version }));
+    match decode_all "hello" (Server.output server cid) with
+    | [ Wire.Hello_ok { session; _ } ] -> (cid, session)
+    | fs -> Alcotest.failf "expected hello_ok, got %d frame(s)" (List.length fs)
+  in
+  let conns = Array.init 4 (fun _ -> attach_sid ()) in
+  let corr_of i = 100 + i in
+  (* Sessions 1-3 queue two requests each; session 0 queues the trigger.
+     Round-robin dispatch serves one request per session per pass, so when
+     the trigger dispatches (first pass) every other session still has at
+     least one request pending — the bundle emitted inside that dispatch
+     must name all four sessions and their corr ids. *)
+  Array.iteri
+    (fun i (cid, _) ->
+      if i = 0 then
+        Server.feed server cid
+          (Wire.encode (Wire.Op_req { req = 1; corr = corr_of 0; op = Op.Create (p "/pwn", 0o644) }))
+      else begin
+        Server.feed server cid
+          (Wire.encode
+             (Wire.Op_req
+                { req = 1; corr = corr_of i; op = Op.Create (p (Printf.sprintf "/f%d" i), 0o644) }));
+        Server.feed server cid
+          (Wire.encode (Wire.Op_req { req = 2; corr = corr_of i; op = Op.Stat (p "/") }))
+      end)
+    conns;
+  while Server.step server > 0 do
+    ()
+  done;
+  Alcotest.(check int) "one recovery" 1 (Controller.stats ctl).Controller.recoveries;
+  let path =
+    match Controller.bundles ctl with
+    | [ path ] -> path
+    | l -> Alcotest.failf "expected one bundle, got %d" (List.length l)
+  in
+  let module J = Rae_obs.Jsonx in
+  let json =
+    match Rae_obs.Blackbox.read_file path with
+    | Error m -> Alcotest.failf "read bundle: %s" m
+    | Ok data -> (
+        match J.parse data with
+        | Ok j -> j
+        | Error m -> Alcotest.failf "parse bundle: %s" m)
+  in
+  (match Rae_obs.Blackbox.check ~path json with
+  | Ok _ -> ()
+  | Error vs -> Alcotest.failf "bundle invalid: %s" (String.concat "; " vs));
+  let sessions =
+    match Option.bind (J.member "impacted_sessions" json) J.to_list_opt with
+    | Some l -> l
+    | None -> Alcotest.fail "bundle lacks impacted_sessions"
+  in
+  Alcotest.(check int) "all four sessions named" 4 (List.length sessions);
+  let entry_for sid =
+    List.find_opt (fun s -> Option.bind (J.member "session" s) J.to_int_opt = Some sid) sessions
+  in
+  Array.iteri
+    (fun i (_, sid) ->
+      match entry_for sid with
+      | None -> Alcotest.failf "session %d missing from bundle" sid
+      | Some s ->
+          let corrs =
+            match Option.bind (J.member "corr_ids" s) J.to_list_opt with
+            | Some l -> List.filter_map J.to_int_opt l
+            | None -> []
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "session %d tagged with corr %d" sid (corr_of i))
+            true
+            (List.mem (corr_of i) corrs))
+    conns;
+  (* The request that tripped the recovery shows as in flight for its
+     session: it was mid-dispatch when the bundle was cut. *)
+  (match entry_for (snd conns.(0)) with
+  | None -> Alcotest.fail "triggering session missing"
+  | Some s ->
+      let inflight =
+        match Option.bind (J.member "inflight" s) J.to_list_opt with Some l -> l | None -> []
+      in
+      Alcotest.(check bool) "triggering request in flight" true
+        (List.exists (fun e -> Option.bind (J.member "req" e) J.to_int_opt = Some 1) inflight));
+  (* Recovery transparency still holds: every queued request is answered
+     with a successful Op_reply despite the mid-batch recovery. *)
+  Array.iteri
+    (fun i (cid, _) ->
+      let replies =
+        List.filter_map
+          (function Wire.Op_reply { outcome; _ } -> Some outcome | _ -> None)
+          (decode_all "replies" (Server.output server cid))
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "client %d reply count" i)
+        (if i = 0 then 1 else 2)
+        (List.length replies);
+      List.iter
+        (function
+          | Ok _ -> ()
+          | Error e -> Alcotest.failf "client %d saw %s" i (Errno.to_string e))
+        replies)
+    conns
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rae_srv"
@@ -542,6 +747,8 @@ let () =
           Alcotest.test_case "errno wire codes total and injective" `Quick
             test_errno_wire_total;
           Alcotest.test_case "random garbage never raises" `Quick test_decode_garbage;
+          Alcotest.test_case "corr id across protocol versions" `Quick
+            test_wire_corr_versioning;
         ] );
       ( "session",
         [
@@ -566,5 +773,8 @@ let () =
           Alcotest.test_case "reconnect re-validates fds" `Quick
             test_reconnect_revalidates_fds;
           Alcotest.test_case "detach then EIO" `Quick test_client_detach_then_eio;
+          Alcotest.test_case "metrics/bundle verbs over the wire" `Quick test_obs_verbs;
+          Alcotest.test_case "bundle names impacted sessions by corr id" `Quick
+            test_bundle_names_impacted_sessions;
         ] );
     ]
