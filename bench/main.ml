@@ -1601,6 +1601,41 @@ let e_srv () =
   e_srv_throughput ();
   e_srv_recovery ()
 
+(* The lint engine rides the inner loop of CI (`dune build @lint` runs on
+   every `dune runtest`), so its cost is a budget like any other: a full
+   interprocedural scan of lib/ must stay under 10 s of wall time or the
+   alias stops being something developers keep enabled.  The scan reads
+   the .cmt files of the libraries this binary already links, so they are
+   guaranteed to be built. *)
+let e_lint () =
+  section "E-lint | rae_lint full-repo scan: interprocedural effects + typestate";
+  (* cwd is _build/default/bench under the bench-smoke alias, the repo
+     root under `dune exec bench/main.exe`. *)
+  let candidates = [ "../lib"; "_build/default/lib" ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> Printf.printf "  no built lib/ tree next to the benchmark; skipping\n"
+  | Some dir -> (
+      let t0 = Unix.gettimeofday () in
+      match Rae_lint.Engine.run ~dirs:[ dir ] () with
+      | Error msg ->
+          Printf.eprintf "E-lint: %s\n" msg;
+          exit 1
+      | Ok r ->
+          let wall = Unix.gettimeofday () -. t0 in
+          let s = r.Rae_lint.Engine.stats in
+          Printf.printf "  %d units, %d rules, %d findings in %.3fs (floor: < 10 s wall)\n"
+            s.Rae_lint.Engine.units_loaded s.Rae_lint.Engine.rules_run
+            s.Rae_lint.Engine.findings wall;
+          json_note ~sec:"E-lint" ~name:"wall" ~unit:"s" wall;
+          json_note ~sec:"E-lint" ~name:"units" ~unit:"count"
+            (float_of_int s.Rae_lint.Engine.units_loaded);
+          json_note ~sec:"E-lint" ~name:"findings" ~unit:"count"
+            (float_of_int s.Rae_lint.Engine.findings);
+          if wall >= 10.0 then begin
+            Printf.eprintf "E-lint: full-repo scan took %.2fs, over the 10 s floor\n" wall;
+            exit 1
+          end)
+
 let () =
   Printf.printf "RAE / Shadow Filesystems — benchmark harness\n";
   Printf.printf "(HotStorage '24 reproduction; see EXPERIMENTS.md for the experiment index)\n";
@@ -1639,6 +1674,7 @@ let () =
   if want "e-oplog" then e_oplog ();
   if want "e-obs" then e_obs ();
   if want "e-srv" then e_srv ();
+  if want "e-lint" then e_lint ();
   Printf.printf "\nAll requested benches complete.\n";
   Option.iter
     (fun path ->

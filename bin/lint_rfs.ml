@@ -13,7 +13,13 @@ let default_dirs () =
   else if Sys.file_exists "lib" then [ "lib" ]
   else [ "." ]
 
-let run dirs baseline_path write_baseline json_out metrics quiet =
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let run dirs baseline_path write_baseline update_baseline format json_out domain_report metrics
+    quiet =
   let dirs = if dirs = [] then default_dirs () else dirs in
   let baseline, bad_lines =
     match baseline_path with Some p -> Lint.Baseline.load p | None -> ([], [])
@@ -21,32 +27,53 @@ let run dirs baseline_path write_baseline json_out metrics quiet =
   List.iter (Printf.eprintf "lint_rfs: malformed baseline line ignored: %s\n") bad_lines;
   (* When regenerating the baseline, run without suppression so current
      findings are captured verbatim. *)
-  let effective_baseline = if write_baseline then [] else baseline in
+  let regen = write_baseline || update_baseline in
+  let effective_baseline = if regen then [] else baseline in
   match Lint.Engine.run ~baseline:effective_baseline ~dirs () with
   | Error msg ->
       Printf.eprintf "lint_rfs: %s\n" msg;
       exit 2
   | Ok result ->
       List.iter (Printf.eprintf "lint_rfs: skipped %s\n") result.Lint.Engine.skipped;
-      if write_baseline then begin
+      (match domain_report with
+      | None -> ()
+      | Some path ->
+          let json =
+            Rae_obs.Jsonx.to_string ~pretty:true (Lint.Domsafety.to_json result.Lint.Engine.domain)
+          in
+          if path = "-" then print_endline json else write_file path (json ^ "\n"));
+      if regen then begin
         let path = Option.value baseline_path ~default:"lint.baseline" in
-        let oc = open_out path in
-        output_string oc (Lint.Baseline.to_string (Lint.Baseline.of_findings result.Lint.Engine.kept));
-        close_out oc;
-        Printf.printf "lint_rfs: wrote %d entries to %s\n"
-          (List.length result.Lint.Engine.kept) path;
+        let next = Lint.Baseline.of_findings result.Lint.Engine.kept in
+        write_file path (Lint.Baseline.to_string next);
+        if update_baseline then begin
+          let added, removed = Lint.Baseline.diff ~prev:baseline ~next in
+          List.iter
+            (fun e -> Printf.printf "lint_rfs: + %s\n" (Lint.Baseline.entry_to_line e))
+            added;
+          List.iter
+            (fun e -> Printf.printf "lint_rfs: - %s\n" (Lint.Baseline.entry_to_line e))
+            removed;
+          Printf.printf "lint_rfs: baseline %s: %d entries (%d added, %d removed)\n" path
+            (List.length next) (List.length added) (List.length removed)
+        end
+        else
+          Printf.printf "lint_rfs: wrote %d entries to %s\n" (List.length result.Lint.Engine.kept)
+            path;
         exit 0
       end;
-      if not quiet then
-        List.iter
-          (fun f -> print_endline (Lint.Finding.to_human f))
-          result.Lint.Engine.kept;
+      if not quiet then begin
+        match format with
+        | "sarif" ->
+            print_endline (Lint.Sarif.to_string ~rules:Lint.Rules.all_rules result.Lint.Engine.kept)
+        | _ -> List.iter (fun f -> print_endline (Lint.Finding.to_human f)) result.Lint.Engine.kept
+      end;
       List.iter
         (fun e ->
           Printf.eprintf "lint_rfs: unused baseline entry: %s\n" (Lint.Baseline.entry_to_line e))
         result.Lint.Engine.unused;
       let s = result.Lint.Engine.stats in
-      if not quiet then
+      if (not quiet) && format <> "sarif" then
         Printf.printf
           "lint_rfs: %d findings (%d suppressed, %d unused baseline entries), %d rules over %d \
            units (%d cmt files) in %.3fs\n"
@@ -56,11 +83,7 @@ let run dirs baseline_path write_baseline json_out metrics quiet =
       (match json_out with
       | None -> ()
       | Some "-" -> print_endline (Lint.Engine.to_json result)
-      | Some path ->
-          let oc = open_out path in
-          output_string oc (Lint.Engine.to_json result);
-          output_char oc '\n';
-          close_out oc);
+      | Some path -> write_file path (Lint.Engine.to_json result ^ "\n"));
       if metrics then begin
         let registry = Rae_obs.Metrics.create () in
         Lint.Engine.register_obs registry s;
@@ -83,11 +106,34 @@ let write_baseline =
     & info [ "write-baseline" ]
         ~doc:"Write current findings to the baseline file (default lint.baseline) and exit.")
 
+let update_baseline =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:
+          "Regenerate the baseline file from current findings, printing a diff against the \
+           previous contents, and exit.")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("human", "human"); ("sarif", "sarif") ]) "human"
+    & info [ "format" ] ~docv:"FMT" ~doc:"Findings output format: $(b,human) or $(b,sarif).")
+
 let json_out =
   Arg.(
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE" ~doc:"Write findings and stats as JSON ('-' for stdout).")
+
+let domain_report =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "domain-report" ] ~docv:"FILE"
+        ~doc:
+          "Write the domain-safety catalogue (every mutable cell reachable from the parallel \
+           regions, classified) as JSON ('-' for stdout).")
 
 let metrics =
   Arg.(value & flag & info [ "metrics" ] ~doc:"Print rae_obs metrics (Prometheus text) after the run.")
@@ -97,6 +143,8 @@ let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress human-reada
 let cmd =
   Cmd.v
     (Cmd.info "lint_rfs" ~doc:"Static-analysis safety gate for the shadow/base split")
-    Term.(const run $ dirs $ baseline $ write_baseline $ json_out $ metrics $ quiet)
+    Term.(
+      const run $ dirs $ baseline $ write_baseline $ update_baseline $ format $ json_out
+      $ domain_report $ metrics $ quiet)
 
 let () = exit (Cmd.eval cmd)

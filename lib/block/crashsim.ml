@@ -1,3 +1,10 @@
+(* Crash simulation deliberately writes to the medium behind the
+   journal's back: it models the volatile device cache losing or
+   tearing buffered writes at a crash point.  Exempt from the
+   persistence-ordering typestate — bypassing the protocol is the whole
+   point of the module. *)
+[@@@lint_exempt "persist-order"]
+
 type t = {
   dev : Device.t;
   mutable buffer : (int * bytes) list;  (* newest first *)

@@ -1,3 +1,8 @@
+(* Fault injection intentionally corrupts blocks underneath the
+   filesystem (stuck/torn writes, bit flips), so its raw device writes
+   are exempt from the persistence-ordering typestate. *)
+[@@@lint_exempt "persist-order"]
+
 type spec =
   | Read_error of { block : int; from_nth : int; count : int }
   | Flip_on_read of { block : int; byte : int; bit : int; from_nth : int; count : int }

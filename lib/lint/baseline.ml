@@ -70,6 +70,13 @@ let apply (t : t) findings =
   let unused = List.filter (fun e -> not (Hashtbl.mem used e)) t in
   (kept, suppressed, unused)
 
+(* Entries present in [next] but not [prev], and vice versa — the diff
+   summary printed by lint_rfs --update-baseline. *)
+let diff ~prev ~next =
+  let added = List.filter (fun e -> not (List.mem e prev)) (List.sort_uniq compare next) in
+  let removed = List.filter (fun e -> not (List.mem e next)) (List.sort_uniq compare prev) in
+  (added, removed)
+
 let load path =
   if Sys.file_exists path then begin
     let ic = open_in_bin path in

@@ -4,7 +4,10 @@
 
    Names are "normalized": compilation-unit separators ("__") are
    rewritten to ".", so [Rae_block__Device.write] and
-   [Rae_block.Device.write] are the same name. *)
+   [Rae_block.Device.write] are the same name.  Entries with a trailing
+   '.' are prefixes covering a whole module; cell names are either
+   global value paths ("Rae_vfs.Intern.ids") or field paths on a record
+   type ("Rae_obs.Events.t.total"). *)
 
 type t = {
   libraries : (string * string list) list;
@@ -28,6 +31,46 @@ type t = {
   exempt_units : string list;
       (* normalized unit-name prefixes exempt from the partial-call and
          swallow rules (test executables and the like). *)
+  (* ---- persistence-ordering typestate (rule persist-order) ---- *)
+  persist_raw_sinks : string list;
+      (* raw (journal-bypassing) block-write value paths *)
+  persist_flush_sinks : string list;  (* raw barrier/flush value paths *)
+  persist_sink_fields : string list;
+      (* record fields that ARE the raw write path when read (function
+         fields of the device record), as "Type.field" *)
+  persist_flush_fields : string list;
+  journal_append_fns : string list;
+      (* opening / appending to a journal transaction *)
+  journal_commit_fns : string list;  (* making a transaction durable *)
+  persist_writers : string list;
+      (* def-name prefixes allowed to touch the raw sinks: the journal
+         itself, the block layer the sinks live in, mkfs/fsck-repair
+         (which write outside the journal protocol by design), and the
+         ordered-mode data destage. *)
+  (* ---- domain-safety pre-pass (rule domain-safety) ---- *)
+  domain_regions : (string * string list) list;
+      (* region name -> def-name prefixes of the code ROADMAP item 2
+         wants on separate domains.  Every global mutable cell (or
+         mutable record field) written by code reachable from a region
+         root must be guarded, declared domain-local, or it is a
+         finding — the work-list for the multicore PR. *)
+  guarded_cells : (string * string) list;
+      (* cell prefix -> justification.  For cells whose guard the
+         analysis cannot see (e.g. ring slots made exclusive by an
+         Atomic fetch-and-add): the declaration is recorded verbatim in
+         domain_escape.json so it stays reviewable. *)
+  domain_local_cells : (string * string) list;
+      (* cell prefix -> ownership justification (state owned by the
+         instance a single domain holds, e.g. a shadow being folded). *)
+  shadow_state_types : string list;
+      (* type prefixes whose field mutation counts as the shadow-mutate
+         effect *)
+  (* ---- recovery-phase ordering (rule phase-order) ---- *)
+  phase_protocols : (string * string list) list;
+      (* phase-marker function -> declared phase order.  Every call of
+         the marker with a literal phase name, on every path through the
+         marker's unit, must respect this order; the first phase resets
+         the automaton (a new recovery attempt). *)
 }
 
 (* Layering ground truth.  This intentionally duplicates the dune
@@ -62,6 +105,24 @@ let default_libraries =
         "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
         "workload"; "core";
       ] );
+  ]
+
+(* Must match Rae_core.Controller.phase_names; test_lint pins the two
+   lists together.  Declared here (not read from the controller) so the
+   lint library keeps its shallow dependency cone — and so a drive-by
+   edit to phase_names that forgets the declared protocol fails a test
+   rather than silently re-teaching the rule. *)
+let default_phase_order =
+  [
+    "contained-reboot";
+    "shadow-attach";
+    "fd-reinstate";
+    "seed";
+    "constrained-replay";
+    "inflight-autonomous";
+    "metadata-download";
+    "resume";
+    "delegated-sync";
   ]
 
 let default =
@@ -109,6 +170,87 @@ let default =
         ("Stdlib.Hashtbl.find", "Hashtbl.find_opt, or handle Not_found at the call site");
       ];
     exempt_units = [ "Dune.exe" ];
+    (* Raw block writes: everything that reaches the medium without going
+       through the journal's transaction protocol. *)
+    persist_raw_sinks =
+      [
+        "Rae_block.Device.write";
+        "Rae_block.Disk.write";
+        "Rae_block.Disk.restore";
+        "Rae_block.Disk.corrupt_byte";
+        "Rae_block.Blkmq.submit_write";
+        "Rae_block.Blkmq.enqueue";
+      ];
+    persist_flush_sinks = [ "Rae_block.Device.flush"; "Rae_block.Blkmq.kick" ];
+    persist_sink_fields = [ "Rae_block.Device.t.dev_write" ];
+    persist_flush_fields = [ "Rae_block.Device.t.dev_flush" ];
+    journal_append_fns = [ "Rae_journal.Journal.begin_txn"; "Rae_journal.Journal.txn_write" ];
+    journal_commit_fns = [ "Rae_journal.Journal.commit" ];
+    persist_writers =
+      [
+        (* the sinks' own home *)
+        "Rae_block.Device.";
+        "Rae_block.Disk.";
+        "Rae_block.Blkmq.";
+        (* the one sanctioned writer of durable metadata *)
+        "Rae_journal.Journal.";
+        (* writes outside the journal protocol by design: formatting a
+           fresh image, and fsck repair (runs before any journal is
+           trusted, with its own flush barriers) *)
+        "Rae_format.Mkfs.";
+        "Rae_fsck.Repair.";
+        (* ordered-mode data destage: data blocks reach the medium
+           before the metadata commit that references them (base.ml
+           commit_work), exactly like ext4 data=ordered *)
+        "Rae_basefs.Base.commit_work";
+      ];
+    domain_regions =
+      [
+        ("fsck-pass", [ "Rae_fsck.Fsck." ]);
+        ("journal-replay", [ "Rae_journal.Journal.replay" ]);
+        ("ckpt-fold", [ "Rae_core.Checkpoint.fold" ]);
+        ("constrained-replay", [ "Rae_shadowfs.Shadow.exec_constrained" ]);
+      ];
+    guarded_cells =
+      [
+        (* Flight-recorder ring slots: the slot index comes from an
+           Atomic.fetch_and_add on Events.t.total, so concurrent writers
+           touch disjoint slots; the per-slot arrays carry no ordering of
+           their own.  (The analysis sees the Atomic on [total] but
+           cannot prove slot disjointness.) *)
+        ("Rae_obs.Events.t.e_", "slot exclusivity via Atomic fetch-and-add on Events.t.total");
+        (* The tracer's internal helpers (now/push) mutate state but
+           only ever run under the per-tracer mutex taken by the public
+           mutators; the analysis sees the helper defs without the
+           lock. *)
+        ("Rae_obs.Tracer.t.", "public mutators and export serialize on the per-tracer mutex");
+      ]
+      [@ocamlformat "disable"];
+    domain_local_cells =
+      [
+        (* A shadow (and its overlay/chunk/cache state) is owned by the
+           domain replaying into it: parallel constrained replay gives
+           each group its own seeded shadow and cross-checks at merge
+           points, so intra-shadow state never crosses domains. *)
+        ("Rae_shadowfs.", "shadow instance owned by the replaying domain");
+        ("Rae_specfs.", "spec state embedded in a domain-owned shadow");
+        ("Rae_fsck.", "per-pass scan state; pFSCK decomposition is per block group");
+        (* The journal replay destager partitions by home block; its
+           in-memory state is rebuilt per replay invocation. *)
+        ("Rae_journal.", "replay-local transaction scan state");
+        (* Checkpoint bookkeeping (fold cursor, stats, the warm shadow
+           handle) belongs to the one domain driving cut/fold; the
+           parallel-fold plan shards the oplog window across worker
+           shadows and merges at the boundary, leaving instance state
+           single-owner. *)
+        ("Rae_core.Checkpoint.t.", "instance owned by the cut/fold driving domain");
+        (* The medium: per-block writes are disjoint by construction in
+           every planned decomposition (block groups / home blocks). *)
+        ("Rae_block.Disk.t.", "block-granular partitioning; per-domain write sets disjoint");
+        ("Rae_block.Blkmq.t.", "one queue per destaging domain");
+      ];
+    shadow_state_types = [ "Rae_shadowfs."; "Rae_specfs." ];
+    phase_protocols = [ ("Rae_core.Controller.phase", default_phase_order) ];
   }
 
 let unit_matches prefix unit =
@@ -117,3 +259,17 @@ let unit_matches prefix unit =
   || String.equal prefix (unit ^ ".")
 
 let is_exempt t unit = List.exists (fun p -> unit_matches p unit) t.exempt_units
+
+(* Value-name matcher shared by the sink/writer lists: a trailing '.'
+   makes the entry a prefix covering a whole module. *)
+let name_matches entry name =
+  if String.length entry > 0 && entry.[String.length entry - 1] = '.' then
+    String.starts_with ~prefix:entry name
+  else String.equal entry name
+
+let name_in_list l name = List.exists (fun e -> name_matches e name) l
+
+let assoc_prefix l name =
+  List.find_map
+    (fun (prefix, v) -> if String.starts_with ~prefix name then Some v else None)
+    l

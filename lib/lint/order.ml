@@ -1,0 +1,233 @@
+(* Path-sensitive typestate evaluation over the per-definition
+   control-flow trees ([Analysis.ptree]), shared by the two ordering
+   rules:
+
+   - persist-order: SquirrelFS-style persistence typestate.  Raw block
+     writes must happen under an open journal transaction and data may
+     destage only after the commit; flushing mid-transaction reorders
+     the barrier against the commit record.
+   - phase-order: the recovery phases (Controller.phase "...") must be
+     invoked in the declared order on every path, where re-entering the
+     first phase starts a new recovery attempt (the seeded->cold
+     fallback and retries re-begin with a contained reboot).
+
+   The evaluator tracks a *set* of abstract states (ints): branches
+   fork it, join points union it.  [P_try] handlers are entered from
+   every state the guarded body touched, since the exception can fire
+   at any point inside.  Let-bound local functions are inlined at their
+   call sites (their events happen there); the rules choose what else a
+   leaf means via [classify]. *)
+
+type 'ev decision =
+  | Ev of 'ev * Analysis.loc  (* an event for the state machine *)
+  | Expand of string * Analysis.ptree  (* inline a named tree (cycle-guarded) *)
+  | Skip
+
+let norm l = List.sort_uniq compare l
+
+(* Evaluate [tree] from entry state-set [init].  [step st ev loc]
+   advances one state (reporting findings by side effect); the result is
+   the union over in-states.  Returns the exit state-set. *)
+let eval ~classify ~step ~init tree =
+  let env : (string, Analysis.ptree) Hashtbl.t = Hashtbl.create 8 in
+  let active : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+  (* returns (exit states, all states current at some point) *)
+  let rec go states tr =
+    match tr with
+    | Analysis.P_seq l ->
+        List.fold_left (fun (st, touched) sub ->
+            let st', touched' = go st sub in
+            (st', norm (touched' @ touched)))
+          (states, states) l
+    | Analysis.P_alt [] -> (states, states)
+    | Analysis.P_alt branches ->
+        let outs = List.map (go states) branches in
+        (norm (List.concat_map fst outs), norm (states @ List.concat_map snd outs))
+    | Analysis.P_try (body, handlers) ->
+        let body_out, body_touched = go states body in
+        let outs = List.map (go body_touched) handlers in
+        ( norm (body_out @ List.concat_map fst outs),
+          norm (body_touched @ List.concat_map snd outs) )
+    | Analysis.P_local (name, t) ->
+        Hashtbl.replace env name t;
+        (states, states)
+    | Analysis.P_ref (name, _) when Hashtbl.find_opt env name <> None -> (
+        match Hashtbl.find_opt env name with
+        | Some t -> expand states name t
+        | None -> (states, states))
+    | Analysis.P_ref _ | Analysis.P_lit _ | Analysis.P_field _ -> (
+        match classify tr with
+        | Skip -> (states, states)
+        | Ev (ev, loc) ->
+            let out = norm (List.map (fun s -> step s ev loc) states) in
+            (out, norm (states @ out))
+        | Expand (name, t) -> expand states name t)
+  and expand states name t =
+    if Hashtbl.mem active name then (states, states)
+    else begin
+      Hashtbl.replace active name ();
+      let r = go states t in
+      Hashtbl.remove active name;
+      r
+    end
+  in
+  fst (go init tree)
+
+(* Findings deduplicated by (file, line, key): loop bodies are evaluated
+   twice and state-set evaluation can replay the same event. *)
+let make_reporter rule =
+  let seen : (string * int * string, unit) Hashtbl.t = Hashtbl.create 32 in
+  let findings = ref [] in
+  let report ~(loc : Analysis.loc) ~key msg =
+    let k = (loc.Analysis.l_file, loc.Analysis.l_line, key) in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.replace seen k ();
+      findings :=
+        {
+          Finding.rule;
+          severity = Finding.Error;
+          file = loc.Analysis.l_file;
+          line = loc.Analysis.l_line;
+          message = msg;
+          key;
+        }
+        :: !findings
+    end
+  in
+  (report, findings)
+
+(* ---- persist-order ---- *)
+
+type pevent = Write of string | Flush of string | Append | Commit
+
+(* states *)
+let st_clean = 0
+let st_intxn = 1
+let st_committed = 2
+
+let persist_rule_name = "persist-order"
+
+let persist (cfg : Lintcfg.t) (eff : Effects.t) (graph : Analysis.graph) =
+  let report, findings = make_reporter persist_rule_name in
+  let classify (leaf : Analysis.ptree) =
+    match leaf with
+    | Analysis.P_ref (r, loc) ->
+        if Lintcfg.name_in_list cfg.Lintcfg.persist_raw_sinks r then Ev (Write r, loc)
+        else if Lintcfg.name_in_list cfg.Lintcfg.persist_flush_sinks r then Ev (Flush r, loc)
+        else if Lintcfg.name_in_list cfg.Lintcfg.journal_commit_fns r then Ev (Commit, loc)
+        else if Lintcfg.name_in_list cfg.Lintcfg.journal_append_fns r then Ev (Append, loc)
+        else begin
+          (* Cross-definition: a callee that commits (or appends to) the
+             journal advances the caller's typestate.  A callee's raw
+             write is NOT replayed here — it is reported once, at the
+             callee's own definition. *)
+          match Effects.summary eff r with
+          | Some s when Effects.has s Effects.b_j_commit -> Ev (Commit, loc)
+          | Some s when Effects.has s Effects.b_j_append -> Ev (Append, loc)
+          | _ -> Skip
+        end
+    | Analysis.P_field (f, loc) ->
+        if List.mem f cfg.Lintcfg.persist_sink_fields then Ev (Write f, loc)
+        else if List.mem f cfg.Lintcfg.persist_flush_fields then Ev (Flush f, loc)
+        else Skip
+    | _ -> Skip (* P_lit: the callee was already seen as P_ref *)
+  in
+  let step st ev (loc : Analysis.loc) =
+    match ev with
+    | Append -> st_intxn
+    | Commit -> st_committed
+    | Write sink ->
+        if st = st_clean then
+          report ~loc ~key:("journal-bypass:" ^ sink)
+            (Printf.sprintf
+               "raw block write %s outside any journal transaction; durable mutations must flow \
+                through the journal protocol (begin_txn/txn_write ... commit)"
+               sink)
+        else if st = st_intxn then
+          report ~loc ~key:("destage-before-commit:" ^ sink)
+            (Printf.sprintf
+               "raw block write %s inside an open journal transaction before commit; destage must \
+                follow the commit record (commit-before-destage)"
+               sink);
+        st
+    | Flush sink ->
+        if st = st_intxn then
+          report ~loc ~key:("flush-before-commit:" ^ sink)
+            (Printf.sprintf
+               "flush barrier %s inside an open journal transaction before commit; the barrier \
+                reorders against the commit record"
+               sink);
+        st
+  in
+  Hashtbl.iter
+    (fun _name (d : Analysis.def) ->
+      if
+        (not (Effects.is_allowed_writer eff d))
+        && not (Lintcfg.is_exempt cfg d.Analysis.d_unit)
+      then ignore (eval ~classify ~step ~init:[ st_clean ] d.Analysis.d_tree))
+    graph.Analysis.nodes;
+  List.rev !findings
+
+(* ---- phase-order ---- *)
+
+let phase_rule_name = "phase-order"
+
+(* One protocol: every call of [marker] with a literal phase name, in
+   the marker's home unit, must respect the declared order.  States are
+   the index of the last phase entered (-1 = nothing yet); entering the
+   first phase resets the automaton (a fresh recovery attempt), which is
+   what legalizes the seeded->cold fallback and retry loops. *)
+let check_protocol (eff : Effects.t) (graph : Analysis.graph) report marker order =
+  let home_unit =
+    match String.rindex_opt marker '.' with
+    | Some i -> String.sub marker 0 i
+    | None -> marker
+  in
+  let index name =
+    let rec go i = function
+      | [] -> None
+      | p :: _ when String.equal p name -> Some i
+      | _ :: tl -> go (i + 1) tl
+    in
+    go 0 order
+  in
+  let classify (leaf : Analysis.ptree) =
+    match leaf with
+    | Analysis.P_lit (fn, name, loc) when String.equal fn marker -> Ev (name, loc)
+    | Analysis.P_ref (r, _)
+      when (not (String.equal r marker)) && String.starts_with ~prefix:(home_unit ^ ".") r -> (
+        match Hashtbl.find_opt graph.Analysis.nodes r with
+        | Some d -> Expand (r, d.Analysis.d_tree)
+        | None -> Skip)
+    | _ -> Skip
+  in
+  let step st name (loc : Analysis.loc) =
+    match index name with
+    | None ->
+        report ~loc ~key:("unknown-phase:" ^ name)
+          (Printf.sprintf "recovery phase %S is not in the declared phase order for %s" name marker);
+        st
+    | Some 0 -> 0 (* new recovery attempt: reset *)
+    | Some idx ->
+        if st >= idx then
+          report ~loc ~key:("phase-order:" ^ name)
+            (Printf.sprintf
+               "recovery phase %S entered out of order (last phase was %S); declared order: %s" name
+               (if st >= 0 then Option.value ~default:"<none>" (List.nth_opt order st)
+                else "<none>")
+               (String.concat " -> " order));
+        idx
+  in
+  ignore eff;
+  Hashtbl.iter
+    (fun name (d : Analysis.def) ->
+      if String.starts_with ~prefix:(home_unit ^ ".") name then
+        ignore (eval ~classify ~step ~init:[ -1 ] d.Analysis.d_tree))
+    graph.Analysis.nodes
+
+let phases (cfg : Lintcfg.t) (eff : Effects.t) (graph : Analysis.graph) =
+  let report, findings = make_reporter phase_rule_name in
+  List.iter
+    (fun (marker, order) -> check_protocol eff graph report marker order)
+    cfg.Lintcfg.phase_protocols;
+  List.rev !findings

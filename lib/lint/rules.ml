@@ -1,109 +1,101 @@
-(* The rule set.  Each rule consumes the per-unit analyses (and the
-   cross-unit graph where it needs reachability) and yields findings.
+(* The rule set.  Every rule consumes the per-unit analyses plus the
+   interprocedural effect signatures ([Effects]) computed once per run —
+   reachability questions are answered from the fixpoint, not re-walked
+   per rule.
 
    1. shadow-purity   — no write-path sink reachable from shadow/fsck
                         read-path definitions (paper: the shadow never
-                        writes to disk).
+                        writes to disk).  Effect-based: a root unit is
+                        impure iff a definition's effect signature
+                        records a path to a purity sink.
    2. no-swallow      — no catch-all exception handler that can absorb a
                         runtime-error signal (Shadow.Violation, detector
-                        bug exceptions): the error-detection channel.
-   3. layering        — the module-dependency DAG, checked from compiled
+                        bug exceptions), using the transitive may-raise
+                        sets from the fixpoint.
+   3. persist-order   — SquirrelFS-style persistence typestate: raw
+                        block writes must be dominated by an open
+                        journal transaction and destage only after the
+                        commit; mid-transaction flushes reorder the
+                        barrier (Order.persist).
+   4. domain-safety   — unguarded mutable cells written by code on the
+                        planned parallel regions (Domsafety).
+   5. phase-order     — the recovery phases must be entered in the
+                        declared order on every path, including the
+                        seeded fallback (Order.phases).
+   6. layering        — the module-dependency DAG, checked from compiled
                         import tables rather than dune stanzas.
-   4. poly-compare    — no polymorphic compare/equality on on-disk
+   7. poly-compare    — no polymorphic compare/equality on on-disk
                         structures, where structural compare hides
                         format bugs.
-   5. partial-call    — no partial stdlib calls (List.hd, Option.get,
+   8. partial-call    — no partial stdlib calls (List.hd, Option.get,
                         unhandled Hashtbl.find) in library code. *)
 
 let rule_purity = "shadow-purity"
 let rule_swallow = "no-swallow"
+let rule_persist = Order.persist_rule_name
+let rule_domain = Domsafety.rule_name
+let rule_phase = Order.phase_rule_name
 let rule_layering = "layering"
 let rule_polycmp = "poly-compare"
 let rule_partial = "partial-call"
 
-let all_rules = [ rule_purity; rule_swallow; rule_layering; rule_polycmp; rule_partial ]
+let all_rules =
+  [
+    rule_purity; rule_swallow; rule_persist; rule_domain; rule_phase; rule_layering; rule_polycmp;
+    rule_partial;
+  ]
 
 let finding ~rule ~file ~line ~key message =
   { Finding.rule; severity = Finding.Error; file; line; message; key }
 
 (* ---- 1. shadow purity ---- *)
 
-let sink_match (cfg : Lintcfg.t) name =
-  List.exists
-    (fun s ->
-      if String.length s > 0 && s.[String.length s - 1] = '.' then String.starts_with ~prefix:s name
-      else String.equal s name)
-    cfg.Lintcfg.purity_sinks
-
-let purity (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
+let purity (cfg : Lintcfg.t) analyses (eff : Effects.t) =
   let findings = ref [] in
   List.iter
     (fun (a : Analysis.unit_analysis) ->
       if List.exists (fun p -> Lintcfg.unit_matches p a.Analysis.a_unit) cfg.Lintcfg.purity_roots
       then begin
-        (* Breadth-first from every definition of the root unit; report
-           one finding per sink hit, with the shortest call chain. *)
-        let pred : (string, string) Hashtbl.t = Hashtbl.create 64 in
-        let seen_sinks = ref [] in
-        let visited : (string, unit) Hashtbl.t = Hashtbl.create 256 in
-        let queue = Queue.create () in
+        (* All sinks any definition of this root unit can reach, each
+           reported once, from the definition with the shortest witness
+           chain (ties: first definition in source order). *)
+        let sinks =
+          List.sort_uniq String.compare
+            (List.concat_map (fun (d : Analysis.def) -> Effects.sinks_of eff d.Analysis.d_name)
+               a.Analysis.a_defs)
+        in
         List.iter
-          (fun (d : Analysis.def) ->
-            Hashtbl.replace visited d.Analysis.d_name ();
-            Queue.add d.Analysis.d_name queue)
-          a.Analysis.a_defs;
-        while not (Queue.is_empty queue) do
-          let name = Queue.take queue in
-          match Hashtbl.find_opt graph.Analysis.nodes name with
-          | None -> ()
-          | Some d ->
-              List.iter
-                (fun (r, _loc) ->
-                  if sink_match cfg r then begin
-                    if not (List.mem_assoc r !seen_sinks) then begin
-                      (* Reconstruct the chain root -> ... -> name -> r. *)
-                      let rec chain n acc =
-                        match Hashtbl.find_opt pred n with
-                        | Some p -> chain p (n :: acc)
-                        | None -> n :: acc
-                      in
-                      let path = chain name [ r ] in
-                      seen_sinks := (r, (d, path)) :: !seen_sinks
-                    end
-                  end
-                  else if not (Hashtbl.mem visited r) && Hashtbl.mem graph.Analysis.nodes r
-                  then begin
-                    Hashtbl.replace visited r ();
-                    Hashtbl.replace pred r name;
-                    Queue.add r queue
-                  end)
-                d.Analysis.d_refs
-        done;
-        List.iter
-          (fun (sink, ((d : Analysis.def), path)) ->
-            ignore d;
-            let root = match path with r :: _ -> r | [] -> a.Analysis.a_unit in
-            let root_loc =
-              match Hashtbl.find_opt graph.Analysis.nodes root with
-              | Some rd -> rd.Analysis.d_loc
-              | None -> { Analysis.l_file = a.Analysis.a_source; l_line = 1 }
+          (fun sink ->
+            let best =
+              List.fold_left
+                (fun acc (d : Analysis.def) ->
+                  match Effects.sink_distance eff d.Analysis.d_name sink with
+                  | None -> acc
+                  | Some dist -> (
+                      match acc with
+                      | Some (_, bd) when bd <= dist -> acc
+                      | _ -> Some (d, dist)))
+                None a.Analysis.a_defs
             in
-            findings :=
-              finding ~rule:rule_purity ~file:root_loc.Analysis.l_file
-                ~line:root_loc.Analysis.l_line ~key:sink
-                (Printf.sprintf
-                   "write-path sink %s is reachable from read-path unit %s: %s" sink
-                   a.Analysis.a_unit (String.concat " -> " path))
-              :: !findings)
-          (List.rev !seen_sinks)
+            match best with
+            | None -> ()
+            | Some (d, _) ->
+                let chain = Effects.sink_chain eff d.Analysis.d_name sink in
+                findings :=
+                  finding ~rule:rule_purity ~file:d.Analysis.d_loc.Analysis.l_file
+                    ~line:d.Analysis.d_loc.Analysis.l_line ~key:sink
+                    (Printf.sprintf "write-path sink %s is reachable from read-path unit %s: %s"
+                       sink a.Analysis.a_unit
+                       (String.concat " -> " chain))
+                  :: !findings)
+          sinks
       end)
     analyses;
   List.rev !findings
 
 (* ---- 2. no swallowed runtime-error signals ---- *)
 
-let swallow (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
-  let may_raise = Analysis.may_raise graph in
+let swallow (cfg : Lintcfg.t) analyses (eff : Effects.t) =
   let findings = ref [] in
   List.iter
     (fun (a : Analysis.unit_analysis) ->
@@ -119,7 +111,7 @@ let swallow (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
               let via_call =
                 List.filter_map
                   (fun (r, _) ->
-                    let raised = may_raise r in
+                    let raised = Effects.may_raise eff r in
                     match
                       List.find_opt (fun s -> List.mem s raised) cfg.Lintcfg.signal_exceptions
                     with
@@ -152,7 +144,7 @@ let swallow (cfg : Lintcfg.t) analyses (graph : Analysis.graph) =
     analyses;
   List.rev !findings
 
-(* ---- 3. layering ---- *)
+(* ---- 6. layering ---- *)
 
 let layering (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) =
   let known lib = List.mem_assoc lib cfg.Lintcfg.libraries in
@@ -186,7 +178,7 @@ let layering (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) =
     units;
   List.rev !findings
 
-(* ---- 4. polymorphic compare on on-disk structures ---- *)
+(* ---- 7. polymorphic compare on on-disk structures ---- *)
 
 let poly_ops =
   [
@@ -222,7 +214,7 @@ let polycmp (cfg : Lintcfg.t) analyses =
     analyses;
   List.rev !findings
 
-(* ---- 5. partial stdlib calls ---- *)
+(* ---- 8. partial stdlib calls ---- *)
 
 let partial (cfg : Lintcfg.t) analyses =
   let findings = ref [] in
@@ -256,9 +248,13 @@ let partial (cfg : Lintcfg.t) analyses =
     analyses;
   List.rev !findings
 
-let run (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) analyses graph =
-  purity cfg analyses graph
-  @ swallow cfg analyses graph
+let run (cfg : Lintcfg.t) (units : Cmt_load.unit_info list) analyses graph (eff : Effects.t)
+    (domain : Domsafety.region_report list) =
+  purity cfg analyses eff
+  @ swallow cfg analyses eff
+  @ Order.persist cfg eff graph
+  @ Domsafety.findings domain
+  @ Order.phases cfg eff graph
   @ layering cfg units
   @ polycmp cfg analyses
   @ partial cfg analyses

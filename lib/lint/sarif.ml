@@ -1,0 +1,66 @@
+(* Minimal SARIF 2.1.0 emitter so findings render as CI annotations.
+   One run, one driver, one result per finding; the suppression key goes
+   into partialFingerprints so external dashboards can track findings
+   across line drift the same way lint.baseline does. *)
+
+let version = "2.1.0"
+let schema = "https://json.schemastore.org/sarif-2.1.0.json"
+
+let severity_level = function Finding.Error -> "error" | Finding.Warning -> "warning"
+
+let of_result ~rules (kept : Finding.t list) =
+  let open Rae_obs.Jsonx in
+  let rule_objs =
+    List.map
+      (fun r ->
+        Obj [ ("id", Str r); ("name", Str r); ("defaultConfiguration", Obj [ ("level", Str "error") ]) ])
+      rules
+  in
+  let result (f : Finding.t) =
+    Obj
+      [
+        ("ruleId", Str f.Finding.rule);
+        ("level", Str (severity_level f.Finding.severity));
+        ("message", Obj [ ("text", Str f.Finding.message) ]);
+        ( "locations",
+          List
+            [
+              Obj
+                [
+                  ( "physicalLocation",
+                    Obj
+                      [
+                        ("artifactLocation", Obj [ ("uri", Str f.Finding.file) ]);
+                        ("region", Obj [ ("startLine", Int (max 1 f.Finding.line)) ]);
+                      ] );
+                ];
+            ] );
+        ("partialFingerprints", Obj [ ("raeLintKey/v1", Str f.Finding.key) ]);
+      ]
+  in
+  Obj
+    [
+      ("$schema", Str schema);
+      ("version", Str version);
+      ( "runs",
+        List
+          [
+            Obj
+              [
+                ( "tool",
+                  Obj
+                    [
+                      ( "driver",
+                        Obj
+                          [
+                            ("name", Str "rae_lint");
+                            ("informationUri", Str "README.md");
+                            ("rules", List rule_objs);
+                          ] );
+                    ] );
+                ("results", List (List.map result kept));
+              ];
+          ] );
+    ]
+
+let to_string ~rules kept = Rae_obs.Jsonx.to_string ~pretty:true (of_result ~rules kept)

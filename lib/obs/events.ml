@@ -69,7 +69,7 @@ type t = {
   e_s1 : string array;
   e_s2 : string array;
   mutable clock : unit -> int;  (* nanoseconds *)
-  mutable total : int;  (* events ever recorded; head = total land mask *)
+  total : int Atomic.t;  (* events ever recorded; head = total land mask *)
 }
 
 let default_clock () = int_of_float (Sys.time () *. 1e9)
@@ -89,21 +89,24 @@ let create ?(capacity = 1024) ?(clock = default_clock) () =
     e_s1 = Array.make cap "";
     e_s2 = Array.make cap "";
     clock;
-    total = 0;
+    total = Atomic.make 0;
   }
 
 let set_clock t clock = t.clock <- clock
 let capacity t = t.mask + 1
-let total t = t.total
-let retained t = min t.total (t.mask + 1)
-let dropped t = t.total - retained t
-let clear t = t.total <- 0
+let total t = Atomic.get t.total
+let retained t = min (total t) (t.mask + 1)
+let dropped t = total t - retained t
+let clear t = Atomic.set t.total 0
 
 (* The single write path: every record_* fills one slot completely so no
-   field carries a stale value from an overwritten event. *)
+   field carries a stale value from an overwritten event.  The slot
+   index comes from an atomic fetch-and-add, so concurrent recorders
+   claim disjoint slots (the per-slot stores need no further ordering —
+   a reader racing the writer of a live slot sees a torn event at worst,
+   which the bounded [tail] views tolerate by construction). *)
 let[@inline] put t kind a b c d s1 s2 =
-  let i = t.total land t.mask in
-  t.total <- t.total + 1;
+  let i = Atomic.fetch_and_add t.total 1 land t.mask in
   t.e_kind.(i) <- kind;
   t.e_ts.(i) <- t.clock ();
   t.e_a.(i) <- a;
@@ -167,9 +170,10 @@ let body_at t i =
   else Note { msg = s1 }
 
 let tail ?n t =
-  let retained = retained t in
+  let total = total t in
+  let retained = min total (t.mask + 1) in
   let want = match n with Some n -> min (max 0 n) retained | None -> retained in
-  let first = t.total - want in
+  let first = total - want in
   List.init want (fun j ->
       let seq = first + j in
       let i = seq land t.mask in

@@ -1,0 +1,12 @@
+(* persist-order fixture: opens a journal transaction, then destages and
+   flushes BEFORE the commit record — the commit-before-destage and
+   barrier-reorder cases. *)
+module Journal = Rae_journal.Journal
+module Device = Rae_block.Device
+
+let destage_too_early j dev blk data =
+  let txn = Journal.begin_txn j in
+  Journal.txn_write txn blk data;
+  Device.write dev blk data;
+  Device.flush dev;
+  Journal.commit j txn

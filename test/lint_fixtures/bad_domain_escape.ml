@@ -1,0 +1,6 @@
+(* domain-safety fixture: a toplevel mutable cell written, unguarded, by
+   a definition the fixture config declares as a parallel-region root. *)
+
+let shared_hits : int ref = ref 0
+
+let fold_entry items = List.iter (fun _ -> incr shared_hits) items

@@ -1,0 +1,5 @@
+(* persist-order fixture: a raw device write with no journal transaction
+   anywhere in sight — the journal-bypass case. *)
+module Device = Rae_block.Device
+
+let bypass dev blk data = Device.write dev blk data

@@ -1,0 +1,12 @@
+(* phase-order fixture: a phase marker invoked out of the declared order
+   (and once with a name that is not a phase at all). *)
+
+let phase name f =
+  ignore (name : string);
+  f ()
+
+let recover_bad () =
+  phase "contained-reboot" (fun () -> ());
+  phase "seed" (fun () -> ());
+  phase "shadow-attach" (fun () -> ());
+  phase "warp-core" (fun () -> ())

@@ -8,7 +8,10 @@ open Rae_lint
 
 (* The fixtures library plays the role of a read-path layer: it may see
    util/obs/vfs/block/format but not the journal, Bad_impure* units are
-   purity roots, and Bad_swallow.Boom is the runtime-error signal. *)
+   purity roots, and Bad_swallow.Boom is the runtime-error signal.  The
+   new rule families are aimed at their fixtures too: Bad_domain_escape
+   hosts a parallel-region root and Bad_phase_order a phase marker
+   following the real declared phase order. *)
 let fixture_config =
   let d = Lintcfg.default in
   {
@@ -17,6 +20,10 @@ let fixture_config =
       ("lint_fixtures", [ "util"; "obs"; "vfs"; "block"; "format" ]) :: d.Lintcfg.libraries;
     purity_roots = [ "Lint_fixtures.Bad_impure" ];
     signal_exceptions = [ "Lint_fixtures.Bad_swallow.Boom" ];
+    domain_regions =
+      ("fixture-fold", [ "Lint_fixtures.Bad_domain_escape.fold_entry" ]) :: d.Lintcfg.domain_regions;
+    phase_protocols =
+      ("Lint_fixtures.Bad_phase_order.phase", Lintcfg.default_phase_order) :: d.Lintcfg.phase_protocols;
   }
 
 (* Tests run from _build/default/test; fall back for manual runs from
@@ -73,6 +80,84 @@ let test_swallow () =
     "inline raise, call-reachable raise, match-exception" [ 9; 12; 15 ] (lines_of fs);
   Alcotest.(check (list string)) "all carry the signal key" [ "Lint_fixtures.Bad_swallow.Boom" ]
     (keys_of fs)
+
+(* ---- persist-order ---- *)
+
+let test_persist_bypass () =
+  let r = run_fixtures () in
+  match hits "persist-order" "bad_journal_bypass.ml" r with
+  | [ f ] ->
+      Alcotest.(check string) "bypass key" "journal-bypass:Rae_block.Device.write" f.Finding.key;
+      Alcotest.(check int) "at the raw write" 5 f.Finding.line
+  | fs -> Alcotest.failf "expected exactly one bypass finding, got %d" (List.length fs)
+
+let test_persist_destage_order () =
+  let r = run_fixtures () in
+  let fs = hits "persist-order" "bad_destage_order.ml" r in
+  Alcotest.(check (list string))
+    "destage and barrier reorder both flagged"
+    [ "destage-before-commit:Rae_block.Device.write"; "flush-before-commit:Rae_block.Device.flush" ]
+    (keys_of fs);
+  Alcotest.(check (list int)) "at the write and the flush" [ 10; 11 ] (lines_of fs)
+
+(* ---- domain-safety ---- *)
+
+let test_domain_escape () =
+  let r = run_fixtures () in
+  match hits "domain-safety" "bad_domain_escape.ml" r with
+  | [ f ] ->
+      Alcotest.(check string) "region:cell key"
+        "fixture-fold:Lint_fixtures.Bad_domain_escape.shared_hits" f.Finding.key;
+      Alcotest.(check int) "at the unguarded write" 6 f.Finding.line
+  | fs -> Alcotest.failf "expected exactly one domain-safety finding, got %d" (List.length fs)
+
+let test_domain_report () =
+  let r = run_fixtures () in
+  let json = Rae_obs.Jsonx.to_string (Domsafety.to_json r.Engine.domain) in
+  let parsed = Rae_obs.Jsonx.parse_exn json in
+  let regions =
+    match Rae_obs.Jsonx.(Option.bind (member "regions" parsed) to_list_opt) with
+    | Some l -> l
+    | None -> Alcotest.fail "domain report has no regions list"
+  in
+  (* The fixture region is present, and its one cell is classified as a
+     finding (the machine-readable face of test_domain_escape). *)
+  let fixture =
+    List.find_opt
+      (fun reg -> Rae_obs.Jsonx.(Option.bind (member "region" reg) to_str_opt) = Some "fixture-fold")
+      regions
+  in
+  match fixture with
+  | None -> Alcotest.fail "fixture-fold region missing from the report"
+  | Some reg -> (
+      match Rae_obs.Jsonx.(Option.bind (member "cells" reg) to_list_opt) with
+      | Some [ cell ] ->
+          Alcotest.(check (option string))
+            "cell named" (Some "Lint_fixtures.Bad_domain_escape.shared_hits")
+            Rae_obs.Jsonx.(Option.bind (member "cell" cell) to_str_opt);
+          Alcotest.(check (option string))
+            "classified as a finding" (Some "finding")
+            Rae_obs.Jsonx.(Option.bind (member "class" cell) to_str_opt)
+      | _ -> Alcotest.fail "expected exactly one catalogued cell in fixture-fold")
+
+(* ---- phase-order ---- *)
+
+let test_phase_order () =
+  let r = run_fixtures () in
+  let fs = hits "phase-order" "bad_phase_order.ml" r in
+  Alcotest.(check (list string))
+    "out-of-order phase and unknown phase"
+    [ "phase-order:shadow-attach"; "unknown-phase:warp-core" ]
+    (keys_of fs);
+  Alcotest.(check (list int)) "at the offending marker calls" [ 11; 12 ] (lines_of fs)
+
+(* The lint config declares the phase order as data (the lint library
+   must not depend on rae_core); this pins it to the controller's
+   actual phase_names so they cannot drift apart. *)
+let test_phase_order_matches_controller () =
+  Alcotest.(check (list string))
+    "Lintcfg.default_phase_order = Controller.phase_names" Rae_core.Controller.phase_names
+    Lintcfg.default_phase_order
 
 (* ---- layering ---- *)
 
@@ -142,8 +227,8 @@ let test_stats_and_metrics () =
   let r = run_fixtures () in
   let s = r.Engine.stats in
   Alcotest.(check bool) "scanned some cmts" true (s.Engine.files_scanned > 0);
-  Alcotest.(check int) "all five rules ran" 5 s.Engine.rules_run;
-  Alcotest.(check int) "by_rule covers every rule" 5 (List.length s.Engine.by_rule);
+  Alcotest.(check int) "all eight rules ran" 8 s.Engine.rules_run;
+  Alcotest.(check int) "by_rule covers every rule" 8 (List.length s.Engine.by_rule);
   let registry = Rae_obs.Metrics.create () in
   Engine.register_obs registry s;
   let prom = Rae_obs.Metrics.to_prometheus registry in
@@ -183,6 +268,13 @@ let () =
           Alcotest.test_case "shadow-purity direct" `Quick test_purity_direct;
           Alcotest.test_case "shadow-purity transitive" `Quick test_purity_transitive;
           Alcotest.test_case "no-swallow" `Quick test_swallow;
+          Alcotest.test_case "persist-order journal bypass" `Quick test_persist_bypass;
+          Alcotest.test_case "persist-order destage/flush reorder" `Quick test_persist_destage_order;
+          Alcotest.test_case "domain-safety escape" `Quick test_domain_escape;
+          Alcotest.test_case "domain-safety report" `Quick test_domain_report;
+          Alcotest.test_case "phase-order" `Quick test_phase_order;
+          Alcotest.test_case "phase order pinned to controller" `Quick
+            test_phase_order_matches_controller;
           Alcotest.test_case "layering" `Quick test_layering;
           Alcotest.test_case "poly-compare" `Quick test_poly_compare;
           Alcotest.test_case "partial-call" `Quick test_partial;
