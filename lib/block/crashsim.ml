@@ -5,25 +5,35 @@
    point of the module. *)
 [@@@lint_exempt "persist-order"]
 
+type event = Write of int * bytes | Flush
+
 type t = {
   dev : Device.t;
   mutable buffer : (int * bytes) list;  (* newest first *)
   rng : Rae_util.Rng.t;
   mutable flushes : int;
+  trace : bool;
+  mutable events_rev : event list;  (* newest first; only when [trace] *)
+  mutable last_key : string option;
 }
 
-let create ?rng dev =
+let create ?rng ?(trace = false) dev =
   let rng = match rng with Some r -> r | None -> Rae_util.Rng.create 0x5EEDL in
-  let t = { dev; buffer = []; rng; flushes = 0 } in
+  let t = { dev; buffer = []; rng; flushes = 0; trace; events_rev = []; last_key = None } in
   let read blk =
     (* Reads must observe buffered writes (the device's volatile cache). *)
     match List.find_opt (fun (b, _) -> b = blk) t.buffer with
     | Some (_, data) -> Bytes.copy data
     | None -> t.dev.Device.dev_read blk
   in
-  let write blk data = t.buffer <- (blk, Bytes.copy data) :: t.buffer in
+  let write blk data =
+    let data = Bytes.copy data in
+    if t.trace then t.events_rev <- Write (blk, data) :: t.events_rev;
+    t.buffer <- (blk, data) :: t.buffer
+  in
   let flush () =
     t.flushes <- t.flushes + 1;
+    if t.trace then t.events_rev <- Flush :: t.events_rev;
     List.iter (fun (blk, data) -> t.dev.Device.dev_write blk data) (List.rev t.buffer);
     t.buffer <- [];
     t.dev.Device.dev_flush ()
@@ -31,19 +41,78 @@ let create ?rng dev =
   (t, { t.dev with Device.dev_read = read; dev_write = write; dev_flush = flush })
 
 let pending t = List.length t.buffer
+let events t = Array.of_list (List.rev t.events_rev)
 
-let crash t = t.buffer <- []
+let crash t =
+  t.buffer <- [];
+  t.last_key <- None
 
-let crash_partial t =
-  (* Destage a random subset in a random order; later writes to the same
-     block may thereby be lost while earlier ones survive — the torn,
-     reordered outcome a journal must tolerate. *)
-  let writes = Array.of_list t.buffer in
-  Rae_util.Rng.shuffle t.rng writes;
-  Array.iter
-    (fun (blk, data) ->
-      if Rae_util.Rng.bool t.rng then t.dev.Device.dev_write blk data)
-    writes;
+(* ---- replayable persisted-subset keys ---- *)
+
+let hex_digits = "0123456789abcdef"
+
+let mask_to_hex mask =
+  let n = Array.length mask in
+  let digits = (n + 3) / 4 in
+  String.init digits (fun d ->
+      let v = ref 0 in
+      for b = 0 to 3 do
+        let i = (d * 4) + b in
+        if i < n && mask.(i) then v := !v lor (1 lsl b)
+      done;
+      hex_digits.[!v])
+
+let mask_of_hex ~n s =
+  if String.length s <> (n + 3) / 4 then None
+  else
+    let bad = ref false in
+    let digit c =
+      match c with
+      | '0' .. '9' -> Char.code c - Char.code '0'
+      | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+      | _ ->
+          bad := true;
+          0
+    in
+    let mask = Array.init n (fun i -> digit s.[i / 4] land (1 lsl (i mod 4)) <> 0) in
+    if !bad then None else Some mask
+
+let partial_key mask = Printf.sprintf "%d:%s" (Array.length mask) (mask_to_hex mask)
+
+let parse_partial_key s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      match int_of_string_opt (String.sub s 0 i) with
+      | None -> None
+      | Some n when n < 0 -> None
+      | Some n -> (
+          match mask_of_hex ~n (String.sub s (i + 1) (String.length s - i - 1)) with
+          | None -> None
+          | Some mask -> Some mask))
+
+let crash_partial ?key t =
+  (* Destage a subset of the buffered writes, oldest first; a later write
+     to the same block may thereby be lost while an earlier one survives —
+     the torn, reordered outcome a journal must tolerate.  (Applying an
+     arbitrary subset in issue order reaches every image an arbitrary
+     destage order could: per block, only which buffered version lands
+     last matters.)  The chosen subset is captured as {!last_key} so the
+     exact crash is replayable; [key] applies a previously logged one. *)
+  let writes = Array.of_list (List.rev t.buffer) in
+  let n = Array.length writes in
+  let mask =
+    match key with
+    | None -> Array.init n (fun _ -> Rae_util.Rng.bool t.rng)
+    | Some k -> (
+        match parse_partial_key k with
+        | Some mask when Array.length mask = n -> mask
+        | Some _ | None ->
+            invalid_arg "Crashsim.crash_partial: key does not match the buffered writes")
+  in
+  Array.iteri (fun i (blk, data) -> if mask.(i) then t.dev.Device.dev_write blk data) writes;
+  t.last_key <- Some (partial_key mask);
   t.buffer <- []
 
+let last_key t = t.last_key
 let flushes t = t.flushes

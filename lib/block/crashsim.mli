@@ -4,25 +4,55 @@
     {!Device.flush}; a simulated power failure ({!crash}) discards — or,
     with [~partial], applies an arbitrary subset of — the unflushed writes.
     The journal's crash-consistency tests drive all their IO through this
-    wrapper and call {!crash} at adversarial points. *)
+    wrapper and call {!crash} at adversarial points; the crash-point
+    enumerator ({!Rae_crash}) records the full write/flush stream through
+    the [trace] mode and re-materializes crash images offline. *)
 
 type t
 
-val create : ?rng:Rae_util.Rng.t -> Device.t -> t * Device.t
+type event = Write of int * bytes | Flush
+(** One element of the device-level persistence stream, as the wrapped
+    device observed it. *)
+
+val create : ?rng:Rae_util.Rng.t -> ?trace:bool -> Device.t -> t * Device.t
 (** [create dev] returns the simulator handle and the wrapped device to
     hand to the filesystem under test.  [rng] drives partial-crash write
-    selection (default: a fixed seed). *)
+    selection (default: a fixed seed).  With [trace] every write and
+    flush barrier is also appended to the {!events} stream. *)
 
 val pending : t -> int
 (** Unflushed writes currently buffered. *)
 
+val events : t -> event array
+(** The write/flush stream recorded so far, oldest first (empty unless
+    [create ~trace:true]).  Payload bytes are private copies. *)
+
 val crash : t -> unit
 (** Power failure: every buffered write is lost. *)
 
-val crash_partial : t -> unit
-(** Power failure where the device had started destaging: a random subset
-    (possibly reordered) of buffered writes reaches the medium, the rest are
-    lost.  This is the adversarial model journaling must survive. *)
+val crash_partial : ?key:string -> t -> unit
+(** Power failure where the device had started destaging: a subset of the
+    buffered writes reaches the medium (oldest-first issue order — which,
+    per block, reaches every image an arbitrary destage order could), the
+    rest are lost.  Without [key] the subset is drawn from the simulator's
+    rng and recorded in {!last_key}; with [key] a previously logged key is
+    re-applied exactly, making any partial crash reproducible from a log
+    line.  @raise Invalid_argument when [key] does not describe the
+    currently buffered writes. *)
+
+val last_key : t -> string option
+(** Replayable description of the subset the last {!crash_partial}
+    persisted ([None] before any partial crash). *)
 
 val flushes : t -> int
 (** Number of flush barriers observed. *)
+
+(** {2 Subset-mask codec}
+
+    Shared with the crash-point enumerator's image keys: bit [i] set means
+    the [i]-th write (oldest first) persisted. *)
+
+val mask_to_hex : bool array -> string
+val mask_of_hex : n:int -> string -> bool array option
+val partial_key : bool array -> string
+val parse_partial_key : string -> bool array option

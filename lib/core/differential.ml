@@ -139,6 +139,78 @@ let views_equal l r =
 let states_equal base shadow = views_equal (base_view base) (shadow_view shadow)
 let shadow_states_equal a b = views_equal (shadow_view a) (shadow_view b)
 
+(* ---- crash-image equivalence (the rae_crash oracle) ---- *)
+
+let spec_view sp =
+  let module Spec = Rae_specfs.Spec in
+  {
+    v_readdir = (fun p -> Spec.readdir sp p);
+    v_stat = (fun p -> Spec.stat sp p);
+    v_read =
+      (fun p len ->
+        match Spec.openf sp p Types.flags_ro with
+        | Ok fd ->
+            let data = Spec.pread sp fd ~off:0 ~len in
+            ignore (Spec.close sp fd);
+            Result.to_option data
+        | Error _ -> None);
+    v_readlink = (fun p -> Spec.readlink sp p);
+    v_fd_count = (fun () -> List.length (Spec.open_fds sp));
+    v_fd_iter =
+      (fun f -> List.iter (fun (fd, ino, flags) -> f fd ino flags) (Spec.open_fds sp));
+    v_fd_lookup =
+      (fun fd ->
+        List.find_map
+          (fun (fd', ino, flags) -> if fd = fd' then Some (ino, flags) else None)
+          (Spec.open_fds sp));
+  }
+
+let crash_states_equal ~dirty spec shadow =
+  (* Compare a recovered crash image (under the shadow) against one legal
+     durable state (a spec snapshot at a journal-commit boundary).
+
+     Descriptor tables are volatile — a power cut forgets them — so they
+     are not compared.  Metadata is journal-protected and therefore
+     compared strictly; file contents take the ordered-data route to the
+     medium outside the transaction, so for inodes the suffix beyond the
+     crash point's durable bound touched ([dirty]) the bytes may legally
+     be torn: their content (and, for directories freed-and-reused in
+     that suffix, the subtree) is skipped, exactly the data=ordered
+     contract B3 checks against. *)
+  let l = spec_view spec and r = shadow_view shadow in
+  let exception Differ in
+  let rec walk path =
+    match (l.v_readdir path, r.v_readdir path) with
+    | Ok b, Ok s ->
+        if b <> s then raise Differ;
+        List.iter
+          (fun name ->
+            let child = Path.append path name in
+            match (l.v_stat child, r.v_stat child) with
+            | Ok b, Ok s ->
+                if not (Types.stat_equal b s) then raise Differ;
+                let torn = dirty b.Types.st_ino in
+                (match b.Types.st_kind with
+                | Types.Directory -> if not torn then walk child
+                | Types.Regular ->
+                    if not torn then
+                      let get v =
+                        match v.v_read child b.Types.st_size with
+                        | Some data -> data
+                        | None -> raise Differ
+                      in
+                      if get l <> get r then raise Differ
+                | Types.Symlink ->
+                    if (not torn) && l.v_readlink child <> r.v_readlink child then raise Differ)
+            | Error e1, Error e2 when Errno.equal e1 e2 ->
+                if l.v_readlink child <> r.v_readlink child then raise Differ
+            | _ -> raise Differ)
+          b
+    | Error e1, Error e2 when Errno.equal e1 e2 -> ()
+    | _ -> raise Differ
+  in
+  match walk [] with () -> true | exception Differ -> false
+
 let run ?(nblocks = 8192) ?(ninodes = 1024) ?base_config ?bugs ops =
   let fresh () =
     let disk =

@@ -59,3 +59,16 @@ val shadow_states_equal : Rae_shadowfs.Shadow.t -> Rae_shadowfs.Shadow.t -> bool
 (** The same walk over two shadow instances — the comparator behind the
     checkpoint-equivalence property (replay-from-checkpoint must be
     indistinguishable from replay-from-S0 through the public API). *)
+
+val crash_states_equal :
+  dirty:(Rae_vfs.Types.ino -> bool) -> Rae_specfs.Spec.t -> Rae_shadowfs.Shadow.t -> bool
+(** The comparator behind the {!Rae_crash} oracle: walk a recovered crash
+    image (attached read-only under the shadow) against one legal durable
+    state (a spec snapshot captured at a journal-commit boundary).
+    Descriptor tables and clocks are volatile across a power cut and are
+    not compared.  Metadata is compared strictly — it is journal-protected
+    and must survive exactly.  File contents reach the medium outside the
+    transaction (ordered data), so inodes flagged [dirty] — content
+    touched, unlinked or overwritten after the crash point's durable
+    bound — have their content (for directories: their subtree) excluded,
+    mirroring the guarantee set B3-style checkers test against. *)

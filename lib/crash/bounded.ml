@@ -1,0 +1,186 @@
+(* Bounded workload generation, after B3's seq-N strategy: every operation
+   sequence of length <= 3 drawn from a small vocabulary over a closed
+   name/fd space.  B3's insight is that crash-consistency bugs in mature
+   filesystems are overwhelmingly reproducible with tiny workloads on
+   small name sets, so exhaustively sweeping this space beats random
+   fuzzing per CPU-hour.
+
+   Sequences are deduplicated by canonical footprint: path components and
+   descriptors are renamed in order of first appearance, so two sequences
+   differing only in which concrete names they touch collapse into one.
+   Later ops must mention a name or descriptor an earlier op introduced
+   (or be a barrier): sequences of independent ops are exactly covered by
+   the shorter sweeps already in the set. *)
+
+module Op = Rae_vfs.Op
+module Path = Rae_vfs.Path
+module Types = Rae_vfs.Types
+
+let p = Path.parse_exn
+let payload = "crash-consistency payload: must be atomic with its metadata"
+
+let vocabulary : Op.t array =
+  [|
+    Op.Create (p "/a", 0o644);
+    Op.Create (p "/b", 0o644);
+    Op.Create (p "/d/f", 0o644);
+    Op.Mkdir (p "/d", 0o755);
+    Op.Unlink (p "/a");
+    Op.Unlink (p "/d/f");
+    Op.Rmdir (p "/d");
+    Op.Rename (p "/a", p "/b");
+    Op.Rename (p "/a", p "/d/f");
+    Op.Link (p "/a", p "/b");
+    Op.Symlink ("/a", p "/b");
+    Op.Truncate (p "/a", 0);
+    Op.Truncate (p "/a", 6000);
+    Op.Open (p "/a", Types.flags_create);
+    Op.Open (p "/a", { Types.flags_create with Types.trunc = true });
+    Op.Pwrite (0, 0, payload);
+    Op.Pwrite (0, 4090, "straddling the first block boundary");
+    Op.Fsync 0;
+    Op.Close 0;
+    Op.Sync;
+  |]
+
+(* ---- canonical footprint ---- *)
+
+let op_names op =
+  let path_names = List.concat_map (fun c -> [ c ]) in
+  match op with
+  | Op.Create (path, _) | Op.Mkdir (path, _) | Op.Unlink path | Op.Rmdir path
+  | Op.Open (path, _) | Op.Lookup path | Op.Stat path | Op.Readdir path
+  | Op.Truncate (path, _) | Op.Readlink path | Op.Chmod (path, _) ->
+      path_names path
+  | Op.Rename (a, b) | Op.Link (a, b) -> path_names a @ path_names b
+  | Op.Symlink (target, link) -> (
+      path_names link
+      @ match Path.parse target with Ok t -> path_names t | Error _ -> [])
+  | Op.Close _ | Op.Pread _ | Op.Pwrite _ | Op.Fstat _ | Op.Fsync _ | Op.Sync -> []
+
+let op_fds = function
+  | Op.Close fd | Op.Pread (fd, _, _) | Op.Pwrite (fd, _, _) | Op.Fstat fd | Op.Fsync fd ->
+      [ fd ]
+  | _ -> []
+
+let introduces_fd = function Op.Open _ -> true | _ -> false
+let is_barrier = function Op.Fsync _ | Op.Sync -> true | _ -> false
+
+(* Rename names/fds in order of first appearance and print; equal strings
+   mean the sequences exercise the same shape. *)
+let canonical_key ops =
+  let names = Hashtbl.create 8 and fds = Hashtbl.create 4 in
+  let cname n =
+    match Hashtbl.find_opt names n with
+    | Some c -> c
+    | None ->
+        let c = Printf.sprintf "n%d" (Hashtbl.length names) in
+        Hashtbl.add names n c;
+        c
+  in
+  let cfd fd =
+    match Hashtbl.find_opt fds fd with
+    | Some c -> c
+    | None ->
+        let c = Printf.sprintf "f%d" (Hashtbl.length fds) in
+        Hashtbl.add fds fd c;
+        c
+  in
+  let cpath path = "/" ^ String.concat "/" (List.map cname path) in
+  let one op =
+    match op with
+    | Op.Create (path, mode) -> Printf.sprintf "create(%s,%o)" (cpath path) mode
+    | Op.Mkdir (path, mode) -> Printf.sprintf "mkdir(%s,%o)" (cpath path) mode
+    | Op.Unlink path -> Printf.sprintf "unlink(%s)" (cpath path)
+    | Op.Rmdir path -> Printf.sprintf "rmdir(%s)" (cpath path)
+    | Op.Open (path, f) ->
+        Printf.sprintf "open(%s,%s)" (cpath path) (Format.asprintf "%a" Types.pp_flags f)
+    | Op.Close fd -> Printf.sprintf "close(%s)" (cfd fd)
+    | Op.Pread (fd, off, len) -> Printf.sprintf "pread(%s,%d,%d)" (cfd fd) off len
+    | Op.Pwrite (fd, off, data) ->
+        Printf.sprintf "pwrite(%s,%d,%d)" (cfd fd) off (String.length data)
+    | Op.Lookup path -> Printf.sprintf "lookup(%s)" (cpath path)
+    | Op.Stat path -> Printf.sprintf "stat(%s)" (cpath path)
+    | Op.Fstat fd -> Printf.sprintf "fstat(%s)" (cfd fd)
+    | Op.Readdir path -> Printf.sprintf "readdir(%s)" (cpath path)
+    | Op.Rename (a, b) -> Printf.sprintf "rename(%s,%s)" (cpath a) (cpath b)
+    | Op.Truncate (path, size) -> Printf.sprintf "truncate(%s,%d)" (cpath path) size
+    | Op.Link (a, b) -> Printf.sprintf "link(%s,%s)" (cpath a) (cpath b)
+    | Op.Symlink (target, link) ->
+        let t =
+          match Path.parse target with Ok tp -> cpath tp | Error _ -> target
+        in
+        Printf.sprintf "symlink(%s,%s)" t (cpath link)
+    | Op.Readlink path -> Printf.sprintf "readlink(%s)" (cpath path)
+    | Op.Chmod (path, mode) -> Printf.sprintf "chmod(%s,%o)" (cpath path) mode
+    | Op.Fsync fd -> Printf.sprintf "fsync(%s)" (cfd fd)
+    | Op.Sync -> "sync"
+  in
+  String.concat ";" (List.map one ops)
+
+(* Every op past the first must build on what came before (shared name,
+   live descriptor, or a barrier); independent tails are covered by the
+   shorter sequences. *)
+let connected ops =
+  let seen_names = Hashtbl.create 8 in
+  let fd_live = ref false in
+  let ok = ref true in
+  List.iteri
+    (fun i op ->
+      let names = op_names op and fds = op_fds op in
+      if i > 0 then begin
+        let touches_known =
+          List.exists (Hashtbl.mem seen_names) names || (!fd_live && fds <> [])
+        in
+        if not (touches_known || is_barrier op) then ok := false;
+        if fds <> [] && not !fd_live then ok := false
+      end
+      else if fds <> [] then ok := false;
+      List.iter (fun n -> Hashtbl.replace seen_names n ()) names;
+      if introduces_fd op then fd_live := true)
+    ops;
+  !ok
+
+let all () =
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  let consider ops =
+    if connected ops then begin
+      let key = canonical_key ops in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := ops :: !out
+      end
+    end
+  in
+  let n = Array.length vocabulary in
+  for i = 0 to n - 1 do
+    consider [ vocabulary.(i) ]
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      consider [ vocabulary.(i); vocabulary.(j) ]
+    done
+  done;
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      for k = 0 to n - 1 do
+        consider [ vocabulary.(i); vocabulary.(j); vocabulary.(k) ]
+      done
+    done
+  done;
+  List.rev !out
+
+(* Deterministic spread across the deduplicated space: every [stride]-th
+   sequence, so a budgeted sweep still sees 1-op, 2-op and 3-op shapes. *)
+let sample ~max =
+  let every = all () in
+  let total = List.length every in
+  if max <= 0 || total = 0 then []
+  else
+    let stride = Stdlib.max 1 (total / max) in
+    List.filteri (fun i _ -> i mod stride = 0) every
+    |> List.filteri (fun i _ -> i < max)
+    |> List.map (fun ops -> (canonical_key ops, ops))
+
+let label ops = canonical_key ops

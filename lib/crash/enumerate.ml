@@ -1,0 +1,176 @@
+(* Crash-point enumeration over a recorded write/flush stream.
+
+   Two families of points, both addressed by a replayable string key:
+
+   - prefix points [p:<i>]: the first [i] events applied in issue order.
+     This models in-order destage — the device lost power having made
+     some prefix of the stream durable.  Everything a fully flushed
+     commit wrote is in the image, so the durability lower bound is the
+     last boundary recorded at or before [i].
+
+   - subset points [s:<start>:<len>:<mask>]: all events before [start]
+     applied, then an arbitrary subset of the writes in
+     [start, start+len) — one barrier epoch.  Within an epoch the device
+     may destage buffered writes in any order; since per block only the
+     last buffered version can land (the crashsim buffers newest-first
+     and destages oldest-first, overwriting), every image an arbitrary
+     destage reordering could produce is reached by some subset applied
+     in issue order.  The durability bound drops to the epoch's start;
+     the application upper bound extends to its end.
+
+   Epochs are the flush-free runs of the stream.  A recording with
+   [barriers = false] is enumerated as one giant epoch — the
+   seeded-divergence fixture modelling a device that ignores barriers. *)
+
+module Crashsim = Rae_block.Crashsim
+module Disk = Rae_block.Disk
+
+type point = {
+  p_key : string;
+  p_guaranteed : int;  (* events certainly durable: indices < p_guaranteed *)
+  p_applied_hi : int;  (* no event at index >= p_applied_hi is in the image *)
+}
+
+let is_write ev = match ev with Crashsim.Write _ -> true | Crashsim.Flush -> false
+
+(* Flush-free maximal runs as (start, len) in event indices. *)
+let epochs (t : Recording.t) =
+  let n = Array.length t.events in
+  if not t.barriers then if n = 0 then [] else [ (0, n) ]
+  else begin
+    let out = ref [] in
+    let start = ref 0 in
+    for i = 0 to n - 1 do
+      if not (is_write t.events.(i)) then begin
+        if i > !start then out := (!start, i - !start) :: !out;
+        start := i + 1
+      end
+    done;
+    if n > !start then out := (!start, n - !start) :: !out;
+    List.rev !out
+  end
+
+let prefix_key i = Printf.sprintf "p:%d" i
+
+let subset_key ~start ~len mask =
+  Printf.sprintf "s:%d:%d:%s" start len (Crashsim.mask_to_hex mask)
+
+let subset_point (t : Recording.t) ~start ~len mask =
+  ignore t;
+  {
+    p_key = subset_key ~start ~len mask;
+    p_guaranteed = start;
+    p_applied_hi = start + len;
+  }
+
+let plan ?(prefix_stride = 1) ?(max_subset_bits = 5) ?(samples_per_epoch = 12)
+    ?(seed = 0xC4A5DL) ?(from_event = 0) (t : Recording.t) =
+  let n = Array.length t.events in
+  let points = ref [] in
+  let add p = points := p :: !points in
+  (* Prefix points: after every event (strided), plus the endpoints.  A
+     point right after a flush carries a strictly higher durability bound
+     than the image-identical point before it, so flush positions stay. *)
+  let want_prefix i =
+    i = from_event || i = n || (i - from_event) mod prefix_stride = 0
+  in
+  for i = from_event to n do
+    if want_prefix i then add { p_key = prefix_key i; p_guaranteed = i; p_applied_hi = i }
+  done;
+  (* Subset points per epoch.  Writes-only indices matter for the mask;
+     flush positions inside a barrier-less pseudo-epoch stay unset. *)
+  let rng = Rae_util.Rng.create seed in
+  List.iter
+    (fun (start, len) ->
+      if start + len > from_event then begin
+        let widx = ref [] in
+        for j = len - 1 downto 0 do
+          if is_write t.events.(start + j) then widx := j :: !widx
+        done;
+        let widx = Array.of_list !widx in
+        let m = Array.length widx in
+        if m >= 2 then
+          if m <= max_subset_bits then
+            (* exhaustive, skipping empty (= p:start) and full (= p:start+len) *)
+            for bits = 1 to (1 lsl m) - 2 do
+              let mask = Array.make len false in
+              for b = 0 to m - 1 do
+                if bits land (1 lsl b) <> 0 then mask.(widx.(b)) <- true
+              done;
+              add (subset_point t ~start ~len mask)
+            done
+          else begin
+            let seen = Hashtbl.create 16 in
+            let tries = samples_per_epoch * 4 in
+            let found = ref 0 in
+            let attempt = ref 0 in
+            while !found < samples_per_epoch && !attempt < tries do
+              incr attempt;
+              let mask = Array.make len false in
+              let bits = ref 0 in
+              for b = 0 to m - 1 do
+                if Rae_util.Rng.bool rng then begin
+                  mask.(widx.(b)) <- true;
+                  incr bits
+                end
+              done;
+              if !bits > 0 && !bits < m then begin
+                let key = Crashsim.mask_to_hex mask in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  incr found;
+                  add (subset_point t ~start ~len mask)
+                end
+              end
+            done
+          end
+      end)
+    (epochs t);
+  List.rev !points
+
+(* ---- materialization ---- *)
+
+let parse_key (t : Recording.t) key =
+  let n = Array.length t.events in
+  match String.split_on_char ':' key with
+  | [ "p"; i ] -> (
+      match int_of_string_opt i with
+      | Some i when i >= 0 && i <= n -> Ok (`Prefix i)
+      | _ -> Error (Printf.sprintf "bad prefix point %S (stream has %d events)" key n))
+  | [ "s"; start; len; hex ] -> (
+      match (int_of_string_opt start, int_of_string_opt len) with
+      | Some start, Some len when start >= 0 && len >= 0 && start + len <= n -> (
+          match Crashsim.mask_of_hex ~n:len hex with
+          | Some mask -> Ok (`Subset (start, len, mask))
+          | None -> Error (Printf.sprintf "bad subset mask in %S" key))
+      | _ -> Error (Printf.sprintf "bad subset point %S (stream has %d events)" key n))
+  | _ -> Error (Printf.sprintf "unparseable crash-point key %S" key)
+
+let bounds_of_key t key =
+  match parse_key t key with
+  | Error _ -> None
+  | Ok (`Prefix i) -> Some (i, i)
+  | Ok (`Subset (start, len, _)) -> Some (start, start + len)
+
+(* Build the crash image: fresh disk, restore the post-mkfs snapshot,
+   then apply the selected writes in issue order. *)
+let apply (t : Recording.t) key =
+  match parse_key t key with
+  | Error _ as e -> e
+  | Ok sel ->
+      let disk =
+        Disk.create ~latency:Disk.zero_latency ~block_size:Recording.block_size
+          ~nblocks:t.nblocks ()
+      in
+      Disk.restore disk t.base_image;
+      let put i =
+        match t.events.(i) with
+        | Crashsim.Write (blk, data) -> Disk.write disk blk (Bytes.copy data)
+        | Crashsim.Flush -> ()
+      in
+      (match sel with
+      | `Prefix upto -> for i = 0 to upto - 1 do put i done
+      | `Subset (start, len, mask) ->
+          for i = 0 to start - 1 do put i done;
+          for j = 0 to len - 1 do if mask.(j) then put (start + j) done);
+      Ok disk

@@ -1,0 +1,51 @@
+(** Crash-point enumeration over a recorded write/flush stream.
+
+    A crash point is addressed by a replayable string key:
+
+    - [p:<i>] — prefix point: the first [i] events applied in issue
+      order (in-order destage up to a power cut);
+    - [s:<start>:<len>:<mask>] — subset point: everything before
+      [start] applied, then the hex-masked subset of the writes in one
+      barrier epoch [start, start+len).  Per block only the last
+      buffered version can land, so subsets applied in issue order reach
+      every image arbitrary intra-epoch destage reordering could
+      produce.
+
+    Keys are stable for a given recording (same workload, same
+    geometry), which is what makes [--repro KEY] work. *)
+
+type point = {
+  p_key : string;
+  p_guaranteed : int;
+      (** events certainly durable: all indices < [p_guaranteed] *)
+  p_applied_hi : int;
+      (** no event at index >= [p_applied_hi] reached the image *)
+}
+
+val epochs : Recording.t -> (int * int) list
+(** Flush-free maximal runs of the stream as [(start, len)] pairs; a
+    [barriers = false] recording yields a single run spanning the whole
+    stream. *)
+
+val plan :
+  ?prefix_stride:int ->
+  ?max_subset_bits:int ->
+  ?samples_per_epoch:int ->
+  ?seed:int64 ->
+  ?from_event:int ->
+  Recording.t ->
+  point list
+(** Enumerate: a (strided) prefix point after every event plus both
+    endpoints, and per-epoch subset points — exhaustive when the epoch
+    holds at most [max_subset_bits] writes, otherwise
+    [samples_per_epoch] distinct rng-drawn masks ([seed] makes the
+    sample deterministic).  [from_event] restricts to points at or past
+    that stream position — the crash-mid-recovery sweeps pass the
+    recording's [recovery_from]. *)
+
+val apply : Recording.t -> string -> (Rae_block.Disk.t, string) result
+(** Materialize the crash image for a key on a fresh disk: restore the
+    post-mkfs snapshot, then apply the selected writes in issue order. *)
+
+val bounds_of_key : Recording.t -> string -> (int * int) option
+(** [(guaranteed, applied_hi)] for a key, or [None] if unparseable. *)

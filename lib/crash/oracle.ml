@@ -1,0 +1,138 @@
+(* The crash oracle: mount a materialized crash image, let journal replay
+   repair it, fsck it, then check the recovered state against the legal
+   durable states the recording captured.
+
+   Verdict lattice:
+
+   - [Consistent]: the raw image fscks clean even before replay, and the
+     recovered state matches a legal boundary;
+   - [Repaired]: replay was needed, and afterwards the image fscks clean
+     and matches a legal boundary;
+   - [Diverging]: anything else — mount failure, a runtime error escaping
+     the base or the shadow, post-replay fsck findings, or a recovered
+     state matching no boundary in the legal window.
+
+   The legal window for a point with bounds (guaranteed, applied_hi):
+
+   - lower bound [lo]: the last boundary whose writes are certainly
+     durable (b_event <= guaranteed).  Recovering to anything older loses
+     data the filesystem promised was stable — that is a durability
+     violation and judged Diverging, which subsumes the
+     fsynced-data-survives property;
+   - upper bound: the last boundary that had even started
+     (b_event <= applied_hi), plus one — a commit whose writes are only
+     partially in the image may still be completable by journal replay.
+
+   Comparison against each candidate uses the crash comparator with the
+   per-point dirty-ino relaxation derived from [lo] (ordered-data
+   semantics: file content reaches the medium outside the transaction). *)
+
+module Device = Rae_block.Device
+module Base = Rae_basefs.Base
+module Detector = Rae_basefs.Detector
+module Shadow = Rae_shadowfs.Shadow
+module Fsck = Rae_fsck.Fsck
+module Differential = Rae_core.Differential
+
+type verdict = Consistent | Repaired | Diverging of string
+
+type outcome = {
+  o_key : string;
+  o_verdict : verdict;
+  o_matched : int option;  (* index of the boundary the image recovered to *)
+  o_candidates : int * int;  (* legal window [lo .. hi] in boundary indices *)
+}
+
+let verdict_to_string = function
+  | Consistent -> "consistent"
+  | Repaired -> "repaired"
+  | Diverging reason -> "diverging: " ^ reason
+
+let is_diverging o = match o.o_verdict with Diverging _ -> true | _ -> false
+
+let fsck_errors report =
+  Fsck.errors report
+  |> List.map (fun f -> Fsck.code_to_string f.Fsck.code)
+  |> List.sort_uniq compare |> String.concat ","
+
+(* Boundary window for a point: see header comment. *)
+let window (t : Recording.t) (p : Enumerate.point) =
+  let nb = Array.length t.boundaries in
+  let last_with pred =
+    let best = ref 0 in
+    for i = 0 to nb - 1 do
+      if pred t.boundaries.(i) then best := i
+    done;
+    !best
+  in
+  let lo = last_with (fun b -> b.Recording.b_event <= p.Enumerate.p_guaranteed) in
+  let started = last_with (fun b -> b.Recording.b_event <= p.Enumerate.p_applied_hi) in
+  (lo, min (started + 1) (nb - 1))
+
+let judge (t : Recording.t) (p : Enumerate.point) =
+  let fail reason =
+    { o_key = p.Enumerate.p_key; o_verdict = Diverging reason; o_matched = None;
+      o_candidates = window t p }
+  in
+  match Enumerate.apply t p.Enumerate.p_key with
+  | Error msg -> fail ("materialize: " ^ msg)
+  | Ok disk -> (
+      let dev = Device.of_disk disk in
+      let raw_clean = Fsck.clean (Fsck.check_device (Device.read_only dev)) in
+      (* Journal replay + attach.  A crash image is untrusted input: the
+         base parses leniently, but arbitrary torn states can still
+         surface as runtime errors; those are verdicts, not crashes of
+         the harness itself. *)
+      let mounted =
+        match Base.mount dev with
+        | Ok b -> Ok b
+        | Error msg -> Error ("mount: " ^ msg)
+        | exception Detector.Base_bug { bug; msg } ->
+            Error (Printf.sprintf "mount: base bug %s: %s" bug msg)
+        | exception Detector.Hang { bug; msg } ->
+            Error (Printf.sprintf "mount: hang %s: %s" bug msg)
+        | exception Detector.Validation_failed { context; msg } ->
+            Error (Printf.sprintf "mount: validation %s: %s" context msg)
+        | exception Device.Io_error msg -> Error ("mount: io: " ^ msg)
+        | exception Invalid_argument msg -> Error ("mount: " ^ msg)
+      in
+      match mounted with
+      | Error reason -> fail reason
+      | Ok b -> (
+          match Base.unmount b with
+          | Error msg -> fail ("unmount: " ^ msg)
+          | exception Device.Io_error msg -> fail ("unmount: io: " ^ msg)
+          | Ok () -> (
+              let report = Fsck.check_device (Device.read_only dev) in
+              if not (Fsck.clean report) then
+                fail ("post-replay fsck: " ^ fsck_errors report)
+              else
+                match Shadow.attach (Device.read_only dev) with
+                | Error msg -> fail ("shadow attach: " ^ msg)
+                | exception Shadow.Violation msg -> fail ("shadow attach: " ^ msg)
+                | Ok shadow -> (
+                    let lo, hi = window t p in
+                    let dirty = Recording.dirty_after t t.boundaries.(lo) in
+                    let matches i =
+                      let spec = t.boundaries.(i).Recording.b_spec in
+                      match Differential.crash_states_equal ~dirty spec shadow with
+                      | eq -> eq
+                      | exception Shadow.Violation _ -> false
+                    in
+                    (* Most crashes recover to the newest legal state;
+                       scan from the top. *)
+                    let rec scan i = if i < lo then None else if matches i then Some i else scan (i - 1) in
+                    match scan hi with
+                    | Some i ->
+                        {
+                          o_key = p.Enumerate.p_key;
+                          o_verdict = (if raw_clean then Consistent else Repaired);
+                          o_matched = Some i;
+                          o_candidates = (lo, hi);
+                        }
+                    | None ->
+                        fail
+                          (Printf.sprintf
+                             "recovered state matches no legal boundary (window %d..%d of %d)"
+                             lo hi
+                             (Array.length t.boundaries))))))

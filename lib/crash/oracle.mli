@@ -1,0 +1,32 @@
+(** The crash oracle: mount, replay, fsck, compare.
+
+    For each enumerated crash point the oracle materializes the image,
+    mounts the base over it (journal replay runs), unmounts, fscks, then
+    attaches the shadow read-only and compares the recovered tree against
+    every legal durable boundary of the recording. *)
+
+type verdict =
+  | Consistent  (** raw image already fsck-clean before replay *)
+  | Repaired  (** replay needed; clean and equivalent afterwards *)
+  | Diverging of string
+      (** mount failure, escaped runtime error, post-replay fsck
+          findings, or no legal boundary matches *)
+
+type outcome = {
+  o_key : string;
+  o_verdict : verdict;
+  o_matched : int option;
+      (** boundary index the image recovered to, when one matched *)
+  o_candidates : int * int;  (** the legal window in boundary indices *)
+}
+
+val verdict_to_string : verdict -> string
+val is_diverging : outcome -> bool
+
+val window : Recording.t -> Enumerate.point -> int * int
+(** Legal boundary window [lo, hi] for a point: [lo] is the last boundary
+    certainly durable (recovering below it would lose promised data — a
+    durability violation), [hi] the last boundary started plus one (an
+    in-flight commit may be completed by replay), clamped. *)
+
+val judge : Recording.t -> Enumerate.point -> outcome

@@ -94,7 +94,15 @@ let default_libraries =
     ( "core",
       [
         "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
-        "workload";
+        "specfs"; "workload";
+      ] );
+    (* the crash engine sits beside srv at the top of the cone: it drives
+       the whole stack (base mounts, controller recoveries, the shadow
+       oracle) but nothing depends on it *)
+    ( "crash",
+      [
+        "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
+        "specfs"; "workload"; "core";
       ] );
     ("lint", [ "util"; "obs" ]);
     (* srv's direct deps are util/obs/vfs/core; the rest of core's allowed
@@ -203,6 +211,10 @@ let default =
            before the metadata commit that references them (base.ml
            commit_work), exactly like ext4 data=ordered *)
         "Rae_basefs.Base.commit_work";
+        (* the crash enumerator materializes crash images by raw disk
+           writes onto scratch disks — it *models* torn persistence, so
+           it is outside the journal protocol by definition *)
+        "Rae_crash.";
       ];
     domain_regions =
       [
@@ -248,6 +260,10 @@ let default =
            every planned decomposition (block groups / home blocks). *)
         ("Rae_block.Disk.t.", "block-granular partitioning; per-domain write sets disjoint");
         ("Rae_block.Blkmq.t.", "one queue per destaging domain");
+        (* Each crash sweep owns its recording, scratch disks and stats;
+           nothing is shared across a hypothetical parallel sweep except
+           the bundle sequence, which would shard per worker. *)
+        ("Rae_crash.", "sweep state owned by the driving domain; scratch disks per point");
       ];
     shadow_state_types = [ "Rae_shadowfs."; "Rae_specfs." ];
     phase_protocols = [ ("Rae_core.Controller.phase", default_phase_order) ];

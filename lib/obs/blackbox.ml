@@ -11,6 +11,7 @@
 let schema_version = "rae-blackbox/1"
 let kind_recovery = "recovery"
 let kind_failstop = "failstop"
+let kind_crash = "crash"
 
 type summary = {
   s_path : string;  (** source path, [""] when checked from memory *)
@@ -90,7 +91,7 @@ let write ~dir ~seq ~kind json =
 
 (* ---- validation ---- *)
 
-let known_kinds = [ kind_recovery; kind_failstop ]
+let known_kinds = [ kind_recovery; kind_failstop; kind_crash ]
 let known_health = [ "OK"; "RECOVERING"; "DEGRADED"; "FAILSTOP" ]
 
 let check ?(path = "") json =

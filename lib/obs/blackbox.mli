@@ -14,6 +14,11 @@ val schema_version : string
 val kind_recovery : string
 val kind_failstop : string
 
+val kind_crash : string
+(** Crash-divergence bundles written by the {!Rae_crash} sweeps: one per
+    enumerated crash image whose recovered state the oracle judged
+    diverging, carrying the replayable crash-point key. *)
+
 type summary = {
   s_path : string;  (** source path, [""] when checked from memory *)
   s_schema : string;

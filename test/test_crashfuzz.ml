@@ -2,7 +2,14 @@
    arbitrary points in arbitrary workloads must always leave an image that
    journal replay brings back to structural consistency, with all fsynced
    data intact.  This underpins RAE's trust in S0: the contained reboot is
-   only sound if the on-disk state is always recoverable. *)
+   only sound if the on-disk state is always recoverable.
+
+   The random probes here complement the systematic sweeps in
+   lib/crash (test_crash.ml): the engine enumerates every persistence
+   boundary of bounded workloads, this file shotguns arbitrary crash
+   subsets into big generated ones, plus the engine-backed property that
+   every enumerated crash image of a random bounded workload recovers to
+   a legal durable state. *)
 
 open Rae_vfs
 module Base = Rae_basefs.Base
@@ -77,7 +84,9 @@ let prop_fsynced_data_durable =
 
 let prop_double_crash =
   (* Crash during the post-crash recovery mount itself: replay must be
-     idempotent, a second mount must still converge. *)
+     idempotent, a second mount must still converge.  The partial crash
+     must also publish a parseable replay key (exact-replay determinism
+     is covered in test_crash.ml). *)
   QCheck2.Test.make ~name:"crash during replay -> second replay converges" ~count:25
     QCheck2.Gen.(pair ui64 (int_range 1 150))
     (fun (seed, crash_at) ->
@@ -91,15 +100,44 @@ let prop_double_crash =
           | Ok b -> ( try ignore (Base.unmount b) with _ -> ())
           | Error _ -> ());
           Crashsim.crash_partial sim2;
+          (match Crashsim.last_key sim2 with
+          | None -> QCheck2.Test.fail_report "crash_partial recorded no key"
+          | Some key ->
+              if Crashsim.parse_partial_key key = None then
+                QCheck2.Test.fail_reportf "unparseable crash key %S" key);
           (* Second, uninterrupted recovery. *)
           let b2 = Result.get_ok (Base.mount raw) in
           ignore (Result.get_ok (Base.unmount b2));
           Fsck.clean (Fsck.check_device raw)))
+
+let prop_enumerated_bounded =
+  (* The engine-backed property: EVERY enumerated crash image (prefix and
+     reordered-subset points alike) of a random bounded workload, after
+     mount + journal replay + fsck, is shadow-equivalent to a legal
+     durable boundary of that workload's history. *)
+  let sequences = Array.of_list (Rae_crash.Bounded.all ()) in
+  QCheck2.Test.make ~name:"every enumerated crash image recovers to a legal state" ~count:30
+    QCheck2.Gen.(int_bound (Array.length sequences - 1))
+    (fun idx ->
+      let ops = sequences.(idx) in
+      let stats =
+        Rae_crash.Engine.sweep_ops ~label:(Rae_crash.Bounded.label ops) ops
+      in
+      match stats.Rae_crash.Engine.s_diverging with
+      | [] -> stats.Rae_crash.Engine.s_points > 0
+      | d :: _ ->
+          QCheck2.Test.fail_reportf "workload %s diverges at %s: %s"
+            d.Rae_crash.Engine.d_label d.Rae_crash.Engine.d_key d.Rae_crash.Engine.d_reason)
 
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "rae_crashfuzz"
     [
       ( "crash-fuzz",
-        [ q prop_crash_consistency; q prop_fsynced_data_durable; q prop_double_crash ] );
+        [
+          q prop_crash_consistency;
+          q prop_fsynced_data_durable;
+          q prop_double_crash;
+          q prop_enumerated_bounded;
+        ] );
     ]
