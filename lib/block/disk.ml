@@ -8,8 +8,10 @@ type t = {
   block_size : int;
   latency : latency;
   clock : Rae_util.Vclock.t;
-  mutable reads : int;
-  mutable writes : int;
+  (* Atomics: parallel destage and parallel fsck read/write one disk from
+     several domains at once; the op counters must not drop increments. *)
+  reads : int Atomic.t;
+  writes : int Atomic.t;
 }
 
 let create ?(latency = default_latency) ?clock ~block_size ~nblocks () =
@@ -20,8 +22,8 @@ let create ?(latency = default_latency) ?clock ~block_size ~nblocks () =
     block_size;
     latency;
     clock;
-    reads = 0;
-    writes = 0;
+    reads = Atomic.make 0;
+    writes = Atomic.make 0;
   }
 
 let block_size t = t.block_size
@@ -34,7 +36,7 @@ let check t blk what =
 
 let read t blk =
   check t blk "read";
-  t.reads <- t.reads + 1;
+  Atomic.incr t.reads;
   Rae_util.Vclock.advance t.clock t.latency.read_ns;
   Bytes.copy t.blocks.(blk)
 
@@ -43,23 +45,23 @@ let write t blk data =
   if Bytes.length data <> t.block_size then
     invalid_arg
       (Printf.sprintf "Disk.write: %d bytes to a %d-byte block" (Bytes.length data) t.block_size);
-  t.writes <- t.writes + 1;
+  Atomic.incr t.writes;
   Rae_util.Vclock.advance t.clock t.latency.write_ns;
   Bytes.blit data 0 t.blocks.(blk) 0 t.block_size
 
 let read_into t blk buf =
   check t blk "read_into";
   if Bytes.length buf <> t.block_size then invalid_arg "Disk.read_into: buffer size mismatch";
-  t.reads <- t.reads + 1;
+  Atomic.incr t.reads;
   Rae_util.Vclock.advance t.clock t.latency.read_ns;
   Bytes.blit t.blocks.(blk) 0 buf 0 t.block_size
 
-let reads t = t.reads
-let writes t = t.writes
+let reads t = Atomic.get t.reads
+let writes t = Atomic.get t.writes
 
 let reset_counters t =
-  t.reads <- 0;
-  t.writes <- 0
+  Atomic.set t.reads 0;
+  Atomic.set t.writes 0
 
 let snapshot t = Array.map Bytes.copy t.blocks
 

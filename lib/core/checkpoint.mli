@@ -89,7 +89,54 @@ val seed : t -> (Rae_shadowfs.Shadow.t * int, string) result
 
 val poison : t -> unit
 (** Discard the warm instance (counted when one existed).  Subsequent
-    recoveries take the cold path until the next {!cut}. *)
+    recoveries take the cold path until the next {!cut}.  In async mode,
+    discards the queued folds and waits out the in-flight one first. *)
+
+(** {2 Background (off-domain) folding}
+
+    With {!start_async_fold}, {!fold} no longer executes the window on
+    the calling (hot-path) domain: it snapshots the request into a
+    bounded queue and returns, and a dedicated background domain drains
+    the queue and runs the folds ([par-fold] spans).  The hot path pays
+    only the enqueue — unless the queue is at capacity, where it blocks
+    (backpressure) rather than let the backlog grow without bound.
+
+    Lifecycle safety is a generation guard: every {!cut}/{!poison} bumps
+    the warm-shadow generation, each request records the generation it
+    was scheduled against, and the worker discards stale requests — a
+    window recorded against a previous warm instance is never folded
+    into a fresh one (whose fast-path caches it could silently corrupt;
+    oplog sequence numbers restart across contained reboots, so they
+    cannot catch this).  {!cut} and {!poison} discard the queue and wait
+    out the in-flight fold; {!seed} awaits {!checkpoint_barrier} so
+    recovery starts from the furthest recorded window. *)
+
+val start_async_fold : t -> queue_cap:int -> unit
+(** Spawn the background fold domain (idempotent).  [queue_cap] bounds
+    the request queue; enqueues at capacity block the caller. *)
+
+val async_fold : t -> bool
+(** Is a background fold domain attached? *)
+
+val checkpoint_barrier : t -> unit
+(** Block until every queued fold request has been executed and the
+    worker is idle.  No-op in synchronous mode. *)
+
+val shutdown : t -> unit
+(** Drain the queue (barrier), stop and join the background domain.
+    Afterwards {!fold} degrades to the synchronous path.  Idempotent;
+    no-op in synchronous mode. *)
+
+type fold_queue_stats = {
+  fq_depth : int;  (** current queue depth *)
+  fq_hwm : int;  (** high-water mark since the last reset *)
+  fq_enqueued : int;  (** fold windows enqueued *)
+  fq_blocked : int;  (** enqueues stalled by backpressure *)
+  fq_dropped : int;  (** stale-generation windows discarded *)
+}
+
+val fold_queue : t -> fold_queue_stats option
+(** Queue counters; [None] in synchronous mode. *)
 
 val note_fallback : t -> unit
 (** Record that a seeded recovery fell back to the cold path. *)
@@ -104,4 +151,6 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val register_obs : Rae_obs.Metrics.t -> t -> unit
-(** Register the [rae_ckpt_*] counter/gauge family. *)
+(** Register the [rae_ckpt_*] counter/gauge family; in async mode also
+    the [rae_par_fold_*] queue family (depth, backlog high-water mark,
+    enqueued/backpressure/dropped totals). *)

@@ -53,14 +53,13 @@ let render_ops ops = Format.asprintf "%a" (Fmt.list ~sep:(Fmt.any "; ") pp_op) o
 
 (* ---- divergence bundles (PR 7 postmortem format, kind "crash") ---- *)
 
-let bundle_seq = ref 0
+let bundle_seq = Atomic.make 0 (* atomic: parallel sweeps emit bundles concurrently *)
 
 let emit_bundle cfg ~label (t : Recording.t) (o : Oracle.outcome) =
   match cfg.bundle_dir with
   | None -> ()
   | Some dir ->
-      let seq = !bundle_seq in
-      incr bundle_seq;
+      let seq = Atomic.fetch_and_add bundle_seq 1 in
       let reason =
         match o.Oracle.o_verdict with Oracle.Diverging r -> r | _ -> "not-diverging"
       in
@@ -145,11 +144,32 @@ let sweep_recording ?(cfg = default_config) ?(from_event = 0) ~label (t : Record
 let sweep_ops ?cfg ?(barriers = true) ~label ops =
   sweep_recording ?cfg ~label (Recording.record ~barriers ops)
 
-let sweep_bounded ?cfg ~max_workloads () =
-  List.fold_left
-    (fun acc (label, ops) -> merge acc (sweep_ops ?cfg ~label ops))
-    empty_stats
-    (Bounded.sample ~max:max_workloads)
+(* Workloads are pairwise independent — each sweep records onto its own
+   fresh image and judges each crash point against a fresh mount — so
+   the sweep parallelizes at workload granularity: one chunk per
+   workload, stolen freely across domains.  The merged stats fold in
+   workload order either way, so the result (divergence list included)
+   is identical to the sequential sweep's. *)
+let sweep_workloads ?cfg ?pool workloads =
+  match pool with
+  | Some p when Rae_par.Pool.size p > 1 ->
+      let outs =
+        Rae_par.Pool.map_array p ~chunk:1
+          (fun (label, ops) -> sweep_ops ?cfg ~label ops)
+          (Array.of_list workloads)
+      in
+      Array.fold_left merge empty_stats outs
+  | Some _ | None ->
+      List.fold_left
+        (fun acc (label, ops) -> merge acc (sweep_ops ?cfg ~label ops))
+        empty_stats workloads
+
+let sweep_bounded ?cfg ?pool ~max_workloads () =
+  sweep_workloads ?cfg ?pool (Bounded.sample ~max:max_workloads)
+
+let sweep_full ?cfg ?pool () =
+  sweep_workloads ?cfg ?pool
+    (List.map (fun ops -> (Bounded.label ops, ops)) (Bounded.all ()))
 
 let sweep_targeted ?cfg ?(count = 40) ?(seeds = [ 1L; 2L ]) ?(profiles = [ Workload.Varmail; Workload.Metadata ]) () =
   List.fold_left

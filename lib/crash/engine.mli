@@ -43,8 +43,20 @@ val sweep_ops :
 (** Record a workload and sweep it.  [barriers:false] enumerates as if
     the device ignored flush barriers — the seeded-divergence fixture. *)
 
-val sweep_bounded : ?cfg:config -> max_workloads:int -> unit -> stats
-(** Sweep a deterministic sample of the deduplicated seq-3 space. *)
+val sweep_bounded :
+  ?cfg:config -> ?pool:Rae_par.Pool.t -> max_workloads:int -> unit -> stats
+(** Sweep a deterministic sample of the deduplicated seq-3 space.  With a
+    [pool] of size > 1 the workloads (each self-contained: fresh image,
+    fresh mounts per crash point) are dealt across domains and the per-
+    workload stats merged back in workload order, so the result —
+    including the divergence list — is identical to the sequential
+    sweep's. *)
+
+val sweep_full : ?cfg:config -> ?pool:Rae_par.Pool.t -> unit -> stats
+(** Sweep {e every} workload of the deduplicated bounded space
+    ({!Bounded.all}, 2103 workloads at seq ≤ 3) — the exhaustive arm of
+    the crash study, practical only with a [pool].  Same determinism
+    contract as {!sweep_bounded}. *)
 
 val sweep_targeted :
   ?cfg:config ->

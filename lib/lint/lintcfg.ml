@@ -81,20 +81,23 @@ let default_libraries =
     ("util", []);
     ("obs", [ "util" ]);
     ("vfs", [ "util" ]);
+    (* the domain pool sits at the bottom of the cone beside util: pure
+       stdlib (Domain/Atomic/Mutex), so any layer may parallelize *)
+    ("par", []);
     ("block", [ "util"; "obs" ]);
     ("format", [ "util"; "vfs"; "block" ]);
-    ("journal", [ "util"; "obs"; "block"; "format" ]);
+    ("journal", [ "util"; "obs"; "block"; "format"; "par" ]);
     ("cache", [ "util"; "obs"; "vfs" ]);
-    ("fsck", [ "util"; "vfs"; "block"; "format" ]);
-    ("shadowfs", [ "util"; "obs"; "vfs"; "block"; "format"; "fsck" ]);
+    ("fsck", [ "util"; "vfs"; "block"; "format"; "par" ]);
+    ("shadowfs", [ "util"; "obs"; "vfs"; "block"; "format"; "fsck"; "par" ]);
     ("specfs", [ "util"; "vfs"; "format" ]);
-    ("basefs", [ "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache" ]);
+    ("basefs", [ "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "par" ]);
     ("workload", [ "util"; "vfs" ]);
     ("bugstudy", [ "util" ]);
     ( "core",
       [
         "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
-        "specfs"; "workload";
+        "specfs"; "workload"; "par";
       ] );
     (* the crash engine sits beside srv at the top of the cone: it drives
        the whole stack (base mounts, controller recoveries, the shadow
@@ -102,7 +105,7 @@ let default_libraries =
     ( "crash",
       [
         "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
-        "specfs"; "workload"; "core";
+        "specfs"; "workload"; "core"; "par";
       ] );
     ("lint", [ "util"; "obs" ]);
     (* srv's direct deps are util/obs/vfs/core; the rest of core's allowed
@@ -111,7 +114,7 @@ let default_libraries =
     ( "srv",
       [
         "util"; "obs"; "vfs"; "block"; "format"; "journal"; "cache"; "fsck"; "basefs"; "shadowfs";
-        "workload"; "core";
+        "workload"; "core"; "par";
       ] );
   ]
 
@@ -222,6 +225,14 @@ let default =
         ("journal-replay", [ "Rae_journal.Journal.replay" ]);
         ("ckpt-fold", [ "Rae_core.Checkpoint.fold" ]);
         ("constrained-replay", [ "Rae_shadowfs.Shadow.exec_constrained" ]);
+        (* PR 10 parallel roots: code that now actually runs on worker
+           domains.  The pool's worker loop is the generic root (every
+           parallel_for body executes under it); the other three are the
+           per-layer entry points the pool is handed. *)
+        ("par-pool", [ "Rae_par.Pool." ]);
+        ("par-destage", [ "Rae_journal.Journal.destage_parallel" ]);
+        ("par-fold", [ "Rae_core.Checkpoint.worker_loop" ]);
+        ("par-crash-sweep", [ "Rae_crash.Engine.sweep_workloads" ]);
       ];
     guarded_cells =
       [
@@ -236,6 +247,16 @@ let default =
            mutators; the analysis sees the helper defs without the
            lock. *)
         ("Rae_obs.Tracer.t.", "public mutators and export serialize on the per-tracer mutex");
+        (* The pool's own bookkeeping: each deque's items list is only
+           touched under that deque's dmu; batch publication and the
+           idle/work waits run under the pool mutex; callers serialize on
+           exec_mu; the join counter and stats counters are Atomics. *)
+        ("Rae_par.Pool.", "deque items under per-deque dmu; batch publication under pool mu; join/stats are Atomics");
+        (* The async fold queue: every field of the async record is
+           mutated only with amu held (enqueue, worker pop, barrier,
+           quiesce); the worker runs fold bodies outside amu but flags
+           itself busy under it first. *)
+        ("Rae_core.Checkpoint.async_st.", "queue, counters and worker flags mutated only under amu");
       ]
       [@ocamlformat "disable"];
     domain_local_cells =
@@ -251,19 +272,29 @@ let default =
            in-memory state is rebuilt per replay invocation. *)
         ("Rae_journal.", "replay-local transaction scan state");
         (* Checkpoint bookkeeping (fold cursor, stats, the warm shadow
-           handle) belongs to the one domain driving cut/fold; the
-           parallel-fold plan shards the oplog window across worker
-           shadows and merges at the boundary, leaving instance state
-           single-owner. *)
-        ("Rae_core.Checkpoint.t.", "instance owned by the cut/fold driving domain");
+           handle): with async folding the background worker is the only
+           writer while it is flagged busy, and the owning domain writes
+           only after quiescing it (cut/poison/seed all drain first), so
+           at any instant exactly one domain mutates instance state.
+           Unsynchronized hot-path reads (due/valid) tolerate staleness
+           by design. *)
+        ("Rae_core.Checkpoint.t.", "single-writer handoff: worker while busy, owner after quiesce");
         (* The medium: per-block writes are disjoint by construction in
            every planned decomposition (block groups / home blocks). *)
         ("Rae_block.Disk.t.", "block-granular partitioning; per-domain write sets disjoint");
         ("Rae_block.Blkmq.t.", "one queue per destaging domain");
         (* Each crash sweep owns its recording, scratch disks and stats;
-           nothing is shared across a hypothetical parallel sweep except
-           the bundle sequence, which would shard per worker. *)
+           the one cross-sweep cell (the bundle sequence) is an Atomic. *)
         ("Rae_crash.", "sweep state owned by the driving domain; scratch disks per point");
+        (* The parallel crash sweep gives every workload a fresh image,
+           fresh recording and fresh mounts, so the whole base-fs cone it
+           reaches — mount state, detector, bug registry — is owned by
+           the sweeping domain for that workload's lifetime. *)
+        ("Rae_basefs.", "per-workload mount/detector/registry instances owned by the sweeping domain");
+        ("Rae_block.Crashsim.t.", "crash-sim device created and consumed by one recording sweep");
+        ("Rae_block.Blkmq.req.", "request owned by its submitting queue's domain until completion");
+        ("Rae_format.Bitmap.t.", "bitmap embedded in a domain-owned image or scan ctx");
+        ("Rae_util.Rng.t.", "rng instance owned by its creating domain");
       ];
     shadow_state_types = [ "Rae_shadowfs."; "Rae_specfs." ];
     phase_protocols = [ ("Rae_core.Controller.phase", default_phase_order) ];

@@ -1,13 +1,20 @@
-type t = { mutable ns : int64 }
+(* The clock is advanced from every domain that touches a disk (parallel
+   fsck reads, parallel destage writes), so the counter is an atomic and
+   [advance] is a CAS loop rather than a read-modify-write. *)
+type t = { ns : int64 Atomic.t }
 
-let create () = { ns = 0L }
-let now t = t.ns
+let create () = { ns = Atomic.make 0L }
+let now t = Atomic.get t.ns
 
 let advance t delta =
   if Int64.compare delta 0L < 0 then invalid_arg "Vclock.advance: negative delta";
-  t.ns <- Int64.add t.ns delta
+  let rec loop () =
+    let cur = Atomic.get t.ns in
+    if not (Atomic.compare_and_set t.ns cur (Int64.add cur delta)) then loop ()
+  in
+  loop ()
 
-let reset t = t.ns <- 0L
+let reset t = Atomic.set t.ns 0L
 
 let pp_duration ppf ns =
   let f = Int64.to_float ns in

@@ -17,7 +17,9 @@ let fixture_config =
   {
     d with
     Lintcfg.libraries =
-      ("lint_fixtures", [ "util"; "obs"; "vfs"; "block"; "format" ]) :: d.Lintcfg.libraries;
+      (* "par" is allowed because the journal's interface pulls the
+         rae_par cmi into the fixture's import table. *)
+      ("lint_fixtures", [ "util"; "obs"; "vfs"; "block"; "format"; "par" ]) :: d.Lintcfg.libraries;
     purity_roots = [ "Lint_fixtures.Bad_impure" ];
     signal_exceptions = [ "Lint_fixtures.Bad_swallow.Boom" ];
     domain_regions =
